@@ -1,0 +1,120 @@
+"""E0 — micro-kernels: raw throughput of the core building blocks.
+
+Not a paper artifact; these are the library's own performance
+characteristics (per pytest-benchmark statistics), useful for spotting
+regressions in the hot paths every experiment exercises:
+
+* engine: filter chain throughput (tuples/second),
+* window join probing,
+* interest-overlap computation (query-graph edge weights),
+* coordinator-tree query routing,
+* event loop scheduling.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.coordination.routing import QueryRouter
+from repro.coordination.tree import CoordinatorTree, Member
+from repro.engine.operators import FilterOperator, WindowJoinOperator
+from repro.engine.plan import QueryPlan
+from repro.interest.overlap import overlap_rate
+from repro.interest.predicates import StreamInterest
+from repro.simulation.simulator import Simulator
+from repro.streams.catalog import stock_catalog
+from repro.streams.source import StreamSource
+from repro.streams.tuples import StreamTuple
+
+
+def test_filter_chain_throughput(benchmark):
+    """Push tuples through a three-filter pipeline fragment."""
+    interest = StreamInterest.on("s", x=(25.0, 75.0))
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [FilterOperator(f"f{i}", interest) for i in range(3)],
+    )
+    fragment = plan.as_single_fragment()
+    tuples = [
+        StreamTuple("s", i, 0.0, {"x": (i * 7) % 100 * 1.0}, 64.0)
+        for i in range(1000)
+    ]
+
+    def run():
+        total = 0
+        for tup in tuples:
+            total += len(fragment.run(tup, 0.0))
+        return total
+
+    survivors = benchmark(run)
+    assert 0 < survivors < 1000
+
+
+def test_window_join_probe(benchmark):
+    """Probe a populated join window."""
+    join = WindowJoinOperator("j", "a", "b", "k", window=1e9)
+    for i in range(500):
+        join.process(StreamTuple("a", i, 0.0, {"k": float(i % 50)}, 64.0), 0.0)
+    probe = StreamTuple("b", 0, 0.0, {"k": 25.0}, 64.0)
+
+    def run():
+        return len(join.process(probe, 0.0))
+
+    matches = benchmark(run)
+    assert matches >= 10
+
+
+def test_overlap_rate_kernel(benchmark):
+    """The closed-form edge-weight computation (hot in graph building)."""
+    catalog = stock_catalog(exchanges=1)
+    schema = catalog.schemas()[0]
+    a = StreamInterest.on(
+        schema.stream_id, price=(10.0, 600.0), symbol=(0, 250)
+    )
+    b = StreamInterest.on(
+        schema.stream_id, price=(300.0, 900.0), symbol=(100, 400)
+    )
+    rate = benchmark(lambda: overlap_rate(a, b, schema))
+    assert rate > 0
+
+
+def test_tree_routing_kernel(benchmark):
+    """Route queries through a 256-entity coordinator tree."""
+    rng = random.Random(1)
+    tree = CoordinatorTree(k=3)
+    for i in range(256):
+        tree.join(Member(f"m{i}", rng.random(), rng.random()))
+    router = QueryRouter(tree)
+    counter = iter(range(10**9))
+
+    def run():
+        return router.route(
+            f"q{next(counter)}", 1.0, (rng.random(), rng.random())
+        )
+
+    entity = benchmark(run)
+    assert entity in tree.members
+
+
+def test_event_loop_kernel(benchmark):
+    """Schedule and drain 10k events."""
+
+    def run():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, lambda: None)
+        sim.run()
+        return sim.events_fired
+
+    assert benchmark(run) == 10_000
+
+
+def test_source_emission_kernel(benchmark):
+    """Draw-and-dispatch cost of one synthetic tuple."""
+    sim = Simulator(seed=2)
+    catalog = stock_catalog(exchanges=1)
+    source = StreamSource(sim, catalog.schemas()[0])
+    source.subscribe(lambda t: None)
+    tup = benchmark(source.emit)
+    assert tup.stream_id == catalog.stream_ids()[0]

@@ -1,0 +1,80 @@
+"""Adaptive operator ordering with the Adaptation Module (§4.2).
+
+Three commutative user-defined filters sit on three processors of one
+entity.  Their selectivities drift over the run (one degrades linearly,
+one improves in a step, one stays flat).  The AM's per-tuple routing
+keeps sending tuples through the currently-most-selective cheap filter
+first; the static plan keeps the compile-time order forever.
+
+Run with:  python examples/adaptive_ordering.py
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import LocalEngine
+from repro.engine.plan import QueryPlan
+from repro.ordering.adaptation_module import AdaptationModule, OrderingNetwork
+from repro.ordering.policies import AdaptivePolicy, StaticPolicy
+from repro.simulation.network import Network, NetworkNode
+from repro.simulation.processor import SimProcessor
+from repro.simulation.simulator import Simulator
+from repro.streams.tuples import StreamTuple
+from repro.workloads.drifting import DriftingFilter, linear_drift, step_drift
+
+DURATION = 30.0
+RATE = 40.0
+
+DRIFTS = {
+    "degrading": linear_drift(0.1, 0.9, DURATION),  # loses selectivity
+    "improving": step_drift(0.9, 0.2, DURATION / 2),  # gains at half-time
+    "flat": lambda now: 0.5,
+}
+
+
+def run(policy, label: str) -> dict:
+    sim = Simulator(seed=23)
+    net = Network(sim)
+    net.add_node(NetworkNode("entry", tier="lan", group="e"))
+    am = AdaptationModule(sim, policy, refresh_interval=1.0)
+    ordering = OrderingNetwork(sim, net, am, "entry")
+    for i, (name, drift) in enumerate(DRIFTS.items()):
+        node = f"p{i}"
+        net.add_node(NetworkNode(node, tier="lan", group="e"))
+        op = DriftingFilter(f"{name}.f", drift, cost_per_tuple=1.5e-3)
+        plan = QueryPlan(f"frag_{name}", ["s"], [op])
+        ordering.add_station(
+            plan.as_single_fragment(), LocalEngine(sim, SimProcessor(sim, node)), node
+        )
+    am.start()
+
+    for i in range(int(DURATION * RATE)):
+        t = i / RATE
+        tup = StreamTuple("s", i, t, {"x": float(i)}, 64.0)
+        sim.schedule_at(t, lambda tup=tup: ordering.ingest(tup))
+    sim.run(until=DURATION + 5.0)
+
+    cpu = sum(
+        s.engine.processor.stats.total_service_time for s in ordering._stations
+    )
+    first_hops = {
+        s.fragment.fragment_id: s.fragment.operators[0].stats.tuples_in
+        for s in ordering._stations
+    }
+    print(f"\n--- {label} ---")
+    print(f"  tuples in/out:   {ordering.tuples_in}/{ordering.tuples_out}")
+    print(f"  total CPU:       {cpu:.2f}s")
+    print(f"  mean latency:    {ordering.mean_latency * 1e3:.1f} ms")
+    print(f"  station inputs:  {first_hops}")
+    return {"cpu": cpu, "latency": ordering.mean_latency}
+
+
+def main() -> None:
+    print("adaptive operator ordering: 3 drifting filters, 3 processors")
+    static = run(StaticPolicy(), "static compile-time order")
+    adaptive = run(AdaptivePolicy(), "Adaptation Module (rank-adaptive)")
+    saving = 100 * (1 - adaptive["cpu"] / static["cpu"])
+    print(f"\nthe AM saved {saving:.0f}% CPU by reordering as selectivities drifted.")
+
+
+if __name__ == "__main__":
+    main()

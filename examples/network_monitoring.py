@@ -1,0 +1,90 @@
+"""Network-management workload with runtime adaptation.
+
+The paper's second motivating domain (§1).  Four flow monitors feed a
+federation of 8 entities; operator queries track heavy prefixes.  The
+example demonstrates the *adaptive repartitioning* loop of §3.2.2 in
+operation: after the initial allocation, prefix popularity shifts
+(hot queries triple their load) and the hybrid repartitioner repairs
+the allocation with a bounded number of query migrations.
+
+Run with:  python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.allocation.query_graph import build_query_graph
+from repro.allocation.repartition import (
+    CutRepartitioner,
+    HybridRepartitioner,
+    ScratchRepartitioner,
+)
+from repro.core.system import FederatedSystem, SystemConfig
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.streams.catalog import network_catalog
+
+
+def main() -> None:
+    catalog = network_catalog(monitors=4, rate=300.0)
+    config = SystemConfig(
+        entity_count=8,
+        processors_per_entity=3,
+        seed=17,
+        allocation="partition",
+        placement="pr",
+    )
+    system = FederatedSystem(catalog, config)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=120, hot_fraction=0.7, aggregate_fraction=0.5
+        ),
+        seed=17,
+    )
+    system.submit(workload.queries)
+    report = system.run(duration=8.0)
+
+    print("network monitoring federation (4 monitors, 8 entities)")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    # ------------------------------------------------------------------
+    # Workload shift: hot-prefix queries triple their load
+    # ------------------------------------------------------------------
+    graph = build_query_graph(workload.queries, catalog)
+    entity_ids = sorted(system.entities)
+    part_index = {e: i for i, e in enumerate(entity_ids)}
+    current = {
+        q: part_index[e]
+        for q, e in system.allocation_result.assignment.items()
+    }
+    heavy = sorted(graph.vertex_weights, key=graph.vertex_weights.get)[-30:]
+    for query_id in heavy:
+        graph.vertex_weights[query_id] *= 3.0
+
+    print(
+        f"\nworkload shift: 30 hottest queries tripled their load "
+        f"(imbalance now {graph.imbalance(current, len(entity_ids)):.2f})"
+    )
+    print(f"{'strategy':<10} {'cut kB/s':>10} {'imbalance':>10} "
+          f"{'migrations':>11} {'decision ms':>12}")
+    for name, strategy in (
+        ("scratch", ScratchRepartitioner(seed=17)),
+        ("cut-only", CutRepartitioner()),
+        ("hybrid", HybridRepartitioner()),
+    ):
+        outcome = strategy.repartition(graph, current, len(entity_ids))
+        print(
+            f"{name:<10} {outcome.cut / 1e3:>10.1f} "
+            f"{outcome.imbalance:>10.2f} {outcome.migrations:>11d} "
+            f"{outcome.decision_seconds * 1e3:>12.2f}"
+        )
+    print(
+        "\nall three restore balance; scratch finds the best cut but pays "
+        "the longest decision time, cut-only decides in microseconds but "
+        "leaves the worst duplicate-transfer cut, and the hybrid lands in "
+        "between on both axes — the trade-off §3.2.2 calls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

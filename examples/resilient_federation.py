@@ -1,0 +1,82 @@
+"""A federation surviving churn under a bursty feed, watched live.
+
+Combines the runtime features: hierarchical monitoring (the "coarser
+information" of §3.2.1), a bursty stream source, a graceful entity
+leave, a crash with heartbeat-delayed detection, and a late joiner —
+while clients keep receiving results throughout.
+
+Run with:  python examples/resilient_federation.py
+"""
+
+from __future__ import annotations
+
+from repro.core.system import FederatedSystem, SystemConfig
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.streams.catalog import stock_catalog
+from repro.workloads.rates import square_burst
+
+
+def snapshot(system, label):
+    root = system.monitoring.root_view()
+    print(
+        f"  t={system.sim.now:5.1f}s  {label:24s} "
+        f"entities={len(system.entities):2d} "
+        f"results={system.tracker.total_results:6d} "
+        f"rehomed={system.rehomed_queries:2d} "
+        f"load={root.mean_cpu_load if root else 0.0:5.1%} "
+        f"tree_ok={system.portal.tree.check_invariants() == []}"
+    )
+
+
+def main() -> None:
+    catalog = stock_catalog(exchanges=2, rate=80.0)
+    system = FederatedSystem(
+        catalog,
+        SystemConfig(
+            entity_count=8,
+            processors_per_entity=3,
+            seed=29,
+            monitoring_interval=1.0,
+            tree_maintenance_interval=5.0,
+        ),
+    )
+    # make exchange-0 bursty: 80/s baseline with 400/s bursts
+    system.sources[catalog.stream_ids()[0]].rate_fn = square_burst(
+        80.0, 400.0, period=10.0, duty=0.2
+    )
+    workload = generate_workload(
+        catalog, WorkloadConfig(query_count=48, join_fraction=0.0), seed=29
+    )
+    system.submit(workload.queries)
+
+    print("resilient federation: 8 entities, 48 queries, bursty exchange-0")
+    snapshot(system, "start")
+    system.run(6.0)
+    snapshot(system, "after burst 1")
+
+    victim = max(system.entities, key=lambda e: system.entities[e].query_count)
+    moved = system.remove_entity(victim)
+    snapshot(system, f"graceful leave ({len(moved)} moved)")
+    system.run(6.0)
+
+    crash = max(system.entities, key=lambda e: system.entities[e].query_count)
+    system.crash_entity(crash, detection_delay=2.0)
+    snapshot(system, "crash (undetected)")
+    system.run(4.0)
+    snapshot(system, "crash repaired")
+
+    system.add_entity()
+    snapshot(system, "new entity joined")
+    system.run(6.0)
+    snapshot(system, "end")
+
+    print(
+        f"\n{system.network.dropped_messages} messages were lost in the "
+        "undetected-crash window; every re-homed query resumed on a "
+        "surviving entity, and the coordinator tree never broke an "
+        "invariant."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Reproduction of *Scalable and Adaptable Distributed Stream Processing*.
+
+(Yongluan Zhou, ICDE 2006.)
+
+The package implements the paper's two-layer architecture for federated
+stream processing:
+
+* the **inter-entity layer** — hierarchical stream dissemination with
+  interest-based early filtering, a coordinator tree for scalable query
+  distribution, and query-to-entity allocation via weighted graph
+  partitioning with adaptive repartitioning;
+* the **intra-entity layer** — stream delegation, Performance-Ratio-aware
+  operator placement, and an engine-independent Adaptation Module for
+  runtime operator ordering.
+
+Everything runs on a deterministic discrete-event simulation substrate
+(:mod:`repro.simulation`) so communication cost, latency, and load can be
+measured exactly.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FederatedSystem",
+    "SystemConfig",
+    "build_demo_system",
+    "QuerySpec",
+    "Interval",
+    "StreamInterest",
+]
+
+_LAZY = {
+    "FederatedSystem": ("repro.core.system", "FederatedSystem"),
+    "SystemConfig": ("repro.core.system", "SystemConfig"),
+    "build_demo_system": ("repro.core.system", "build_demo_system"),
+    "QuerySpec": ("repro.query.spec", "QuerySpec"),
+    "Interval": ("repro.interest.predicates", "Interval"),
+    "StreamInterest": ("repro.interest.predicates", "StreamInterest"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily import the public API (PEP 562).
+
+    Keeps ``import repro`` cheap and avoids import cycles between the
+    façade in :mod:`repro.core` and the subsystem packages.
+    """
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,56 @@
+"""Query-to-entity allocation as weighted graph partitioning (§3.2.2).
+
+"Each vertex in the query graph corresponds to a query and there is an
+edge between two vertices if there is overlap in their data interest.  A
+vertex is weighted by the workload incurred by the query and an edge is
+weighted with the estimated arrival rate (bytes/second) of the data of
+interest to both end vertices."
+
+The package provides:
+
+* :mod:`repro.allocation.query_graph` — graph construction from query
+  specs (edge weights computed analytically from the interest algebra)
+  and the paper's exact Figure-2 example;
+* :mod:`repro.allocation.partitioning` — a from-scratch multilevel
+  partitioner (heavy-edge matching, greedy growth, refinement);
+* :mod:`repro.allocation.refinement` — Kernighan–Lin / Fiduccia–Mattheyses
+  boundary refinement under a balance constraint;
+* :mod:`repro.allocation.repartition` — the paper's adaptive
+  repartitioning spectrum: from-scratch, cut-only, and the hybrid
+  trade-off;
+* :mod:`repro.allocation.assigners` — the baselines graph partitioning
+  is compared against (random, round-robin, load-only, similarity-only).
+"""
+
+from repro.allocation.assigners import (
+    LoadOnlyAssigner,
+    RandomAssigner,
+    RoundRobinAssigner,
+    SimilarityAssigner,
+)
+from repro.allocation.partitioning import MultilevelPartitioner, PartitionResult
+from repro.allocation.query_graph import QueryGraph, build_query_graph, figure2_graph
+from repro.allocation.refinement import refine_partition
+from repro.allocation.repartition import (
+    CutRepartitioner,
+    HybridRepartitioner,
+    RepartitionOutcome,
+    ScratchRepartitioner,
+)
+
+__all__ = [
+    "QueryGraph",
+    "build_query_graph",
+    "figure2_graph",
+    "MultilevelPartitioner",
+    "PartitionResult",
+    "refine_partition",
+    "ScratchRepartitioner",
+    "CutRepartitioner",
+    "HybridRepartitioner",
+    "RepartitionOutcome",
+    "RandomAssigner",
+    "RoundRobinAssigner",
+    "LoadOnlyAssigner",
+    "SimilarityAssigner",
+]

@@ -1,0 +1,118 @@
+"""Online allocation baselines the partitioner is compared against.
+
+Each assigner processes queries in arrival order (the paper's "query
+streams") and never reconsiders past decisions — which is exactly what
+makes them cheap and exactly why they lose on edge cut or balance:
+
+* :class:`RandomAssigner` / :class:`RoundRobinAssigner` — the
+  no-information strawmen;
+* :class:`LoadOnlyAssigner` — classic load balancing, overlap-blind
+  (the paper: "only considering [load] balance");
+* :class:`SimilarityAssigner` — the opposite extreme: co-locate by
+  overlap ("only considering allocating similar queries together may
+  not result in good performance").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.allocation.query_graph import Assignment, QueryGraph
+
+
+class RandomAssigner:
+    """Uniform random placement."""
+
+    def __init__(self, parts: int, *, seed: int = 0) -> None:
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        self.parts = parts
+        self._rng = random.Random(seed)
+
+    def assign_all(
+        self, graph: QueryGraph, order: list[str] | None = None
+    ) -> Assignment:
+        """Assign every vertex of ``graph``; ``order`` defaults to insertion."""
+        vertices = order if order is not None else graph.vertices()
+        return {v: self._rng.randrange(self.parts) for v in vertices}
+
+
+class RoundRobinAssigner:
+    """Cyclic placement in arrival order."""
+
+    def __init__(self, parts: int) -> None:
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        self.parts = parts
+
+    def assign_all(
+        self, graph: QueryGraph, order: list[str] | None = None
+    ) -> Assignment:
+        """Assign every vertex cyclically."""
+        vertices = order if order is not None else graph.vertices()
+        return {v: i % self.parts for i, v in enumerate(vertices)}
+
+
+class LoadOnlyAssigner:
+    """Greedy least-loaded placement (ignores overlap entirely)."""
+
+    def __init__(self, parts: int) -> None:
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        self.parts = parts
+
+    def assign_all(
+        self, graph: QueryGraph, order: list[str] | None = None
+    ) -> Assignment:
+        """Each query goes to the currently least-loaded part."""
+        vertices = order if order is not None else graph.vertices()
+        loads = [0.0] * self.parts
+        assignment: Assignment = {}
+        for vertex in vertices:
+            part = min(range(self.parts), key=lambda p: loads[p])
+            assignment[vertex] = part
+            loads[part] += graph.vertex_weights[vertex]
+        return assignment
+
+
+class SimilarityAssigner:
+    """Greedy co-location by overlap, with only a loose load cap.
+
+    Each query goes to the part holding the most shared interest with
+    it.  A hard cap of ``cap_factor`` times the running ideal load is
+    the only concession to balance — enough to avoid a degenerate
+    single-part pile-up, but (deliberately) far from balanced.
+    """
+
+    def __init__(self, parts: int, *, cap_factor: float = 2.0) -> None:
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        self.parts = parts
+        self.cap_factor = cap_factor
+
+    def assign_all(
+        self, graph: QueryGraph, order: list[str] | None = None
+    ) -> Assignment:
+        """Assign each query to its highest-affinity feasible part."""
+        vertices = order if order is not None else graph.vertices()
+        adjacency = graph.adjacency()
+        loads = [0.0] * self.parts
+        placed_total = 0.0
+        assignment: Assignment = {}
+        for vertex in vertices:
+            vw = graph.vertex_weights[vertex]
+            placed_total += vw
+            cap = self.cap_factor * placed_total / self.parts
+            affinity = [0.0] * self.parts
+            for neighbor, w in adjacency[vertex].items():
+                part = assignment.get(neighbor)
+                if part is not None:
+                    affinity[part] += w
+            feasible = [p for p in range(self.parts) if loads[p] + vw <= cap]
+            if feasible:
+                part = max(feasible, key=lambda p: (affinity[p], -loads[p]))
+            else:
+                part = min(range(self.parts), key=lambda p: loads[p])
+            assignment[vertex] = part
+            loads[part] += vw
+        return assignment

@@ -1,0 +1,191 @@
+"""Multilevel weighted graph partitioning.
+
+The classic three-phase scheme (the family METIS belongs to), built from
+scratch:
+
+1. **Coarsen** — heavy-edge matching collapses the heaviest-overlap
+   query pairs into supervertices until the graph is small;
+2. **Initial partition** — greedy affinity-aware growth assigns coarse
+   vertices to ``k`` parts under a balance limit;
+3. **Uncoarsen + refine** — the assignment is projected back level by
+   level, with KL/FM boundary refinement at each level.
+
+Both coarsening and refinement can be disabled for the ablation study in
+E6 (``bench_allocation_quality``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.allocation.query_graph import Assignment, QueryGraph
+from repro.allocation.refinement import refine_partition
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of one partitioning run."""
+
+    assignment: Assignment
+    cut: float
+    imbalance: float
+    levels: int
+    refinement_moves: int
+
+
+def _coarsen_once(
+    graph: QueryGraph, rng: random.Random
+) -> tuple[QueryGraph, dict[str, str]]:
+    """One round of heavy-edge matching.
+
+    Returns the coarser graph and the fine-vertex -> supervertex map.
+    """
+    adjacency = graph.adjacency()
+    order = list(graph.vertex_weights)
+    rng.shuffle(order)
+    matched: set[str] = set()
+    mapping: dict[str, str] = {}
+    for vertex in order:
+        if vertex in matched:
+            continue
+        partner = None
+        best_w = 0.0
+        for neighbor, w in adjacency[vertex].items():
+            if neighbor not in matched and w > best_w:
+                partner = neighbor
+                best_w = w
+        matched.add(vertex)
+        if partner is None:
+            mapping[vertex] = vertex
+        else:
+            matched.add(partner)
+            super_id = vertex if vertex <= partner else partner
+            mapping[vertex] = super_id
+            mapping[partner] = super_id
+
+    coarse = QueryGraph()
+    for vertex, weight in graph.vertex_weights.items():
+        super_id = mapping[vertex]
+        coarse.vertex_weights[super_id] = (
+            coarse.vertex_weights.get(super_id, 0.0) + weight
+        )
+    for (a, b), w in graph.edge_weights.items():
+        sa, sb = mapping[a], mapping[b]
+        if sa == sb:
+            continue
+        key = (sa, sb) if sa <= sb else (sb, sa)
+        coarse.edge_weights[key] = coarse.edge_weights.get(key, 0.0) + w
+    return coarse, mapping
+
+
+def _greedy_initial(
+    graph: QueryGraph, parts: int, max_imbalance: float, rng: random.Random
+) -> Assignment:
+    """Affinity-aware greedy growth on the coarsest graph.
+
+    Vertices are placed heaviest-first; each goes to the part with the
+    strongest edge affinity among parts that stay under the balance
+    limit, falling back to the least-loaded part.
+    """
+    adjacency = graph.adjacency()
+    total = graph.total_vertex_weight()
+    limit = max_imbalance * total / parts if total > 0 else float("inf")
+    loads = [0.0] * parts
+    assignment: Assignment = {}
+    order = sorted(
+        graph.vertex_weights, key=lambda v: -graph.vertex_weights[v]
+    )
+    for vertex in order:
+        vw = graph.vertex_weights[vertex]
+        affinity = [0.0] * parts
+        for neighbor, w in adjacency[vertex].items():
+            part = assignment.get(neighbor)
+            if part is not None:
+                affinity[part] += w
+        feasible = [p for p in range(parts) if loads[p] + vw <= limit]
+        if feasible:
+            part = max(feasible, key=lambda p: (affinity[p], -loads[p]))
+        else:
+            part = min(range(parts), key=lambda p: loads[p])
+        assignment[vertex] = part
+        loads[part] += vw
+    return assignment
+
+
+class MultilevelPartitioner:
+    """Configurable multilevel partitioner.
+
+    Args:
+        max_imbalance: Balance constraint (max part load / ideal).
+        coarsen_limit: Stop coarsening below this many vertices.
+        seed: RNG seed for matching order (deterministic output).
+        use_coarsening: Disable for the ablation (partition flat).
+        use_refinement: Disable for the ablation (projection only).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_imbalance: float = 1.10,
+        coarsen_limit: int = 48,
+        seed: int = 0,
+        use_coarsening: bool = True,
+        use_refinement: bool = True,
+    ) -> None:
+        self.max_imbalance = max_imbalance
+        self.coarsen_limit = coarsen_limit
+        self.seed = seed
+        self.use_coarsening = use_coarsening
+        self.use_refinement = use_refinement
+
+    def partition(self, graph: QueryGraph, parts: int) -> PartitionResult:
+        """Partition ``graph`` into ``parts`` parts."""
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        if parts == 1 or graph.vertex_count <= 1:
+            assignment = {v: 0 for v in graph.vertex_weights}
+            return PartitionResult(
+                assignment=assignment,
+                cut=graph.edge_cut(assignment),
+                imbalance=graph.imbalance(assignment, parts),
+                levels=0,
+                refinement_moves=0,
+            )
+
+        rng = random.Random(self.seed)
+        levels: list[tuple[QueryGraph, dict[str, str]]] = []
+        current = graph
+        if self.use_coarsening:
+            floor = max(self.coarsen_limit, parts * 4)
+            while current.vertex_count > floor:
+                coarse, mapping = _coarsen_once(current, rng)
+                if coarse.vertex_count >= current.vertex_count * 0.95:
+                    break
+                levels.append((current, mapping))
+                current = coarse
+
+        assignment = _greedy_initial(current, parts, self.max_imbalance, rng)
+        moves = 0
+        if self.use_refinement:
+            assignment, m = refine_partition(
+                current, assignment, parts, max_imbalance=self.max_imbalance
+            )
+            moves += m
+
+        # Uncoarsen: project through each level and refine.
+        for fine, mapping in reversed(levels):
+            assignment = {v: assignment[mapping[v]] for v in fine.vertex_weights}
+            if self.use_refinement:
+                assignment, m = refine_partition(
+                    fine, assignment, parts, max_imbalance=self.max_imbalance
+                )
+                moves += m
+
+        return PartitionResult(
+            assignment=assignment,
+            cut=graph.edge_cut(assignment),
+            imbalance=graph.imbalance(assignment, parts),
+            levels=len(levels),
+            refinement_moves=moves,
+        )

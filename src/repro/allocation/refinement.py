@@ -1,0 +1,180 @@
+"""Kernighan–Lin / Fiduccia–Mattheyses style k-way refinement.
+
+Greedy boundary passes: repeatedly move the vertex with the best
+cut-gain to another part, subject to the balance constraint, locking
+each vertex after it moves once per pass.  When no single move fits the
+balance limit, balance-preserving *pair swaps* (classic KL) are tried.
+Passes repeat until a pass yields no improvement.
+
+Only **boundary** vertices (those with a neighbour in another part) are
+scanned: an interior vertex's gain towards any part is ``-internal
+weight <= 0``, so the restriction is exact for positive-gain moves and
+turns each scan from O(V·deg) into O(boundary·deg).
+"""
+
+from __future__ import annotations
+
+from repro.allocation.query_graph import Assignment, QueryGraph
+
+# Swap scans are quadratic in the candidate count; cap them so large
+# graphs stay fast (swaps mainly matter for small, tightly balanced
+# instances where single moves are balance-blocked).
+_SWAP_CANDIDATE_CAP = 128
+
+
+def _gains(
+    vertex: str,
+    assignment: Assignment,
+    adjacency: dict[str, dict[str, float]],
+    parts: int,
+) -> list[tuple[float, int]]:
+    """Cut-gain of moving ``vertex`` to each foreign part.
+
+    gain(p) = (edge weight to p) - (edge weight to own part); positive
+    gains reduce the cut by that amount.
+    """
+    own = assignment[vertex]
+    weight_to: dict[int, float] = {}
+    for neighbor, w in adjacency[vertex].items():
+        part = assignment.get(neighbor)
+        if part is not None:
+            weight_to[part] = weight_to.get(part, 0.0) + w
+    internal = weight_to.get(own, 0.0)
+    return [
+        (weight_to.get(p, 0.0) - internal, p) for p in range(parts) if p != own
+    ]
+
+
+def refine_partition(
+    graph: QueryGraph,
+    assignment: Assignment,
+    parts: int,
+    *,
+    max_imbalance: float = 1.10,
+    max_passes: int = 8,
+    movable: set[str] | None = None,
+    move_budget: int | None = None,
+) -> tuple[Assignment, int]:
+    """Refine ``assignment`` (a copy is returned).
+
+    Args:
+        graph: The query graph.
+        assignment: Current vertex -> part mapping (complete).
+        parts: Number of partitions.
+        max_imbalance: Max part load allowed, as a multiple of ideal.
+        max_passes: Upper bound on full passes.
+        movable: If given, only these vertices may move (the hybrid
+            repartitioner restricts movement to boundary vertices).
+        move_budget: Optional cap on total vertex moves (migration cost
+            control); ``None`` means unlimited.
+
+    Returns:
+        ``(refined assignment, number of moves made)``.
+    """
+    assignment = dict(assignment)
+    adjacency = graph.adjacency()
+    loads = graph.part_loads(assignment, parts)
+    total = sum(loads)
+    limit = max_imbalance * (total / parts) if total > 0 else float("inf")
+    moves_made = 0
+
+    candidates_all = set(movable) if movable is not None else set(
+        graph.vertex_weights
+    )
+    candidates_all = {v for v in candidates_all if v in assignment}
+
+    def is_boundary(vertex: str) -> bool:
+        own = assignment[vertex]
+        return any(
+            assignment.get(n) is not None and assignment[n] != own
+            for n in adjacency[vertex]
+        )
+
+    boundary = {v for v in candidates_all if is_boundary(v)}
+
+    def apply_move(vertex: str, part: int, locked: set[str]) -> None:
+        nonlocal moves_made
+        old = assignment[vertex]
+        vw = graph.vertex_weights[vertex]
+        loads[old] -= vw
+        loads[part] += vw
+        assignment[vertex] = part
+        locked.add(vertex)
+        moves_made += 1
+        # the move can flip boundary status of the vertex & its neighbours
+        for affected in (vertex, *adjacency[vertex]):
+            if affected not in candidates_all:
+                continue
+            if is_boundary(affected):
+                boundary.add(affected)
+            else:
+                boundary.discard(affected)
+
+    def best_single(locked: set[str]) -> tuple[float, str, int] | None:
+        best: tuple[float, str, int] | None = None
+        for vertex in boundary - locked:
+            vw = graph.vertex_weights[vertex]
+            for gain, part in _gains(vertex, assignment, adjacency, parts):
+                if gain <= 0 or loads[part] + vw > limit:
+                    continue
+                if best is None or gain > best[0]:
+                    best = (gain, vertex, part)
+        return best
+
+    def best_swap(locked: set[str]) -> tuple[float, str, str] | None:
+        """Balance-preserving pair exchange for balance-blocked moves."""
+        unlocked = sorted(boundary - locked)
+        if len(unlocked) > _SWAP_CANDIDATE_CAP:
+            return None
+        best: tuple[float, str, str] | None = None
+        gain_cache = {
+            v: dict(
+                (p, g) for g, p in _gains(v, assignment, adjacency, parts)
+            )
+            for v in unlocked
+        }
+        for i, v in enumerate(unlocked):
+            pv = assignment[v]
+            for u in unlocked[i + 1 :]:
+                pu = assignment[u]
+                if pu == pv:
+                    continue
+                gain = (
+                    gain_cache[v].get(pu, 0.0)
+                    + gain_cache[u].get(pv, 0.0)
+                    - 2 * adjacency[v].get(u, 0.0)
+                )
+                if gain <= 0:
+                    continue
+                wv = graph.vertex_weights[v]
+                wu = graph.vertex_weights[u]
+                if loads[pu] + wv - wu > limit or loads[pv] + wu - wv > limit:
+                    continue
+                if best is None or gain > best[0]:
+                    best = (gain, v, u)
+        return best
+
+    for __ in range(max_passes):
+        locked: set[str] = set()
+        pass_moves = 0
+        while True:
+            if move_budget is not None and moves_made >= move_budget:
+                return assignment, moves_made
+            single = best_single(locked)
+            if single is not None:
+                __gain, vertex, part = single
+                apply_move(vertex, part, locked)
+                pass_moves += 1
+                continue
+            swap = best_swap(locked)
+            if swap is not None:
+                __gain, v, u = swap
+                pv, pu = assignment[v], assignment[u]
+                apply_move(v, pu, locked)
+                apply_move(u, pv, locked)
+                pass_moves += 2
+                continue
+            break
+        if not pass_moves:
+            break
+    return assignment, moves_made

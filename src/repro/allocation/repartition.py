@@ -1,0 +1,270 @@
+"""Adaptive repartitioning strategies (§3.2.2, last paragraph).
+
+"One approach is to repartition the query graph from scratch.  This may
+result in a relatively optimal partitioning but with a long decision
+making time and a large number of query movements.  Another approach is
+to cut some vertices from the overloaded partitions to other underloaded
+partitions without considering the relationship of overlap in data
+interest. [...] Hence a desirable approach should be able to achieve a
+trade-off between these two extremes."
+
+Three strategies share one interface:
+
+* :class:`ScratchRepartitioner` — full multilevel re-run, with a label
+  matching step so migration counts are not inflated by arbitrary part
+  renumbering;
+* :class:`CutRepartitioner` — pure load repair, overlap-blind;
+* :class:`HybridRepartitioner` — gain-aware load repair plus
+  budget-bounded boundary refinement: the paper's desired middle ground.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.allocation.partitioning import MultilevelPartitioner
+from repro.allocation.query_graph import Assignment, QueryGraph
+from repro.allocation.refinement import refine_partition
+
+
+@dataclass(frozen=True)
+class RepartitionOutcome:
+    """What one adaptation step produced."""
+
+    assignment: Assignment
+    cut: float
+    imbalance: float
+    migrations: int
+    decision_seconds: float
+
+
+def _complete(assignment: Assignment, graph: QueryGraph, parts: int) -> Assignment:
+    """Place vertices missing from ``assignment`` (new arrivals) onto the
+    currently least-loaded part so every strategy starts complete."""
+    out = {v: p for v, p in assignment.items() if v in graph.vertex_weights}
+    loads = graph.part_loads(out, parts)
+    for vertex in graph.vertex_weights:
+        if vertex not in out:
+            part = min(range(parts), key=lambda p: loads[p])
+            out[vertex] = part
+            loads[part] += graph.vertex_weights[vertex]
+    return out
+
+
+def _count_migrations(old: Assignment, new: Assignment) -> int:
+    """Vertices whose part changed (arrivals don't count as migrations)."""
+    return sum(1 for v, p in new.items() if v in old and old[v] != p)
+
+
+def _match_labels(old: Assignment, new: Assignment, parts: int) -> Assignment:
+    """Relabel ``new``'s parts to maximise agreement with ``old``.
+
+    Greedy maximum-overlap matching: a from-scratch run returns
+    arbitrary part numbers, and without relabelling almost every query
+    would look migrated.
+    """
+    overlap = [[0] * parts for __ in range(parts)]
+    for vertex, new_part in new.items():
+        old_part = old.get(vertex)
+        if old_part is not None:
+            overlap[new_part][old_part] += 1
+    mapping: dict[int, int] = {}
+    used_old: set[int] = set()
+    pairs = sorted(
+        (
+            (overlap[np][op], np, op)
+            for np in range(parts)
+            for op in range(parts)
+        ),
+        reverse=True,
+    )
+    for __, np, op in pairs:
+        if np not in mapping and op not in used_old:
+            mapping[np] = op
+            used_old.add(op)
+    for np in range(parts):
+        if np not in mapping:
+            free = next(p for p in range(parts) if p not in used_old)
+            mapping[np] = free
+            used_old.add(free)
+    return {v: mapping[p] for v, p in new.items()}
+
+
+class ScratchRepartitioner:
+    """Repartition from scratch with the multilevel partitioner."""
+
+    def __init__(self, *, max_imbalance: float = 1.10, seed: int = 0) -> None:
+        self.partitioner = MultilevelPartitioner(
+            max_imbalance=max_imbalance, seed=seed
+        )
+
+    def repartition(
+        self, graph: QueryGraph, current: Assignment, parts: int
+    ) -> RepartitionOutcome:
+        """Ignore ``current`` except for label matching."""
+        started = time.perf_counter()
+        result = self.partitioner.partition(graph, parts)
+        current = _complete(current, graph, parts)
+        assignment = _match_labels(current, result.assignment, parts)
+        elapsed = time.perf_counter() - started
+        return RepartitionOutcome(
+            assignment=assignment,
+            cut=graph.edge_cut(assignment),
+            imbalance=graph.imbalance(assignment, parts),
+            migrations=_count_migrations(current, assignment),
+            decision_seconds=elapsed,
+        )
+
+
+class CutRepartitioner:
+    """Overlap-blind load repair: move vertices off overloaded parts.
+
+    Vertices migrate smallest-first from the most loaded part to the
+    least loaded part until every part is within ``max_imbalance`` of
+    ideal (or no further single move helps).
+    """
+
+    def __init__(self, *, max_imbalance: float = 1.10) -> None:
+        self.max_imbalance = max_imbalance
+
+    def repartition(
+        self, graph: QueryGraph, current: Assignment, parts: int
+    ) -> RepartitionOutcome:
+        """Repair overload by moving vertices, ignoring edge weights."""
+        started = time.perf_counter()
+        assignment = _complete(current, graph, parts)
+        loads = graph.part_loads(assignment, parts)
+        total = sum(loads)
+        limit = self.max_imbalance * total / parts if total > 0 else float("inf")
+        migrations = 0
+
+        by_part: dict[int, list[str]] = {p: [] for p in range(parts)}
+        for vertex, part in assignment.items():
+            by_part[part].append(vertex)
+
+        guard = 4 * max(1, graph.vertex_count)
+        while guard > 0:
+            guard -= 1
+            heavy = max(range(parts), key=lambda p: loads[p])
+            light = min(range(parts), key=lambda p: loads[p])
+            if loads[heavy] <= limit or heavy == light:
+                break
+            candidates = sorted(
+                by_part[heavy], key=lambda v: graph.vertex_weights[v]
+            )
+            moved = False
+            for vertex in candidates:
+                vw = graph.vertex_weights[vertex]
+                if loads[light] + vw < loads[heavy]:
+                    by_part[heavy].remove(vertex)
+                    by_part[light].append(vertex)
+                    assignment[vertex] = light
+                    loads[heavy] -= vw
+                    loads[light] += vw
+                    migrations += 1
+                    moved = True
+                    break
+            if not moved:
+                break
+
+        elapsed = time.perf_counter() - started
+        return RepartitionOutcome(
+            assignment=assignment,
+            cut=graph.edge_cut(assignment),
+            imbalance=graph.imbalance(assignment, parts),
+            migrations=migrations,
+            decision_seconds=elapsed,
+        )
+
+
+class HybridRepartitioner:
+    """The paper's desired trade-off.
+
+    Two phases, both incremental and migration-bounded:
+
+    1. *gain-aware load repair* — like the cut strategy, but among the
+       vertices that fix the overload it prefers the one whose move
+       hurts the cut least (or helps most);
+    2. *boundary refinement* — KL/FM restricted to vertices adjacent to
+       a cut edge, with a move budget.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_imbalance: float = 1.10,
+        move_budget_fraction: float = 0.15,
+    ) -> None:
+        self.max_imbalance = max_imbalance
+        self.move_budget_fraction = move_budget_fraction
+
+    def repartition(
+        self, graph: QueryGraph, current: Assignment, parts: int
+    ) -> RepartitionOutcome:
+        """Gain-aware load repair plus budget-bounded boundary refinement."""
+        started = time.perf_counter()
+        assignment = _complete(current, graph, parts)
+        adjacency = graph.adjacency()
+        loads = graph.part_loads(assignment, parts)
+        total = sum(loads)
+        limit = self.max_imbalance * total / parts if total > 0 else float("inf")
+        migrations = 0
+
+        def cut_delta(vertex: str, target: int) -> float:
+            own = assignment[vertex]
+            delta = 0.0
+            for neighbor, w in adjacency[vertex].items():
+                part = assignment.get(neighbor)
+                if part == own:
+                    delta += w
+                elif part == target:
+                    delta -= w
+            return delta
+
+        guard = 4 * max(1, graph.vertex_count)
+        while guard > 0:
+            guard -= 1
+            heavy = max(range(parts), key=lambda p: loads[p])
+            light = min(range(parts), key=lambda p: loads[p])
+            if loads[heavy] <= limit or heavy == light:
+                break
+            movable = [
+                v
+                for v, p in assignment.items()
+                if p == heavy
+                and loads[light] + graph.vertex_weights[v] < loads[heavy]
+            ]
+            if not movable:
+                break
+            vertex = min(movable, key=lambda v: (cut_delta(v, light), v))
+            vw = graph.vertex_weights[vertex]
+            assignment[vertex] = light
+            loads[heavy] -= vw
+            loads[light] += vw
+            migrations += 1
+
+        boundary: set[str] = set()
+        for (a, b), __ in graph.edge_weights.items():
+            if assignment.get(a) != assignment.get(b):
+                boundary.add(a)
+                boundary.add(b)
+        budget = max(1, int(self.move_budget_fraction * graph.vertex_count))
+        assignment, moves = refine_partition(
+            graph,
+            assignment,
+            parts,
+            max_imbalance=self.max_imbalance,
+            movable=boundary,
+            move_budget=budget,
+        )
+        migrations += moves
+
+        elapsed = time.perf_counter() - started
+        return RepartitionOutcome(
+            assignment=assignment,
+            cut=graph.edge_cut(assignment),
+            imbalance=graph.imbalance(assignment, parts),
+            migrations=migrations,
+            decision_seconds=elapsed,
+        )

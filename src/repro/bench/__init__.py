@@ -1,0 +1,5 @@
+"""Benchmark harness utilities: tables, series, experiment runners."""
+
+from repro.bench.reporting import Table, format_series, print_header
+
+__all__ = ["Table", "format_series", "print_header"]

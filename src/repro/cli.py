@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``  — build and run the demo federation, print the run report;
+* ``query`` — compile one query-language string against a built-in
+  catalog, run it on a small federation, and report its results;
+* ``experiments`` — list the paper-reproduction experiment index;
+* ``info``  — package and configuration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = [
+    ("E0", "library micro-kernels", "bench_microkernels.py"),
+    ("E1", "Figure 2 query-graph example", "bench_figure2_query_graph.py"),
+    ("E2", "Table 1 cooperation taxonomy", "bench_table1_cooperation.py"),
+    ("E3", "dissemination scalability", "bench_dissemination_scalability.py"),
+    ("E4", "early filtering at ancestors", "bench_early_filtering.py"),
+    ("E5", "coordinator tree protocol", "bench_coordinator_tree.py"),
+    ("E6", "allocation quality", "bench_allocation_quality.py"),
+    ("E7", "adaptive repartitioning", "bench_adaptive_repartitioning.py"),
+    ("E8", "stream delegation (Figure 3)", "bench_delegation.py"),
+    ("E9", "PR-aware operator placement", "bench_operator_placement.py"),
+    ("E10", "adaptive operator ordering", "bench_operator_ordering.py"),
+    (
+        "E11",
+        "assignment vs partitioning",
+        "bench_assignment_vs_partitioning.py",
+    ),
+    ("E12", "end-to-end composition", "bench_end_to_end.py"),
+    ("E13", "entity churn resilience", "bench_entity_churn.py"),
+    ("E14", "monitored routing signal", "bench_monitored_routing.py"),
+]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.system import build_demo_system
+
+    system, queries = build_demo_system(
+        seed=args.seed, entity_count=args.entities, query_count=args.queries
+    )
+    report = system.run(duration=args.duration)
+    print(f"demo federation: {args.entities} entities, {len(queries)} queries")
+    for line in report.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.system import FederatedSystem, SystemConfig
+    from repro.lang import QuerySyntaxError, compile_query
+    from repro.streams.catalog import network_catalog, stock_catalog
+
+    catalog = (
+        stock_catalog(exchanges=2)
+        if args.catalog == "stocks"
+        else network_catalog()
+    )
+    try:
+        spec = compile_query(args.text, catalog, query_id="cli-query")
+    except QuerySyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 2
+    system = FederatedSystem(
+        catalog,
+        SystemConfig(entity_count=4, processors_per_entity=2, seed=args.seed),
+    )
+    system.submit([spec])
+    report = system.run(duration=args.duration)
+    entity = system.allocation_result.assignment["cli-query"]
+    print(f"query allocated to {entity}")
+    print(f"streams: {', '.join(spec.input_streams)}")
+    print(f"results in {args.duration:.0f}s: {report.results}")
+    print(f"mean latency: {report.mean_result_latency * 1000:.1f} ms")
+    pr = system.tracker.pr("cli-query")
+    print(f"performance ratio: {pr:.1f}" if pr is not None else
+          "performance ratio: n/a (no results)")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print(f"{'id':4s} {'paper artifact / claim':36s} bench target")
+    for exp_id, title, target in EXPERIMENTS:
+        print(f"{exp_id:4s} {title:36s} benchmarks/{target}")
+    print("\nrun all with: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.core.portal import ALLOCATION_NAMES
+    from repro.core.system import DISSEMINATION_NAMES
+    from repro.placement.factory import PLACER_NAMES
+
+    print(f"repro {repro.__version__} — reproduction of Zhou, ICDE 2006")
+    print(f"  dissemination strategies: {', '.join(DISSEMINATION_NAMES)}")
+    print(f"  allocation strategies:    {', '.join(ALLOCATION_NAMES)}")
+    print(f"  placement strategies:     {', '.join(PLACER_NAMES)}")
+    print(f"  experiments:              {len(EXPERIMENTS)} (see 'experiments')")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-layer federated stream processing (ICDE 2006 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the demo federation")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--entities", type=int, default=6)
+    demo.add_argument("--queries", type=int, default=60)
+    demo.add_argument("--duration", type=float, default=10.0)
+    demo.set_defaults(handler=_cmd_demo)
+
+    query = sub.add_parser("query", help="compile and run one query")
+    query.add_argument("text", help="query text (see repro.lang)")
+    query.add_argument(
+        "--catalog", choices=("stocks", "network"), default="stocks"
+    )
+    query.add_argument("--seed", type=int, default=1)
+    query.add_argument("--duration", type=float, default=5.0)
+    query.set_defaults(handler=_cmd_query)
+
+    experiments = sub.add_parser(
+        "experiments", help="list the paper-reproduction experiments"
+    )
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    info = sub.add_parser("info", help="package summary")
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

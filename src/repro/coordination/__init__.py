@@ -1,0 +1,29 @@
+"""Hierarchical coordinator tree for scalable query distribution (§3.2.1).
+
+Reimplements the clustered-tree mechanism the paper adapts from Banerjee
+et al.'s scalable application-layer multicast: members are grouped into
+clusters of size ``k`` to ``3k-1`` (the root and second-to-root levels
+may be smaller), the parent of each cluster is its geographical centre,
+and the tree maintains itself incrementally under joins, leaves, crashes,
+splits, merges, and periodic re-centering.
+
+Queries are distributed level by level down the tree; higher coordinators
+decide on coarser (subtree-aggregated) information.
+"""
+
+from repro.coordination.geometry import centre_member, cluster_radius
+from repro.coordination.membership import MembershipRuntime
+from repro.coordination.routing import QueryRouter, RoutingPolicy
+from repro.coordination.tree import Cluster, CoordinatorTree, Member, TreeStats
+
+__all__ = [
+    "Member",
+    "Cluster",
+    "CoordinatorTree",
+    "TreeStats",
+    "MembershipRuntime",
+    "QueryRouter",
+    "RoutingPolicy",
+    "centre_member",
+    "cluster_radius",
+]

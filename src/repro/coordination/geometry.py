@@ -1,0 +1,94 @@
+"""Geometric helpers for cluster maintenance.
+
+The paper's tree keeps two geometric invariants: "the parent of a
+cluster is the geographical center", and splits "minimize the radii
+among the two clusters".  Positions live in the same WAN plane the
+network simulator uses, so geographic distance is a direct proxy for
+latency.
+"""
+
+from __future__ import annotations
+
+import math
+
+Point = tuple[float, float]
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two plane points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def cluster_radius(points: dict[str, Point], centre_id: str) -> float:
+    """Max distance from ``centre_id`` to any other member."""
+    centre = points[centre_id]
+    return max(
+        (distance(centre, p) for mid, p in points.items() if mid != centre_id),
+        default=0.0,
+    )
+
+
+def centre_member(points: dict[str, Point]) -> str:
+    """The member minimising the cluster radius (1-centre on members).
+
+    Ties break on member id so leader election is deterministic.
+    """
+    if not points:
+        raise ValueError("empty cluster has no centre")
+    return min(points, key=lambda mid: (cluster_radius(points, mid), mid))
+
+
+def farthest_pair(points: dict[str, Point]) -> tuple[str, str]:
+    """The two members at maximum mutual distance (split seeds)."""
+    ids = sorted(points)
+    if len(ids) < 2:
+        raise ValueError("need at least two members")
+    best = (ids[0], ids[1])
+    best_d = -1.0
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            d = distance(points[a], points[b])
+            if d > best_d:
+                best_d = d
+                best = (a, b)
+    return best
+
+
+def min_radii_bipartition(
+    points: dict[str, Point], min_size: int
+) -> tuple[list[str], list[str]]:
+    """Split members into two groups, each of at least ``min_size``,
+    heuristically minimising the two cluster radii.
+
+    Strategy: seed with the farthest pair, greedily assign every other
+    member to the nearer seed, then rebalance by moving the boundary
+    members with the smallest distance penalty until both sides meet the
+    size floor.
+    """
+    if len(points) < 2 * min_size:
+        raise ValueError(
+            f"cannot split {len(points)} members into two parts of >= {min_size}"
+        )
+    seed_a, seed_b = farthest_pair(points)
+    group_a, group_b = [seed_a], [seed_b]
+    rest = sorted(mid for mid in points if mid not in (seed_a, seed_b))
+    for mid in rest:
+        da = distance(points[mid], points[seed_a])
+        db = distance(points[mid], points[seed_b])
+        (group_a if da <= db else group_b).append(mid)
+
+    def rebalance(small: list[str], big: list[str], seed_small: str) -> None:
+        while len(small) < min_size:
+            movable = [m for m in big if m not in (seed_a, seed_b)]
+            mid = min(
+                movable,
+                key=lambda m: (distance(points[m], points[seed_small]), m),
+            )
+            big.remove(mid)
+            small.append(mid)
+
+    if len(group_a) < min_size:
+        rebalance(group_a, group_b, seed_a)
+    elif len(group_b) < min_size:
+        rebalance(group_b, group_a, seed_b)
+    return group_a, group_b

@@ -1,0 +1,112 @@
+"""Simulator-bound membership service around the coordinator tree.
+
+Rule 2 of §3.2.1: "heartbeat messages are sent periodically among the
+parent and children to detect any node failure", and rule 5 re-selects
+parents periodically.  This runtime schedules both against the
+simulation clock, counts heartbeat traffic, and repairs the tree a
+detection-timeout after a silent crash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.coordination.tree import CoordinatorTree, Member
+from repro.simulation.simulator import Simulator
+
+
+class MembershipRuntime:
+    """Drives heartbeats, crash detection, and re-centering.
+
+    Args:
+        sim: The simulator.
+        tree: The coordinator tree being maintained.
+        heartbeat_interval: Seconds between heartbeat rounds.
+        recenter_interval: Seconds between re-centering sweeps.
+        detection_multiplier: A crash is detected after
+            ``detection_multiplier * heartbeat_interval`` of silence.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: CoordinatorTree,
+        *,
+        heartbeat_interval: float = 1.0,
+        recenter_interval: float = 10.0,
+        detection_multiplier: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.tree = tree
+        self.heartbeat_interval = heartbeat_interval
+        self.recenter_interval = recenter_interval
+        self.detection_multiplier = detection_multiplier
+        self.heartbeat_messages = 0
+        self.detected_crashes = 0
+        self._crashed: set[str] = set()
+        self._stops: list[Callable[[], None]] = []
+        self.on_crash_detected: Callable[[str], None] | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic heartbeats and re-centering."""
+        self._stops.append(
+            self.sim.every(self.heartbeat_interval, self._heartbeat_round)
+        )
+        self._stops.append(
+            self.sim.every(self.recenter_interval, self._recenter_round)
+        )
+
+    def stop(self) -> None:
+        """Cancel all periodic activity."""
+        for stop in self._stops:
+            stop()
+        self._stops.clear()
+
+    # ------------------------------------------------------------------
+    def join(self, member: Member) -> int:
+        """Graceful join (returns routing hops)."""
+        return self.tree.join(member)
+
+    def leave(self, member_id: str) -> None:
+        """Graceful leave (parent/children notified synchronously)."""
+        self.tree.leave(member_id)
+
+    def crash(self, member_id: str) -> None:
+        """Silent failure: the tree repairs only after detection."""
+        if member_id not in self.tree.members:
+            return
+        self._crashed.add(member_id)
+        delay = self.detection_multiplier * self.heartbeat_interval
+
+        def detect() -> None:
+            if member_id not in self._crashed:
+                return
+            self._crashed.discard(member_id)
+            self.detected_crashes += 1
+            self.tree.crash(member_id)
+            if self.on_crash_detected is not None:
+                self.on_crash_detected(member_id)
+
+        self.sim.schedule(delay, detect)
+
+    # ------------------------------------------------------------------
+    def _heartbeat_round(self) -> None:
+        """Exchange heartbeats along every parent-child edge.
+
+        Each cluster exchanges leader<->member heartbeats in both
+        directions; crashed members neither send nor receive.
+        """
+        for layer in self.tree.layers:
+            for cluster in layer:
+                if cluster.leader_id is None:
+                    continue
+                live = [
+                    mid
+                    for mid in cluster.member_ids
+                    if mid != cluster.leader_id and mid not in self._crashed
+                ]
+                self.heartbeat_messages += 2 * len(live)
+
+    def _recenter_round(self) -> None:
+        self.tree.recenter()

@@ -1,0 +1,145 @@
+"""Level-by-level query routing through the coordinator tree.
+
+"Queries are distributed level by level down the tree.  An internal
+coordinator distributes query to its child coordinators.  The queries
+are finally distributed to the entities by the leaf coordinators.  A
+higher level coordinator distributes queries based on coarser
+information." (§3.2.1)
+
+The coarse information here is, per child subtree, the aggregate load
+and the subtree's geographic anchor; leaf coordinators pick the least
+scored entity in their cluster.  Routing a query costs one message per
+level traversed, which is how the tree stays "scalable to fast query
+streams": the root does O(1) work per query instead of inspecting all
+entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coordination.geometry import distance
+from repro.coordination.tree import CoordinatorTree
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingPolicy:
+    """Scoring weights for choosing a child subtree.
+
+    ``score = load_weight * (subtree load / subtree size)
+            + distance_weight * distance(child anchor, client)``
+    """
+
+    load_weight: float = 1.0
+    distance_weight: float = 1.0
+
+
+class QueryRouter:
+    """Routes queries down a coordinator tree onto entities.
+
+    Args:
+        tree: The coordinator tree over entities.
+        policy: Scoring weights.
+        external_load: Optional ``entity_id -> load`` signal (e.g. the
+            monitoring service's smoothed CPU loads) added to the
+            router's own assigned-load bookkeeping, so routing reacts to
+            measured hotness and not just admission history.
+    """
+
+    def __init__(
+        self,
+        tree: CoordinatorTree,
+        policy: RoutingPolicy | None = None,
+        *,
+        external_load=None,
+    ) -> None:
+        self.tree = tree
+        self.policy = policy or RoutingPolicy()
+        self.external_load = external_load
+        self.loads: dict[str, float] = {}
+        self.assignments: dict[str, str] = {}
+        self.routing_messages = 0
+
+    # ------------------------------------------------------------------
+    def load_of(self, member_id: str) -> float:
+        """Current load view of one entity (assigned + measured)."""
+        load = self.loads.get(member_id, 0.0)
+        if self.external_load is not None:
+            load += self.external_load(member_id)
+        return load
+
+    def _subtree_load(self, member_id: str, level: int) -> tuple[float, int]:
+        members = self.tree.subtree_members(member_id, level)
+        return sum(self.load_of(m) for m in members), len(members)
+
+    def _score(
+        self, member_id: str, level: int, client: tuple[float, float]
+    ) -> float:
+        load, size = self._subtree_load(member_id, level)
+        anchor = self.tree.members[member_id].point
+        return (
+            self.policy.load_weight * load / max(1, size)
+            + self.policy.distance_weight * distance(anchor, client)
+        )
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        query_id: str,
+        load: float,
+        client: tuple[float, float] = (0.5, 0.5),
+    ) -> str:
+        """Assign a query to an entity; returns the entity's member id.
+
+        Raises ``RuntimeError`` on an empty tree.
+        """
+        if self.tree.root_id is None:
+            raise RuntimeError("cannot route on an empty coordinator tree")
+
+        # Descend level by level: at each layer the coordinator picks the
+        # child subtree with the best (coarse) score, starting from the
+        # top-layer cluster whose members are the highest coordinators.
+        level = self.tree.depth - 1
+        cluster = self.tree.layers[-1][0]
+        while True:
+            self.routing_messages += 1
+            current = min(
+                cluster.member_ids,
+                key=lambda mid: (self._score(mid, level, client), mid),
+            )
+            if level == 0:
+                break
+            cluster = self.tree.cluster_led_by(level - 1, current)
+            level -= 1
+
+        self.loads[current] = self.loads.get(current, 0.0) + load
+        self.assignments[query_id] = current
+        return current
+
+    def release(self, query_id: str, load: float) -> None:
+        """Return a departed query's load to the pool."""
+        entity = self.assignments.pop(query_id, None)
+        if entity is not None:
+            self.loads[entity] = max(0.0, self.loads.get(entity, 0.0) - load)
+
+    def rehome_orphans(self, failed_entity: str) -> list[str]:
+        """Queries stranded on a failed entity (to be re-routed)."""
+        orphans = [
+            qid for qid, entity in self.assignments.items() if entity == failed_entity
+        ]
+        for qid in orphans:
+            del self.assignments[qid]
+        self.loads.pop(failed_entity, None)
+        return orphans
+
+    # ------------------------------------------------------------------
+    def imbalance(self) -> float:
+        """Max/mean entity load over all tree members (1.0 = perfect)."""
+        members = self.tree.member_ids()
+        if not members:
+            return 1.0
+        loads = [self.load_of(m) for m in members]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean

@@ -1,0 +1,446 @@
+"""The hierarchical coordinator tree data structure.
+
+Layered-cluster model (after Banerjee et al., which §3.2.1 adapts):
+
+* layer 0 partitions all member entities into clusters;
+* the leader (geographical centre) of every layer-``L`` cluster is a
+  member of exactly one layer-``L+1`` cluster;
+* the topmost layer holds a single cluster whose leader is the **root
+  coordinator**.
+
+Maintenance implements the paper's five rules:
+
+1. joins route from the root towards the closest leader, level by level,
+   and land in a layer-0 cluster;
+2. leaves notify parent and children; a departed coordinator is replaced
+   by a new centre among the remaining members;
+3. clusters exceeding ``3k - 1`` members split into two parts of at
+   least ``floor(3k / 2)`` with minimised radii;
+4. clusters falling below ``k`` merge into their closest sibling;
+5. periodic re-centering re-elects the leader when the current one is no
+   longer the cluster centre.
+
+All operations count protocol messages so experiment E5 can report the
+per-join/per-query message cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.coordination.geometry import (
+    centre_member,
+    distance,
+    min_radii_bipartition,
+)
+
+Point = tuple[float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Member:
+    """A tree participant (an entity's coordinator endpoint)."""
+
+    member_id: str
+    x: float
+    y: float
+
+    @property
+    def point(self) -> Point:
+        """Position in the WAN plane."""
+        return (self.x, self.y)
+
+
+@dataclass
+class Cluster:
+    """One cluster at one layer of the tree."""
+
+    cluster_id: int
+    level: int
+    member_ids: list[str]
+    leader_id: str | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.member_ids)
+
+
+@dataclass
+class TreeStats:
+    """Protocol accounting across the tree's lifetime."""
+
+    messages: int = 0
+    joins: int = 0
+    leaves: int = 0
+    splits: int = 0
+    merges: int = 0
+    leader_changes: int = 0
+
+
+class CoordinatorTree:
+    """The layered cluster tree with incremental maintenance.
+
+    Args:
+        k: Cluster size parameter; sizes stay within ``[k, 3k - 1]``
+            wherever a layer has more than one cluster.
+    """
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 2:
+            raise ValueError("k must be at least 2")
+        self.k = k
+        self.members: dict[str, Member] = {}
+        self.layers: list[list[Cluster]] = []
+        self.stats = TreeStats()
+        self._cluster_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of layers (0 when empty)."""
+        return len(self.layers)
+
+    @property
+    def root_id(self) -> str | None:
+        """The root coordinator's member id."""
+        if not self.layers:
+            return None
+        return self.layers[-1][0].leader_id
+
+    @property
+    def max_cluster_size(self) -> int:
+        """Paper bound: clusters never exceed ``3k - 1`` members."""
+        return 3 * self.k - 1
+
+    def member_ids(self) -> list[str]:
+        """All member ids, sorted."""
+        return sorted(self.members)
+
+    def _points(self, ids: list[str]) -> dict[str, Point]:
+        return {mid: self.members[mid].point for mid in ids}
+
+    def _cluster_of(self, level: int, member_id: str) -> Cluster:
+        for cluster in self.layers[level]:
+            if member_id in cluster.member_ids:
+                return cluster
+        raise KeyError(f"{member_id} not in any cluster at level {level}")
+
+    def _cluster_led_by(self, level: int, leader_id: str) -> Cluster:
+        for cluster in self.layers[level]:
+            if cluster.leader_id == leader_id:
+                return cluster
+        raise KeyError(f"no level-{level} cluster led by {leader_id}")
+
+    def cluster_led_by(self, level: int, leader_id: str) -> Cluster:
+        """Public lookup of the cluster a coordinator leads at ``level``."""
+        return self._cluster_led_by(level, leader_id)
+
+    def levels_of(self, member_id: str) -> list[int]:
+        """Layers in which this member appears (leaders climb layers)."""
+        present = []
+        for level, layer in enumerate(self.layers):
+            if any(member_id in c.member_ids for c in layer):
+                present.append(level)
+        return present
+
+    def subtree_members(self, member_id: str, level: int) -> set[str]:
+        """Level-0 members reachable below ``member_id`` at ``level``."""
+        if level == 0:
+            return {member_id}
+        cluster = self._cluster_led_by(level - 1, member_id)
+        out: set[str] = set()
+        for child in cluster.member_ids:
+            out |= self.subtree_members(child, level - 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # Rule 1: join
+    # ------------------------------------------------------------------
+    def join(self, member: Member) -> int:
+        """Add a member, routing the request down from the root.
+
+        Returns the number of routing hops (≈ messages) the join cost.
+        """
+        if member.member_id in self.members:
+            raise ValueError(f"{member.member_id} already joined")
+        self.members[member.member_id] = member
+        self.stats.joins += 1
+
+        if not self.layers:
+            self.layers = [
+                [
+                    Cluster(
+                        cluster_id=next(self._cluster_ids),
+                        level=0,
+                        member_ids=[member.member_id],
+                        leader_id=member.member_id,
+                    )
+                ]
+            ]
+            return 0
+
+        hops = 0
+        level = self.depth - 1
+        cluster = self.layers[level][0]
+        while cluster.level > 0:
+            candidates = self._points(cluster.member_ids)
+            closest = min(
+                candidates,
+                key=lambda mid: (distance(candidates[mid], member.point), mid),
+            )
+            cluster = self._cluster_led_by(cluster.level - 1, closest)
+            hops += 1
+            self.stats.messages += 1
+        cluster.member_ids.append(member.member_id)
+        self.stats.messages += 1
+        hops += 1
+        self._maintain()
+        return hops
+
+    # ------------------------------------------------------------------
+    # Rule 2: leave (graceful) / crash repair
+    # ------------------------------------------------------------------
+    def leave(self, member_id: str) -> None:
+        """Remove a member; coordinators are replaced by new centres."""
+        if member_id not in self.members:
+            raise KeyError(member_id)
+        # A leaving node messages its parent and children (rule 2).
+        self.stats.messages += 1 + self._children_count(member_id)
+        self.stats.leaves += 1
+        del self.members[member_id]
+        for layer in self.layers:
+            for cluster in layer:
+                if member_id in cluster.member_ids:
+                    cluster.member_ids.remove(member_id)
+                    if cluster.leader_id == member_id:
+                        cluster.leader_id = None
+        self.layers = [
+            [c for c in layer if c.member_ids] for layer in self.layers
+        ]
+        self.layers = [layer for layer in self.layers if layer]
+        self._renumber()
+        self._maintain()
+
+    def crash(self, member_id: str) -> None:
+        """Repair after a detected failure (same repair as leave)."""
+        if member_id in self.members:
+            self.leave(member_id)
+
+    def _children_count(self, member_id: str) -> int:
+        count = 0
+        for level in self.levels_of(member_id):
+            if level == 0:
+                continue
+            try:
+                count += self._cluster_led_by(level - 1, member_id).size
+            except KeyError:
+                pass
+        return count
+
+    # ------------------------------------------------------------------
+    # Rule 5: periodic re-centering
+    # ------------------------------------------------------------------
+    def recenter(self) -> int:
+        """Re-elect leaders everywhere; returns the number of changes."""
+        before = self.stats.leader_changes
+        self._maintain()
+        return self.stats.leader_changes - before
+
+    # ------------------------------------------------------------------
+    # Maintenance: sizes, leaders, upper layers
+    # ------------------------------------------------------------------
+    def _renumber(self) -> None:
+        """Re-align ``cluster.level`` with layer indices after deletions."""
+        for level, layer in enumerate(self.layers):
+            for cluster in layer:
+                cluster.level = level
+
+    def _maintain(self) -> None:
+        if not self.layers:
+            return
+        level = 0
+        while level < self.depth:
+            self._fix_sizes(level)
+            self._elect_leaders(level)
+            self._sync_above(level)
+            level += 1
+
+    def _fix_sizes(self, level: int) -> None:
+        layer = self.layers[level]
+        # Splits (rule 3): repeat until no cluster exceeds the bound.
+        changed = True
+        while changed:
+            changed = False
+            for cluster in list(layer):
+                if cluster.size > self.max_cluster_size:
+                    self._split(layer, cluster)
+                    changed = True
+        # Merges (rule 4): only when siblings exist to merge into.
+        changed = True
+        while changed and len(layer) > 1:
+            changed = False
+            for cluster in list(layer):
+                if cluster.size < self.k and len(layer) > 1:
+                    self._merge(layer, cluster)
+                    changed = True
+                    break
+        # A merge can overshoot the bound; split again if so.
+        for cluster in list(layer):
+            if cluster.size > self.max_cluster_size:
+                self._split(layer, cluster)
+
+    def _split(self, layer: list[Cluster], cluster: Cluster) -> None:
+        points = self._points(cluster.member_ids)
+        min_size = (3 * self.k) // 2
+        group_a, group_b = min_radii_bipartition(points, min_size)
+        self.stats.splits += 1
+        # Splitting notifies every member of its new cluster.
+        self.stats.messages += cluster.size
+        layer.remove(cluster)
+        for group in (group_a, group_b):
+            layer.append(
+                Cluster(
+                    cluster_id=next(self._cluster_ids),
+                    level=cluster.level,
+                    member_ids=sorted(group),
+                )
+            )
+
+    def _merge(self, layer: list[Cluster], cluster: Cluster) -> None:
+        siblings = [c for c in layer if c is not cluster]
+        points = self._points(cluster.member_ids)
+        own_centre = centre_member(points)
+
+        def sibling_distance(sib: Cluster) -> float:
+            sib_points = self._points(sib.member_ids)
+            sib_centre = sib.leader_id or centre_member(sib_points)
+            return distance(
+                self.members[own_centre].point, self.members[sib_centre].point
+            )
+
+        target = min(siblings, key=lambda c: (sibling_distance(c), c.cluster_id))
+        self.stats.merges += 1
+        self.stats.messages += cluster.size  # merge request + moves
+        target.member_ids = sorted(target.member_ids + cluster.member_ids)
+        layer.remove(cluster)
+
+    def _elect_leaders(self, level: int) -> None:
+        for cluster in self.layers[level]:
+            points = self._points(cluster.member_ids)
+            centre = centre_member(points)
+            if cluster.leader_id != centre:
+                if cluster.leader_id is not None:
+                    self.stats.leader_changes += 1
+                    self.stats.messages += cluster.size
+                cluster.leader_id = centre
+
+    def _sync_above(self, level: int) -> None:
+        layer = self.layers[level]
+        if len(layer) == 1:
+            # This layer's lone leader is the root; drop stale layers.
+            del self.layers[level + 1 :]
+            return
+        desired = {c.leader_id for c in layer if c.leader_id is not None}
+        if level + 1 >= self.depth:
+            self.layers.append(
+                [
+                    Cluster(
+                        cluster_id=next(self._cluster_ids),
+                        level=level + 1,
+                        member_ids=sorted(desired),
+                    )
+                ]
+            )
+            return
+        upper = self.layers[level + 1]
+        current = {mid for c in upper for mid in c.member_ids}
+        for gone in current - desired:
+            cluster = self._cluster_of(level + 1, gone)
+            cluster.member_ids.remove(gone)
+            if cluster.leader_id == gone:
+                cluster.leader_id = None
+        self.layers[level + 1] = [c for c in upper if c.member_ids]
+        upper = self.layers[level + 1]
+        if not upper:
+            upper.append(
+                Cluster(
+                    cluster_id=next(self._cluster_ids),
+                    level=level + 1,
+                    member_ids=[],
+                )
+            )
+        for new in sorted(desired - current):
+            target = min(
+                upper,
+                key=lambda c: (
+                    self._distance_to_cluster(new, c),
+                    c.cluster_id,
+                ),
+            )
+            target.member_ids.append(new)
+            target.member_ids.sort()
+            self.stats.messages += 1
+
+    def _distance_to_cluster(self, member_id: str, cluster: Cluster) -> float:
+        if not cluster.member_ids:
+            return 0.0
+        points = self._points(cluster.member_ids)
+        anchor = cluster.leader_id or centre_member(points)
+        return distance(self.members[member_id].point, self.members[anchor].point)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests and E5)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> list[str]:
+        """Return human-readable invariant violations (empty = healthy)."""
+        problems: list[str] = []
+        if not self.layers:
+            if self.members:
+                problems.append("members exist but tree has no layers")
+            return problems
+
+        level0 = [mid for c in self.layers[0] for mid in c.member_ids]
+        if sorted(level0) != sorted(self.members):
+            problems.append("layer 0 does not partition the membership")
+        if len(level0) != len(set(level0)):
+            problems.append("a member appears in two layer-0 clusters")
+
+        for level, layer in enumerate(self.layers):
+            for cluster in layer:
+                if cluster.leader_id not in cluster.member_ids:
+                    problems.append(
+                        f"level {level} cluster {cluster.cluster_id}: "
+                        "leader not a member"
+                    )
+                if cluster.size > self.max_cluster_size:
+                    problems.append(
+                        f"level {level} cluster {cluster.cluster_id}: "
+                        f"size {cluster.size} > {self.max_cluster_size}"
+                    )
+                if cluster.size < self.k and len(layer) > 1:
+                    problems.append(
+                        f"level {level} cluster {cluster.cluster_id}: "
+                        f"size {cluster.size} < k={self.k} with siblings"
+                    )
+            if level + 1 < self.depth:
+                leaders = sorted(
+                    c.leader_id for c in layer if c.leader_id is not None
+                )
+                above = sorted(
+                    mid for c in self.layers[level + 1] for mid in c.member_ids
+                )
+                if leaders != above:
+                    problems.append(
+                        f"layer {level + 1} members != layer {level} leaders"
+                    )
+        if len(self.layers[-1]) != 1:
+            problems.append("top layer must contain exactly one cluster")
+        return problems
+
+    def cluster_sizes(self, level: int) -> list[int]:
+        """Sizes of clusters at one layer (for distribution reports)."""
+        return sorted(c.size for c in self.layers[level])

@@ -1,0 +1,27 @@
+"""The two-layer federated system: entities, portal, and the façade.
+
+This package wires every subsystem into the architecture of Figure 1:
+
+* :mod:`repro.core.entity` — one business entity: a gateway plus a LAN
+  cluster of processors running a local engine, with stream delegation,
+  fragment placement, and result delivery;
+* :mod:`repro.core.portal` — the "central access portal": coordinator
+  tree + allocation strategies mapping queries to entities;
+* :mod:`repro.core.report` — run metrics;
+* :mod:`repro.core.system` — :class:`FederatedSystem`, the public façade
+  that builds a whole deployment from a :class:`SystemConfig` and runs it.
+"""
+
+from repro.core.entity import Entity
+from repro.core.portal import Portal
+from repro.core.report import RunReport
+from repro.core.system import FederatedSystem, SystemConfig, build_demo_system
+
+__all__ = [
+    "Entity",
+    "Portal",
+    "RunReport",
+    "FederatedSystem",
+    "SystemConfig",
+    "build_demo_system",
+]

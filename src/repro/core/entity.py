@@ -1,0 +1,336 @@
+"""One business entity: gateway + LAN cluster + local engine (Figure 3).
+
+The entity is the unit of the inter-entity layer: queries are hosted
+whole ("a query is processed within a single entity"), streams arrive at
+the gateway, and inside the cluster the intra-entity machinery applies —
+delegation, fragmentation under the distribution limit, PR-aware
+placement, and LAN hops between fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.executor import LocalEngine
+from repro.engine.plan import Fragment, QueryPlan
+from repro.interest.predicates import StreamInterest
+from repro.placement.delegation import DelegationScheme
+from repro.placement.factory import make_placer
+from repro.placement.fragments import fragment_plan
+from repro.placement.placer import PlacementJob, PlacementPlan
+from repro.simulation.network import Network, NetworkNode
+from repro.simulation.processor import SimProcessor
+from repro.simulation.simulator import Simulator
+from repro.streams.catalog import StreamCatalog
+from repro.streams.tuples import StreamTuple
+from repro.query.spec import QuerySpec
+
+ResultHandler = Callable[[str, StreamTuple], None]
+
+
+@dataclass
+class HostedQuery:
+    """A query deployed inside the entity."""
+
+    spec: QuerySpec
+    plan: QueryPlan
+    fragments: list[Fragment] = field(default_factory=list)
+    chain_procs: list[str] = field(default_factory=list)
+
+    @property
+    def inherent_complexity(self) -> float:
+        """p_k: expected evaluation CPU seconds per *result* tuple."""
+        per_input = self.plan.cost_per_input_tuple()
+        selectivity = max(self.plan.output_selectivity(), 1e-6)
+        return per_input / selectivity
+
+
+class Entity:
+    """An entity's wrapper plus its processor cluster.
+
+    Args:
+        sim: The simulator.
+        network: The shared network (gateway and processor nodes must
+            already be registered; processors share the gateway's group).
+        entity_id: Gateway network node id.
+        processor_nodes: The entity's LAN processor nodes.
+        catalog: Global stream catalog.
+        processor_speed: Relative CPU speed of each processor.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        entity_id: str,
+        processor_nodes: list[NetworkNode],
+        catalog: StreamCatalog,
+        *,
+        processor_speed: float = 1.0,
+    ) -> None:
+        if not processor_nodes:
+            raise ValueError(f"entity {entity_id} needs processors")
+        self.sim = sim
+        self.network = network
+        self.entity_id = entity_id
+        self.catalog = catalog
+        self.processors: dict[str, SimProcessor] = {}
+        self.engines: dict[str, LocalEngine] = {}
+        for node in processor_nodes:
+            proc = SimProcessor(sim, node.node_id, speed=processor_speed)
+            self.processors[node.node_id] = proc
+            self.engines[node.node_id] = LocalEngine(sim, proc)
+        self.delegation = DelegationScheme(sorted(self.processors))
+        self.hosted: dict[str, HostedQuery] = {}
+        self.result_handler: ResultHandler | None = None
+        self.tuples_received = 0
+        self.results_emitted = 0
+        self._head_routes: dict[str, list[tuple[str, str]]] = {}
+        self._deployed = False
+        self._last_placer = "pr"
+        self._last_limit = 2
+        self._last_seed = 0
+
+    # ------------------------------------------------------------------
+    # Query hosting
+    # ------------------------------------------------------------------
+    def host(self, spec: QuerySpec) -> HostedQuery:
+        """Accept a query (compiled immediately, placed at deploy())."""
+        if spec.query_id in self.hosted:
+            raise ValueError(f"{spec.query_id} already hosted at {self.entity_id}")
+        hosted = HostedQuery(spec=spec, plan=spec.build_plan(self.catalog))
+        self.hosted[spec.query_id] = hosted
+        return hosted
+
+    def unhost(self, query_id: str) -> None:
+        """Drop a query; its fragments are uninstalled on redeploy."""
+        self.hosted.pop(query_id, None)
+
+    def interests_by_stream(self) -> dict[str, list[StreamInterest]]:
+        """The entity's data requirement, per stream (for dissemination)."""
+        out: dict[str, list[StreamInterest]] = {}
+        for hosted in self.hosted.values():
+            for interest in hosted.spec.interests:
+                out.setdefault(interest.stream_id, []).append(interest)
+        return out
+
+    def required_attributes_by_stream(self) -> dict[str, set[str] | None]:
+        """Per stream, the attributes the hosted queries read.
+
+        ``None`` means at least one query needs every attribute of that
+        stream (disables ancestor projection, §3.1 "transforming").
+        """
+        out: dict[str, set[str] | None] = {}
+        for hosted in self.hosted.values():
+            for stream_id in hosted.spec.input_streams:
+                needed = hosted.spec.required_attributes(stream_id)
+                if stream_id not in out:
+                    out[stream_id] = needed
+                elif out[stream_id] is not None:
+                    out[stream_id] = (
+                        None if needed is None else out[stream_id] | needed
+                    )
+        return out
+
+    # ------------------------------------------------------------------
+    # Deployment: delegation + fragmentation + placement + wiring
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        *,
+        placer: str = "pr",
+        distribution_limit: int = 2,
+        seed: int = 0,
+    ) -> PlacementPlan:
+        """(Re)deploy every hosted query onto the cluster.
+
+        Returns the placement plan so callers can inspect predicted
+        load and traffic.
+        """
+        self._last_placer = placer
+        self._last_limit = distribution_limit
+        self._last_seed = seed
+        for engine in self.engines.values():
+            for fragment_id in engine.fragment_ids:
+                engine.uninstall(fragment_id)
+        self._head_routes.clear()
+
+        jobs: list[PlacementJob] = []
+        for hosted in self.hosted.values():
+            limit = max(1, distribution_limit)
+            hosted.fragments = fragment_plan(hosted.plan, limit)
+            streams = hosted.spec.input_streams
+            rates = {s: self.catalog.schema(s).rate for s in streams}
+            dominant = max(streams, key=lambda s: rates[s])
+            for stream_id in streams:
+                schema = self.catalog.schema(stream_id)
+                self.delegation.assign(stream_id, schema.bytes_per_second)
+            jobs.append(
+                PlacementJob(
+                    query_id=hosted.spec.query_id,
+                    fragments=hosted.fragments,
+                    input_rate=hosted.spec.input_rate(self.catalog),
+                    input_byte_rate=sum(
+                        self.catalog.schema(s).bytes_per_second for s in streams
+                    ),
+                    delegate_proc=self.delegation.delegate_of(dominant),
+                    distribution_limit=limit,
+                )
+            )
+
+        speeds = {p: proc.speed for p, proc in self.processors.items()}
+        plan = make_placer(placer, speeds, seed=seed).place(jobs)
+        for hosted in self.hosted.values():
+            self._wire_query(hosted, plan)
+        self._deployed = True
+        return plan
+
+    def _wire_query(self, hosted: HostedQuery, plan: PlacementPlan) -> None:
+        procs = [plan.assignment[f.fragment_id] for f in hosted.fragments]
+        hosted.chain_procs = procs
+        chain = list(zip(hosted.fragments, procs))
+        for index, (fragment, proc) in enumerate(chain):
+            if index + 1 < len(chain):
+                next_fragment, next_proc = chain[index + 1]
+                downstream = self._make_hop(
+                    proc, next_proc, next_fragment.fragment_id
+                )
+            else:
+                downstream = self._make_result_hop(proc, hosted.spec.query_id)
+            self.engines[proc].install(fragment, downstream=downstream)
+        head = hosted.fragments[0]
+        head_proc = procs[0]
+        for stream_id in hosted.spec.input_streams:
+            self._head_routes.setdefault(stream_id, []).append(
+                (head.fragment_id, head_proc)
+            )
+
+    def _make_hop(
+        self, from_proc: str, to_proc: str, fragment_id: str
+    ) -> Callable[[StreamTuple], None]:
+        engine = self.engines[to_proc]
+        if from_proc == to_proc:
+            return lambda tup: engine.ingest(fragment_id, tup)
+
+        def hop(tup: StreamTuple) -> None:
+            self.network.send(
+                from_proc,
+                to_proc,
+                tup.size,
+                payload=tup,
+                on_delivery=lambda t: engine.ingest(fragment_id, t),
+            )
+
+        return hop
+
+    def _make_result_hop(
+        self, from_proc: str, query_id: str
+    ) -> Callable[[StreamTuple], None]:
+        def emit(tup: StreamTuple) -> None:
+            def at_gateway(t: StreamTuple) -> None:
+                self.results_emitted += 1
+                if self.result_handler is not None:
+                    self.result_handler(query_id, t)
+
+            self.network.send(
+                from_proc,
+                self.entity_id,
+                tup.size,
+                payload=tup,
+                on_delivery=at_gateway,
+            )
+
+        return emit
+
+    # ------------------------------------------------------------------
+    # Stream intake
+    # ------------------------------------------------------------------
+    def receive(self, tup: StreamTuple) -> None:
+        """Handle a stream tuple arriving at the gateway.
+
+        The gateway forwards to the stream's delegation processor over
+        the LAN; the delegate then routes to the head fragment of every
+        hosted query consuming the stream (§4's delegation scheme).
+        """
+        self.tuples_received += 1
+        delegate = self.delegation.delegate_of(tup.stream_id)
+        if delegate is None:
+            return
+        self.network.send(
+            self.entity_id,
+            delegate,
+            tup.size,
+            payload=tup,
+            on_delivery=lambda t: self._route_from_delegate(delegate, t),
+        )
+
+    def _route_from_delegate(self, delegate: str, tup: StreamTuple) -> None:
+        for fragment_id, proc in self._head_routes.get(tup.stream_id, []):
+            if proc == delegate:
+                self.engines[proc].ingest(fragment_id, tup)
+            else:
+                engine = self.engines[proc]
+                self.network.send(
+                    delegate,
+                    proc,
+                    tup.size,
+                    payload=(fragment_id, tup),
+                    on_delivery=lambda p, e=engine: e.ingest(p[0], p[1]),
+                )
+
+    # ------------------------------------------------------------------
+    # Processor failure (intra-entity adaptation)
+    # ------------------------------------------------------------------
+    def processor_failed(self, proc_id: str) -> None:
+        """Handle a processor crash: drop it and redeploy everything.
+
+        The central administration the paper assumes inside an entity
+        makes this simple: the failed processor's fragments (window
+        state lost) move to the survivors, delegation re-spreads, and
+        the wiring is rebuilt.  Raises when the last processor dies.
+        """
+        if proc_id not in self.processors:
+            raise KeyError(proc_id)
+        if len(self.processors) <= 1:
+            raise RuntimeError(
+                f"entity {self.entity_id} lost its last processor"
+            )
+        self.processors[proc_id].fail()
+        if self.network.has_node(proc_id):
+            self.network.node(proc_id).alive = False
+        del self.processors[proc_id]
+        del self.engines[proc_id]
+        # delegation must forget the dead processor entirely
+        self.delegation = DelegationScheme(sorted(self.processors))
+        for hosted in self.hosted.values():
+            for fragment in hosted.fragments:
+                fragment.reset_state()
+        if self._deployed and self.hosted:
+            self.deploy(
+                placer=self._last_placer,
+                distribution_limit=self._last_limit,
+                seed=self._last_seed,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilizations(self, elapsed: float) -> dict[str, float]:
+        """Per-processor busy fraction over ``elapsed`` seconds."""
+        return {
+            p: proc.stats.utilization(elapsed)
+            for p, proc in self.processors.items()
+        }
+
+    def max_backlog(self) -> float:
+        """Largest queued service backlog across processors (seconds)."""
+        return max(
+            (proc.backlog_seconds for proc in self.processors.values()),
+            default=0.0,
+        )
+
+    @property
+    def query_count(self) -> int:
+        """Number of hosted queries."""
+        return len(self.hosted)

@@ -1,0 +1,161 @@
+"""The central access portal: query intake and allocation to entities.
+
+"A more ambitious service is to integrate the processing power and
+capabilities of the different entities to provide a central access
+portal to all the clients."  The portal owns the coordinator tree over
+entities and implements the allocation strategies of §3.2.2:
+
+* ``partition`` — batch graph partitioning (the paper's proposal);
+* ``router`` — online level-by-level coordinator-tree routing;
+* ``load`` / ``similarity`` / ``random`` / ``rr`` — the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.assigners import (
+    LoadOnlyAssigner,
+    RandomAssigner,
+    RoundRobinAssigner,
+    SimilarityAssigner,
+)
+from repro.allocation.partitioning import MultilevelPartitioner
+from repro.allocation.query_graph import build_query_graph
+from repro.coordination.routing import QueryRouter, RoutingPolicy
+from repro.coordination.tree import CoordinatorTree, Member
+from repro.query.spec import QuerySpec
+from repro.streams.catalog import StreamCatalog
+
+ALLOCATION_NAMES = ("partition", "router", "load", "similarity", "random", "rr")
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Queries mapped to entities, plus the quality of the mapping."""
+
+    assignment: dict[str, str]
+    cut: float
+    imbalance: float
+    routing_messages: int
+
+
+class Portal:
+    """Client-facing query intake over a set of entities.
+
+    Args:
+        entity_ids: The participating entities (gateway node ids).
+        positions: entity id -> WAN plane position (builds the
+            coordinator tree).
+        catalog: Global schema.
+        k: Coordinator-tree cluster parameter.
+    """
+
+    def __init__(
+        self,
+        entity_ids: list[str],
+        positions: dict[str, tuple[float, float]],
+        catalog: StreamCatalog,
+        *,
+        k: int = 3,
+    ) -> None:
+        if not entity_ids:
+            raise ValueError("portal needs at least one entity")
+        self.entity_ids = sorted(entity_ids)
+        self.catalog = catalog
+        self.tree = CoordinatorTree(k=k)
+        for entity_id in self.entity_ids:
+            x, y = positions[entity_id]
+            self.tree.join(Member(entity_id, x, y))
+        self.router = QueryRouter(self.tree, RoutingPolicy())
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (§3.2.1: entities join/leave at any time)
+    # ------------------------------------------------------------------
+    def add_entity(self, entity_id: str, position: tuple[float, float]) -> int:
+        """Admit a new entity; returns the coordinator-tree join hops."""
+        if entity_id in self.entity_ids:
+            raise ValueError(f"{entity_id} already participates")
+        hops = self.tree.join(Member(entity_id, position[0], position[1]))
+        self.entity_ids = sorted([*self.entity_ids, entity_id])
+        return hops
+
+    def remove_entity(self, entity_id: str) -> list[str]:
+        """Retire an entity; returns the query ids stranded on it."""
+        if entity_id not in self.entity_ids:
+            raise KeyError(entity_id)
+        self.tree.leave(entity_id)
+        self.entity_ids = [e for e in self.entity_ids if e != entity_id]
+        return self.router.rehome_orphans(entity_id)
+
+    def route_one(self, query: QuerySpec) -> str:
+        """Route a single query through the coordinator tree."""
+        return self.router.route(
+            query.query_id,
+            query.estimated_load(self.catalog),
+            (query.client_x, query.client_y),
+        )
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self,
+        queries: list[QuerySpec],
+        *,
+        strategy: str = "partition",
+        max_imbalance: float = 1.10,
+        seed: int = 0,
+    ) -> AllocationResult:
+        """Map every query to an entity using the chosen strategy."""
+        if strategy not in ALLOCATION_NAMES:
+            raise ValueError(
+                f"unknown allocation {strategy!r}; pick from {ALLOCATION_NAMES}"
+            )
+        graph = build_query_graph(queries, self.catalog)
+        parts = len(self.entity_ids)
+
+        if strategy == "router":
+            assignment_parts = None
+            assignment: dict[str, str] = {}
+            before = self.router.routing_messages
+            for query in queries:
+                entity = self.router.route(
+                    query.query_id,
+                    query.estimated_load(self.catalog),
+                    (query.client_x, query.client_y),
+                )
+                assignment[query.query_id] = entity
+            messages = self.router.routing_messages - before
+            part_index = {e: i for i, e in enumerate(self.entity_ids)}
+            assignment_parts = {
+                q: part_index[e] for q, e in assignment.items()
+            }
+            return AllocationResult(
+                assignment=assignment,
+                cut=graph.edge_cut(assignment_parts),
+                imbalance=graph.imbalance(assignment_parts, parts),
+                routing_messages=messages,
+            )
+
+        if strategy == "partition":
+            result = MultilevelPartitioner(
+                max_imbalance=max_imbalance, seed=seed
+            ).partition(graph, parts)
+            part_of = result.assignment
+        elif strategy == "load":
+            part_of = LoadOnlyAssigner(parts).assign_all(graph)
+        elif strategy == "similarity":
+            part_of = SimilarityAssigner(parts).assign_all(graph)
+        elif strategy == "random":
+            part_of = RandomAssigner(parts, seed=seed).assign_all(graph)
+        else:  # rr
+            part_of = RoundRobinAssigner(parts).assign_all(graph)
+
+        assignment = {
+            q: self.entity_ids[p] for q, p in part_of.items()
+        }
+        return AllocationResult(
+            assignment=assignment,
+            cut=graph.edge_cut(part_of),
+            imbalance=graph.imbalance(part_of, parts),
+            routing_messages=0,
+        )

@@ -1,0 +1,81 @@
+"""Run reports: everything a benchmark reads out of a finished run."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class RunReport:
+    """Aggregated metrics of one :meth:`FederatedSystem.run`.
+
+    Attributes:
+        duration: Simulated seconds.
+        wan_bytes / lan_bytes: Network volume per tier.
+        source_egress_bytes: Bytes sent by stream-source nodes (the
+            dissemination-scalability metric of E3).
+        results: Total result tuples delivered to clients.
+        mean_result_latency: Mean end-to-end delay over all results.
+        pr_max / pr_mean: Performance-Ratio stats (§4.1 objective).
+        queries_answered: Queries with >= 1 result.
+        queries_total: Queries submitted.
+        entity_utilization: entity id -> mean processor busy fraction.
+        allocation_cut: Weighted edge cut of the allocation used
+            (bytes/second of duplicate interest), when applicable.
+        allocation_imbalance: Load imbalance of the allocation.
+        routing_messages: Coordinator-tree messages spent routing.
+        events: Simulator events executed.
+    """
+
+    duration: float = 0.0
+    wan_bytes: float = 0.0
+    lan_bytes: float = 0.0
+    source_egress_bytes: float = 0.0
+    results: int = 0
+    mean_result_latency: float = 0.0
+    pr_max: float = 0.0
+    pr_mean: float = 0.0
+    queries_answered: int = 0
+    queries_total: int = 0
+    entity_utilization: dict[str, float] = field(default_factory=dict)
+    allocation_cut: float = 0.0
+    allocation_imbalance: float = 1.0
+    routing_messages: int = 0
+    events: int = 0
+
+    @property
+    def wan_bytes_per_second(self) -> float:
+        """WAN volume normalised by simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.wan_bytes / self.duration
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of submitted queries that produced results."""
+        if not self.queries_total:
+            return 0.0
+        return self.queries_answered / self.queries_total
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable flat form (for logging / external tooling)."""
+        out = asdict(self)
+        out["wan_bytes_per_second"] = self.wan_bytes_per_second
+        out["answered_fraction"] = self.answered_fraction
+        return out
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest (used by examples)."""
+        return [
+            f"simulated {self.duration:.1f}s, {self.events} events",
+            f"queries answered: {self.queries_answered}/{self.queries_total}",
+            f"results delivered: {self.results} "
+            f"(mean latency {self.mean_result_latency * 1000:.1f} ms)",
+            f"WAN traffic: {self.wan_bytes / 1e6:.2f} MB "
+            f"({self.wan_bytes_per_second / 1e3:.1f} kB/s), "
+            f"LAN traffic: {self.lan_bytes / 1e6:.2f} MB",
+            f"source egress: {self.source_egress_bytes / 1e6:.2f} MB",
+            f"PR_max: {self.pr_max:.1f}, PR_mean: {self.pr_mean:.1f}",
+            f"allocation cut: {self.allocation_cut / 1e3:.1f} kB/s, "
+            f"imbalance: {self.allocation_imbalance:.2f}",
+        ]

@@ -1,0 +1,36 @@
+"""Inter-entity data stream dissemination (§3.1).
+
+"We allow the entities to cooperate with each other in transferring data
+streams rather than only relying on the sources.  The entities are
+organized into multiple hierarchical tree structure [...] Each parent
+entity in a tree is responsible to transfer the upstream data to its
+children. [...] We allow each entity to express its data requirement
+which will be used to perform early filtering and transforming at its
+ancestors."
+
+* :mod:`repro.dissemination.tree` — the per-stream dissemination tree
+  with per-edge aggregate filters;
+* :mod:`repro.dissemination.builders` — tree construction strategies,
+  including the paper's source-direct baseline;
+* :mod:`repro.dissemination.runtime` — tuple forwarding over the
+  simulated network with early filtering on or off.
+"""
+
+from repro.dissemination.builders import (
+    build_balanced_tree,
+    build_closest_parent_tree,
+    build_source_direct_tree,
+    improve_tree,
+)
+from repro.dissemination.runtime import DisseminationRuntime, DeliveryStats
+from repro.dissemination.tree import DisseminationTree
+
+__all__ = [
+    "DisseminationTree",
+    "build_source_direct_tree",
+    "build_closest_parent_tree",
+    "build_balanced_tree",
+    "improve_tree",
+    "DisseminationRuntime",
+    "DeliveryStats",
+]

@@ -1,0 +1,140 @@
+"""Dissemination tree construction strategies.
+
+"A straightforward approach is to let the source nodes to feed the
+entities directly.  However, relying solely on the sources to transfer
+data is not scalable to the number of entities."  The builders give us
+both the baseline and the cooperative alternatives:
+
+* :func:`build_source_direct_tree` — the non-cooperative star;
+* :func:`build_closest_parent_tree` — greedy locality-aware attachment
+  under a fanout bound;
+* :func:`build_balanced_tree` — a k-ary tree by distance rank (denser
+  but less locality-aware, a useful contrast);
+* :func:`improve_tree` — a local reattachment pass, since "the shapes of
+  these trees have significant impact on the dissemination efficiency".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dissemination.tree import SOURCE, DisseminationTree
+
+Point = tuple[float, float]
+
+
+def _distance(a: Point, b: Point) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def build_source_direct_tree(
+    stream_id: str,
+    source_pos: Point,
+    entity_positions: dict[str, Point],
+) -> DisseminationTree:
+    """The baseline: every entity is a direct child of the source."""
+    tree = DisseminationTree(
+        stream_id, max_fanout=max(1, len(entity_positions))
+    )
+    for entity in sorted(entity_positions):
+        tree.attach(entity, SOURCE)
+    return tree
+
+
+def build_closest_parent_tree(
+    stream_id: str,
+    source_pos: Point,
+    entity_positions: dict[str, Point],
+    *,
+    max_fanout: int = 4,
+) -> DisseminationTree:
+    """Greedy cooperative tree.
+
+    Entities attach in order of distance from the source; each picks
+    the closest already-attached node (source included) with spare
+    fanout.  Near entities become relays for far ones, which is what
+    bounds the source's egress to ``max_fanout`` streams.
+    """
+    tree = DisseminationTree(stream_id, max_fanout=max_fanout)
+    order = sorted(
+        entity_positions,
+        key=lambda e: (_distance(entity_positions[e], source_pos), e),
+    )
+    positions = {SOURCE: source_pos, **entity_positions}
+    attached: list[str] = [SOURCE]
+    for entity in order:
+        candidates = [n for n in attached if tree.fanout(n) < max_fanout]
+        parent = min(
+            candidates,
+            key=lambda n: (_distance(positions[n], positions[entity]), n),
+        )
+        tree.attach(entity, parent)
+        attached.append(entity)
+    return tree
+
+
+def build_balanced_tree(
+    stream_id: str,
+    source_pos: Point,
+    entity_positions: dict[str, Point],
+    *,
+    max_fanout: int = 4,
+) -> DisseminationTree:
+    """A complete k-ary tree over the distance-from-source ordering."""
+    tree = DisseminationTree(stream_id, max_fanout=max_fanout)
+    order = sorted(
+        entity_positions,
+        key=lambda e: (_distance(entity_positions[e], source_pos), e),
+    )
+    for i, entity in enumerate(order):
+        if i < max_fanout:
+            parent = SOURCE
+        else:
+            parent = order[(i - max_fanout) // max_fanout]
+        tree.attach(entity, parent)
+    return tree
+
+
+def improve_tree(
+    tree: DisseminationTree,
+    source_pos: Point,
+    entity_positions: dict[str, Point],
+    *,
+    max_rounds: int = 3,
+) -> int:
+    """Local reattachment: move entities to closer feasible parents.
+
+    An entity moves when another node (not in its own subtree) is
+    strictly closer than its current parent and has spare fanout.
+    Returns the number of moves made.  Also repairs fanout violations
+    left by :meth:`DisseminationTree.detach`.
+    """
+    positions = {SOURCE: source_pos, **entity_positions}
+    moves = 0
+    for __ in range(max_rounds):
+        moved_this_round = 0
+        for entity in sorted(tree.entities):
+            current = tree.parent_of(entity)
+            current_d = _distance(positions[entity], positions[current])
+            overloaded = tree.fanout(current) > tree.max_fanout
+            candidates = [
+                node
+                for node in [SOURCE, *tree.entities]
+                if node not in (entity, current)
+                and tree.fanout(node) < tree.max_fanout
+                and not tree.is_descendant(node, entity)
+            ]
+            if not candidates:
+                continue
+            best = min(
+                candidates,
+                key=lambda n: (_distance(positions[entity], positions[n]), n),
+            )
+            best_d = _distance(positions[entity], positions[best])
+            if best_d < current_d or overloaded:
+                tree.reattach(entity, best)
+                moves += 1
+                moved_this_round += 1
+        if not moved_this_round:
+            break
+    return moves

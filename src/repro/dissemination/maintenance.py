@@ -1,0 +1,78 @@
+"""Adaptive reorganisation of dissemination trees.
+
+§3.1: "The shapes of these trees have significant impact on the
+dissemination efficiency which deserve further study" — and the paper
+builds on [13], *adaptive reorganization of coherency-preserving
+dissemination tree*.  The maintainer periodically runs the local
+reattachment pass on the simulation clock, repairs fanout violations
+left by entity departures, and counts reorganisation work so benches
+can weigh adaptation benefit against its churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dissemination.builders import improve_tree
+from repro.dissemination.tree import DisseminationTree
+from repro.simulation.simulator import Simulator
+
+Point = tuple[float, float]
+
+
+class TreeMaintainer:
+    """Periodic local reorganisation of one dissemination tree.
+
+    Args:
+        sim: The simulator.
+        tree: The tree to maintain.
+        source_pos: The stream source's plane position.
+        positions: Callable returning the current entity -> position
+            map (membership may change between rounds).
+        interval: Seconds between maintenance rounds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: DisseminationTree,
+        source_pos: Point,
+        positions: Callable[[], dict[str, Point]],
+        *,
+        interval: float = 5.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.tree = tree
+        self.source_pos = source_pos
+        self.positions = positions
+        self.interval = interval
+        self.rounds = 0
+        self.total_moves = 0
+        self._stop: Callable[[], None] | None = None
+
+    def start(self) -> None:
+        """Begin periodic maintenance."""
+        if self._stop is None:
+            self._stop = self.sim.every(self.interval, self.run_round)
+
+    def stop(self) -> None:
+        """Halt maintenance."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def run_round(self) -> int:
+        """One maintenance round; returns the number of reattachments."""
+        self.rounds += 1
+        positions = {
+            entity: pos
+            for entity, pos in self.positions().items()
+            if self.tree.contains(entity)
+        }
+        moves = improve_tree(
+            self.tree, self.source_pos, positions, max_rounds=1
+        )
+        self.total_moves += moves
+        return moves

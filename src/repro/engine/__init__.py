@@ -1,0 +1,35 @@
+"""A from-scratch single-site stream processing engine.
+
+Each entity in the paper runs "its own stream processing engine"; the
+proposed techniques are engine-independent.  This package provides the
+engine we install in every simulated entity: push-based operators
+(filter, project, map, window join, window aggregate, union), linear
+query plans that can be cut into fragments (§4.1), and an executor that
+charges operator costs to a simulated processor.
+"""
+
+from repro.engine.executor import FragmentRuntime, LocalEngine
+from repro.engine.operators import (
+    FilterOperator,
+    MapOperator,
+    Operator,
+    ProjectOperator,
+    UnionOperator,
+    WindowAggregateOperator,
+    WindowJoinOperator,
+)
+from repro.engine.plan import Fragment, QueryPlan
+
+__all__ = [
+    "Operator",
+    "FilterOperator",
+    "ProjectOperator",
+    "MapOperator",
+    "WindowJoinOperator",
+    "WindowAggregateOperator",
+    "UnionOperator",
+    "QueryPlan",
+    "Fragment",
+    "LocalEngine",
+    "FragmentRuntime",
+]

@@ -1,0 +1,28 @@
+"""Stream operators: the engine's processing vocabulary."""
+
+from repro.engine.operators.aggregate import WindowAggregateOperator
+from repro.engine.operators.base import Operator, OperatorStats
+from repro.engine.operators.distinct import DistinctOperator
+from repro.engine.operators.filterop import FilterOperator
+from repro.engine.operators.join import WindowJoinOperator
+from repro.engine.operators.mapop import MapOperator
+from repro.engine.operators.project import ProjectOperator
+from repro.engine.operators.sample import SampleOperator
+from repro.engine.operators.sliding import SlidingAverageOperator
+from repro.engine.operators.topk import TopKOperator
+from repro.engine.operators.union import UnionOperator
+
+__all__ = [
+    "Operator",
+    "OperatorStats",
+    "FilterOperator",
+    "ProjectOperator",
+    "MapOperator",
+    "WindowJoinOperator",
+    "WindowAggregateOperator",
+    "UnionOperator",
+    "TopKOperator",
+    "DistinctOperator",
+    "SampleOperator",
+    "SlidingAverageOperator",
+]

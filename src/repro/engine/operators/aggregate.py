@@ -1,0 +1,114 @@
+"""Tumbling-window aggregation, optionally grouped.
+
+Emits one tuple per (window, group) when a window closes — detected on
+the arrival of the first tuple belonging to a later window, the standard
+low-watermark trick for in-order streams.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+SUM = "sum"
+COUNT = "count"
+AVG = "avg"
+MIN = "min"
+MAX = "max"
+_FUNCTIONS = (SUM, COUNT, AVG, MIN, MAX)
+
+
+class WindowAggregateOperator(Operator):
+    """Aggregate ``attribute`` over tumbling windows of ``window`` seconds.
+
+    Args:
+        name: Operator instance name.
+        attribute: The attribute aggregated.
+        fn: One of ``sum``, ``count``, ``avg``, ``min``, ``max``.
+        window: Tumbling window length in seconds.
+        group_by: Optional attribute whose value partitions the window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attribute: str,
+        *,
+        fn: str = AVG,
+        window: float = 10.0,
+        group_by: str | None = None,
+        cost_per_tuple: float = 6e-5,
+    ) -> None:
+        if fn not in _FUNCTIONS:
+            raise ValueError(f"unknown aggregate {fn!r}; pick from {_FUNCTIONS}")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        super().__init__(
+            name, cost_per_tuple=cost_per_tuple, estimated_selectivity=0.1
+        )
+        self.attribute = attribute
+        self.fn = fn
+        self.window = window
+        self.group_by = group_by
+        self._current_window: int | None = None
+        # group key -> (count, sum, min, max)
+        self._accumulators: dict[float, list[float]] = {}
+        self._emit_seq = 0
+
+    # ------------------------------------------------------------------
+    def _flush(self, window_index: int) -> list[StreamTuple]:
+        out = []
+        window_end = (window_index + 1) * self.window
+        for group, (count, total, lo, hi) in sorted(self._accumulators.items()):
+            if self.fn == SUM:
+                result = total
+            elif self.fn == COUNT:
+                result = count
+            elif self.fn == AVG:
+                result = total / count
+            elif self.fn == MIN:
+                result = lo
+            else:
+                result = hi
+            values = {self.fn: result, "window_end": window_end}
+            if self.group_by is not None:
+                values[self.group_by] = group
+            out.append(
+                StreamTuple(
+                    stream_id=f"{self.name}.out",
+                    seq=self._emit_seq,
+                    created_at=window_end,
+                    values=values,
+                    size=8.0 * len(values),
+                )
+            )
+            self._emit_seq += 1
+        self._accumulators.clear()
+        return out
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        if self.attribute not in tup.values:
+            return [tup]
+        window_index = math.floor(tup.created_at / self.window)
+        out: list[StreamTuple] = []
+        if self._current_window is None:
+            self._current_window = window_index
+        elif window_index > self._current_window:
+            out = self._flush(self._current_window)
+            self._current_window = window_index
+        group = tup.values.get(self.group_by, 0.0) if self.group_by else 0.0
+        value = tup.value(self.attribute)
+        acc = self._accumulators.get(group)
+        if acc is None:
+            self._accumulators[group] = [1, value, value, value]
+        else:
+            acc[0] += 1
+            acc[1] += value
+            acc[2] = min(acc[2], value)
+            acc[3] = max(acc[3], value)
+        return out
+
+    def reset_state(self) -> None:
+        self._current_window = None
+        self._accumulators.clear()

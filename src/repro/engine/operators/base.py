@@ -1,0 +1,84 @@
+"""Operator base class and per-operator statistics.
+
+Operators are push-based: ``process(tup, now)`` consumes one input tuple
+and returns zero or more output tuples.  Every operator declares a
+nominal CPU cost per input tuple and an estimated selectivity (expected
+outputs per input); both feed the placement and ordering optimisers, and
+both are tracked empirically so the Adaptation Module (§4.2) can react
+when reality drifts from the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.streams.tuples import StreamTuple
+
+
+@dataclass(slots=True)
+class OperatorStats:
+    """Observed input/output counts for one operator instance."""
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Outputs per input observed so far (estimate when no input yet)."""
+        if not self.tuples_in:
+            return float("nan")
+        return self.tuples_out / self.tuples_in
+
+
+class Operator:
+    """Base class for all stream operators.
+
+    Args:
+        name: Instance name (unique within its plan).
+        cost_per_tuple: Nominal CPU seconds charged per input tuple.
+        estimated_selectivity: A-priori expected outputs per input.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        cost_per_tuple: float = 1e-4,
+        estimated_selectivity: float = 1.0,
+    ) -> None:
+        if cost_per_tuple < 0:
+            raise ValueError("cost_per_tuple must be non-negative")
+        self.name = name
+        self.cost_per_tuple = cost_per_tuple
+        self.estimated_selectivity = estimated_selectivity
+        self.stats = OperatorStats()
+
+    # ------------------------------------------------------------------
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        """Consume one tuple; must be implemented by subclasses."""
+        raise NotImplementedError
+
+    def cost(self, tup: StreamTuple) -> float:
+        """CPU seconds this input tuple costs (default: the nominal cost)."""
+        return self.cost_per_tuple
+
+    def apply(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        """``process`` wrapped with statistics accounting."""
+        self.stats.tuples_in += 1
+        out = self.process(tup, now)
+        self.stats.tuples_out += len(out)
+        return out
+
+    @property
+    def selectivity(self) -> float:
+        """Best current selectivity: observed if available, else estimate."""
+        observed = self.stats.observed_selectivity
+        if observed != observed:  # NaN: no observations yet
+            return self.estimated_selectivity
+        return observed
+
+    def reset_state(self) -> None:
+        """Discard operator state (windows); used when a fragment moves."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,54 @@
+"""Duplicate suppression within a sliding time window."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+
+class DistinctOperator(Operator):
+    """Pass a tuple only if its ``attribute`` value was not seen in the
+    last ``window`` seconds (alert de-duplication)."""
+
+    def __init__(
+        self,
+        name: str,
+        attribute: str,
+        *,
+        window: float = 10.0,
+        cost_per_tuple: float = 4e-5,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        super().__init__(
+            name, cost_per_tuple=cost_per_tuple, estimated_selectivity=0.5
+        )
+        self.attribute = attribute
+        self.window = window
+        self._last_seen: dict[float, float] = {}
+        self._order: deque[tuple[float, float]] = deque()  # (time, value)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._order and self._order[0][0] < horizon:
+            seen_at, value = self._order.popleft()
+            if self._last_seen.get(value) == seen_at:
+                del self._last_seen[value]
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        if self.attribute not in tup.values:
+            return [tup]
+        self._expire(tup.created_at)
+        value = tup.value(self.attribute)
+        duplicate = value in self._last_seen
+        self._last_seen[value] = tup.created_at
+        self._order.append((tup.created_at, value))
+        if duplicate:
+            return []
+        return [tup]
+
+    def reset_state(self) -> None:
+        self._last_seen.clear()
+        self._order.clear()

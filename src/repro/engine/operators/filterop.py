@@ -1,0 +1,42 @@
+"""Selection operator driven by a data-interest predicate."""
+
+from __future__ import annotations
+
+from repro.engine.operators.base import Operator
+from repro.interest.predicates import StreamInterest
+from repro.streams.tuples import StreamTuple
+
+
+class FilterOperator(Operator):
+    """Keep tuples whose values satisfy a :class:`StreamInterest`.
+
+    The same predicate model expresses query selections and the early
+    filters installed at dissemination-tree ancestors, so a query's
+    interest literally *is* its leading filter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        interest: StreamInterest,
+        *,
+        cost_per_tuple: float = 5e-5,
+        estimated_selectivity: float | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            cost_per_tuple=cost_per_tuple,
+            estimated_selectivity=(
+                estimated_selectivity if estimated_selectivity is not None else 0.5
+            ),
+        )
+        self.interest = interest
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        if tup.stream_id != self.interest.stream_id:
+            # Tuples of other streams pass through untouched (a filter
+            # constrains only its own stream).
+            return [tup]
+        if self.interest.matches_values(tup.values):
+            return [tup]
+        return []

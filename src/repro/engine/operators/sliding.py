@@ -1,0 +1,55 @@
+"""Per-tuple sliding-window running average."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+
+class SlidingAverageOperator(Operator):
+    """Annotate each tuple with the mean of ``attribute`` over the last
+    ``window`` seconds (inclusive of the tuple itself).
+
+    The output attribute is ``{attribute}_avg`` — the classic moving
+    average a price-alert query compares against.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attribute: str,
+        *,
+        window: float = 10.0,
+        cost_per_tuple: float = 5e-5,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        super().__init__(
+            name, cost_per_tuple=cost_per_tuple, estimated_selectivity=1.0
+        )
+        self.attribute = attribute
+        self.window = window
+        self._entries: deque[tuple[float, float]] = deque()  # (time, value)
+        self._sum = 0.0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._entries and self._entries[0][0] < horizon:
+            __, value = self._entries.popleft()
+            self._sum -= value
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        if self.attribute not in tup.values:
+            return [tup]
+        self._expire(tup.created_at)
+        value = tup.value(self.attribute)
+        self._entries.append((tup.created_at, value))
+        self._sum += value
+        mean = self._sum / len(self._entries)
+        return [tup.with_values(**{f"{self.attribute}_avg": mean})]
+
+    def reset_state(self) -> None:
+        self._entries.clear()
+        self._sum = 0.0

@@ -1,0 +1,35 @@
+"""Union operator: merge several input streams into one output stream."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+
+class UnionOperator(Operator):
+    """Pass tuples from any of ``input_streams`` through, relabelled.
+
+    Used for multi-exchange queries ("all trades of symbol X on any
+    exchange"): one downstream chain consumes a single merged stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_streams: list[str],
+        *,
+        cost_per_tuple: float = 1e-5,
+    ) -> None:
+        super().__init__(
+            name, cost_per_tuple=cost_per_tuple, estimated_selectivity=1.0
+        )
+        if len(input_streams) < 2:
+            raise ValueError("union needs at least two input streams")
+        self.input_streams = list(input_streams)
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        if tup.stream_id not in self.input_streams:
+            return [tup]
+        return [replace(tup, stream_id=f"{self.name}.out")]

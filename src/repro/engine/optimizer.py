@@ -1,0 +1,69 @@
+"""Compile-time operator ordering.
+
+§4.1 fixes "a particular operator ordering" when computing a query's
+inherent complexity; this module provides the standard one: within any
+contiguous run of *commutative stateless* operators (filters, samplers),
+order ascending by the rank ``cost / (1 - selectivity)`` — cheapest,
+most-selective first — which minimises the expected pipeline cost.  The
+Adaptation Module (§4.2) then adapts this order at runtime when the
+statistics it was derived from drift.
+"""
+
+from __future__ import annotations
+
+from repro.engine.operators import FilterOperator, SampleOperator
+from repro.engine.operators.base import Operator
+from repro.engine.plan import QueryPlan
+
+# operator classes that may be freely reordered among themselves
+_COMMUTATIVE = (FilterOperator, SampleOperator)
+
+_EPSILON = 1e-6
+
+
+def is_commutative(op: Operator) -> bool:
+    """Whether the operator may swap with its commutative neighbours."""
+    return isinstance(op, _COMMUTATIVE)
+
+
+def rank(op: Operator) -> float:
+    """Selection-ordering rank: lower = run earlier.
+
+    ``rank = cost / drop probability``; a free operator that drops
+    everything has rank 0, an expensive pass-through has rank ~inf.
+    """
+    drop = max(_EPSILON, 1.0 - op.selectivity)
+    return op.cost_per_tuple / drop
+
+
+def optimize_plan(plan: QueryPlan) -> QueryPlan:
+    """Return a plan with each commutative run sorted by rank.
+
+    Non-commutative operators (joins, aggregates, projections, maps)
+    act as barriers; only operators between barriers reorder.  The
+    result is a *new* plan sharing the operator instances.
+    """
+    ordered: list[Operator] = []
+    run: list[Operator] = []
+
+    def flush() -> None:
+        run.sort(key=lambda op: (rank(op), op.name))
+        ordered.extend(run)
+        run.clear()
+
+    for op in plan.operators:
+        if is_commutative(op):
+            run.append(op)
+        else:
+            flush()
+            ordered.append(op)
+    flush()
+    return QueryPlan(plan.query_id, plan.input_streams, ordered)
+
+
+def expected_cost_improvement(before: QueryPlan, after: QueryPlan) -> float:
+    """Fractional pipelined-cost saving of ``after`` vs ``before``."""
+    old = before.cost_per_input_tuple()
+    if old <= 0:
+        return 0.0
+    return 1.0 - after.cost_per_input_tuple() / old

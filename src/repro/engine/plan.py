@@ -1,0 +1,167 @@
+"""Query plans and fragments.
+
+A plan is a linear operator pipeline fed by one or more input streams
+(joins and unions merge extra streams *inside* the pipeline).  Section
+4.1 dynamically partitions a query "into multiple query fragments"
+distributed to processors: a :class:`Fragment` is a contiguous slice of
+the pipeline, and a plan can be cut at any set of operator boundaries.
+
+Cost model: the expected CPU cost of one *plan input tuple* is the sum of
+operator costs discounted by the cumulative selectivity of everything
+upstream — the textbook pipelined cost that also defines the paper's
+inherent complexity ``p_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+
+class QueryPlan:
+    """An ordered operator pipeline for one continuous query.
+
+    Args:
+        query_id: Owning query.
+        input_streams: Stream ids feeding the head of the pipeline.
+        operators: The pipeline, upstream first.
+    """
+
+    def __init__(
+        self, query_id: str, input_streams: list[str], operators: list[Operator]
+    ) -> None:
+        if not operators:
+            raise ValueError("a plan needs at least one operator")
+        if not input_streams:
+            raise ValueError("a plan needs at least one input stream")
+        names = [op.name for op in operators]
+        if len(names) != len(set(names)):
+            raise ValueError("operator names must be unique within a plan")
+        self.query_id = query_id
+        self.input_streams = list(input_streams)
+        self.operators = list(operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def cost_per_input_tuple(self) -> float:
+        """Expected CPU seconds per plan-input tuple (= p_k per tuple)."""
+        total = 0.0
+        carried = 1.0
+        for op in self.operators:
+            total += carried * op.cost_per_tuple
+            carried *= op.selectivity
+        return total
+
+    def output_selectivity(self) -> float:
+        """Expected output tuples per input tuple for the whole plan."""
+        carried = 1.0
+        for op in self.operators:
+            carried *= op.selectivity
+        return carried
+
+    def estimated_load(self, input_rate: float) -> float:
+        """CPU seconds per second the plan consumes at ``input_rate``."""
+        return input_rate * self.cost_per_input_tuple()
+
+    # ------------------------------------------------------------------
+    # Fragmentation
+    # ------------------------------------------------------------------
+    def split(self, cuts: list[int]) -> list["Fragment"]:
+        """Cut the pipeline after the given operator indices.
+
+        ``cuts=[1]`` on a 4-operator plan yields fragments ``ops[0:2]``
+        and ``ops[2:4]``.  An empty cut list yields one fragment.
+        """
+        boundaries = sorted(set(cuts))
+        for cut in boundaries:
+            if not 0 <= cut < len(self.operators) - 1:
+                raise ValueError(f"cut {cut} out of range for {len(self)} operators")
+        fragments = []
+        start = 0
+        for index, cut in enumerate([*boundaries, len(self.operators) - 1]):
+            ops = self.operators[start : cut + 1]
+            fragments.append(
+                Fragment(
+                    fragment_id=f"{self.query_id}#f{index}",
+                    query_id=self.query_id,
+                    index=index,
+                    operators=ops,
+                )
+            )
+            start = cut + 1
+        return fragments
+
+    def as_single_fragment(self) -> "Fragment":
+        """The whole plan as one fragment (no distribution)."""
+        return self.split([])[0]
+
+
+@dataclass
+class Fragment:
+    """A contiguous slice of a plan, the unit of intra-entity placement."""
+
+    fragment_id: str
+    query_id: str
+    index: int
+    operators: list[Operator] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise ValueError("a fragment needs at least one operator")
+
+    # ------------------------------------------------------------------
+    def cost_for(self, tup: StreamTuple) -> float:
+        """Expected CPU cost of pushing ``tup`` through this fragment.
+
+        Downstream operators are discounted by upstream selectivities;
+        stateful operators report tuple-dependent costs via ``cost()``.
+        """
+        total = 0.0
+        carried = 1.0
+        for op in self.operators:
+            total += carried * op.cost(tup)
+            carried *= op.selectivity
+        return total
+
+    def cost_per_input_tuple(self) -> float:
+        """Expected CPU seconds per fragment-input tuple."""
+        total = 0.0
+        carried = 1.0
+        for op in self.operators:
+            total += carried * op.cost_per_tuple
+            carried *= op.selectivity
+        return total
+
+    def selectivity(self) -> float:
+        """Expected outputs per input across the fragment."""
+        carried = 1.0
+        for op in self.operators:
+            carried *= op.selectivity
+        return carried
+
+    def estimated_load(self, input_rate: float) -> float:
+        """CPU seconds/second at the given input rate."""
+        return input_rate * self.cost_per_input_tuple()
+
+    def run(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        """Push one tuple through the operator slice."""
+        batch = [tup]
+        for op in self.operators:
+            next_batch: list[StreamTuple] = []
+            for item in batch:
+                next_batch.extend(op.apply(item, now))
+            if not next_batch:
+                return []
+            batch = next_batch
+        return batch
+
+    def reset_state(self) -> None:
+        """Drop window state in every operator (fragment migration)."""
+        for op in self.operators:
+            op.reset_state()

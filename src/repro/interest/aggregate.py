@@ -1,0 +1,81 @@
+"""Aggregation of many data interests into one ancestor filter.
+
+A dissemination-tree ancestor must forward to a child exactly the data
+that *some* query below the child needs (§3.1).  The aggregate of a set
+of interests on one stream is the per-attribute union of their interval
+sets — a disjunction-free over-approximation that is cheap to evaluate
+per tuple, safe (never drops a needed tuple), and whose size can be
+bounded via :meth:`IntervalSet.widen_to`.
+
+Only attributes constrained by *every* member interest can stay
+constrained in the aggregate: if one query is unconstrained on ``price``,
+the subtree needs all prices, so the ancestor must not filter on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interest.overlap import interest_selectivity
+from repro.interest.predicates import IntervalSet, StreamInterest
+from repro.streams.schema import StreamSchema
+
+
+@dataclass(frozen=True)
+class InterestAggregate:
+    """The merged interest of a set of queries on one stream.
+
+    Attributes:
+        interest: The over-approximating :class:`StreamInterest`.
+        member_count: How many interests were merged.
+    """
+
+    interest: StreamInterest
+    member_count: int
+
+    def matches_values(self, values: dict[str, float]) -> bool:
+        """Tuple-level filter test (used by ancestors before forwarding)."""
+        return self.interest.matches_values(values)
+
+    def selectivity(self, schema: StreamSchema) -> float:
+        """Fraction of the stream the aggregate forwards."""
+        return interest_selectivity(self.interest, schema)
+
+
+def aggregate_interests(
+    interests: list[StreamInterest],
+    *,
+    max_intervals: int = 8,
+) -> InterestAggregate:
+    """Merge interests on one stream into a safe, bounded filter.
+
+    Args:
+        interests: Non-empty list of interests on a single stream.
+        max_intervals: Per-attribute complexity budget; interval sets
+            beyond it are widened (still a superset).
+
+    Raises:
+        ValueError: On an empty list or mixed stream ids.
+    """
+    if not interests:
+        raise ValueError("cannot aggregate zero interests")
+    stream_id = interests[0].stream_id
+    if any(i.stream_id != stream_id for i in interests):
+        raise ValueError("interests span multiple streams")
+
+    # An attribute survives only if every member constrains it.
+    common = set(interests[0].constraints)
+    for interest in interests[1:]:
+        common &= set(interest.constraints)
+
+    merged: dict[str, IntervalSet] = {}
+    for name in sorted(common):
+        union = interests[0].constraints[name]
+        for interest in interests[1:]:
+            union = union.union(interest.constraints[name])
+        merged[name] = union.widen_to(max_intervals)
+
+    return InterestAggregate(
+        interest=StreamInterest(stream_id=stream_id, constraints=merged),
+        member_count=len(interests),
+    )

@@ -1,0 +1,63 @@
+"""Analytic interest volumes and pairwise overlap.
+
+The paper weighs a query-graph edge with "the estimated arrival rate
+(bytes/second) of the data of interest to both end vertices" (§3.2.2).
+Given the schema's attribute distributions, that rate is computable in
+closed form: the selectivity of a conjunctive range interest is the
+product of the per-attribute probability masses, and the shared rate of
+two interests is the rate of their intersection.
+"""
+
+from __future__ import annotations
+
+from repro.interest.predicates import IntervalSet, StreamInterest
+from repro.streams.schema import StreamSchema
+
+
+def _interval_set_mass(schema: StreamSchema, name: str, ivs: IntervalSet) -> float:
+    """Probability mass of an interval set under the attribute's model."""
+    attr = schema.attribute(name)
+    return sum(attr.selectivity(iv.lo, iv.hi) for iv in ivs.intervals)
+
+
+def interest_selectivity(interest: StreamInterest, schema: StreamSchema) -> float:
+    """Fraction of the stream's tuples matching ``interest``.
+
+    Assumes attribute independence (the value models are independent per
+    attribute by construction).
+    """
+    if interest.stream_id != schema.stream_id:
+        raise ValueError(
+            f"interest on {interest.stream_id!r} vs schema {schema.stream_id!r}"
+        )
+    selectivity = 1.0
+    for name, ivs in interest.constraints.items():
+        selectivity *= _interval_set_mass(schema, name, ivs)
+        if selectivity == 0.0:
+            break
+    return selectivity
+
+
+def interest_rate(interest: StreamInterest, schema: StreamSchema) -> float:
+    """Bytes/second of stream data matching ``interest``."""
+    return schema.bytes_per_second * interest_selectivity(interest, schema)
+
+
+def overlap_selectivity(
+    a: StreamInterest, b: StreamInterest, schema: StreamSchema
+) -> float:
+    """Fraction of tuples matching both interests (0 across streams)."""
+    if a.stream_id != b.stream_id:
+        return 0.0
+    return interest_selectivity(a.intersect(b), schema)
+
+
+def overlap_rate(a: StreamInterest, b: StreamInterest, schema: StreamSchema) -> float:
+    """Bytes/second of stream data that *both* interests require.
+
+    This is the paper's query-graph edge weight: data that would be
+    transferred twice if the two queries landed on different entities.
+    """
+    if a.stream_id != b.stream_id:
+        return 0.0
+    return schema.bytes_per_second * overlap_selectivity(a, b, schema)

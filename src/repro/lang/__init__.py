@@ -1,0 +1,38 @@
+"""A small continuous-query language for the portal.
+
+The paper's portal serves "a huge number of clients" who submit
+continuous queries; this package gives those clients a declarative
+text syntax that compiles to :class:`~repro.query.spec.QuerySpec` — the
+loosely-coupled currency entities exchange:
+
+    SELECT AVG(price) FROM exchange-0.trades
+    WHERE price BETWEEN 100 AND 400 AND symbol BETWEEN 0 AND 19
+    WINDOW 10 GROUP BY symbol
+
+    SELECT * FROM exchange-0.trades JOIN exchange-1.trades
+    ON symbol WITHIN 2
+    WHERE exchange-0.trades.symbol BETWEEN 0 AND 9
+
+Grammar (informal):
+
+    query     := SELECT projection FROM source [join] [where] [window]
+    projection:= '*' | item (',' item)*     item := NAME | AGG '(' NAME ')'
+    join      := JOIN stream ON NAME [WITHIN number]
+    where     := WHERE predicate (AND predicate)*
+    predicate := [stream '.'] NAME BETWEEN number AND number
+               | [stream '.'] NAME cmp number          cmp := < <= > >=
+    window    := WINDOW number [GROUP BY NAME]
+"""
+
+from repro.lang.compiler import compile_query
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.parser import parse_query
+from repro.lang.tokens import Token, tokenize
+
+__all__ = [
+    "compile_query",
+    "parse_query",
+    "tokenize",
+    "Token",
+    "QuerySyntaxError",
+]

@@ -1,0 +1,166 @@
+"""Compile parsed query ASTs into :class:`QuerySpec` objects.
+
+Compilation validates names against the catalog, clips open comparison
+bounds to attribute domains, intersects repeated constraints, and maps
+the SELECT/WINDOW clauses onto the spec's aggregate/projection fields.
+"""
+
+from __future__ import annotations
+
+from repro.interest.predicates import Interval, IntervalSet, StreamInterest
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.parser import Predicate, parse_query
+from repro.query.spec import AggregateSpec, JoinSpec, QuerySpec
+from repro.streams.catalog import StreamCatalog, UnknownStreamError
+
+
+def _check_stream(catalog: StreamCatalog, stream_id: str):
+    try:
+        return catalog.schema(stream_id)
+    except UnknownStreamError:
+        raise QuerySyntaxError(f"unknown stream {stream_id!r}") from None
+
+
+def _check_attribute(schema, name: str) -> None:
+    if name not in schema.attribute_names():
+        raise QuerySyntaxError(
+            f"stream {schema.stream_id!r} has no attribute {name!r}"
+        )
+
+
+def _interest_for(
+    stream_id: str,
+    predicates: list[Predicate],
+    catalog: StreamCatalog,
+) -> StreamInterest:
+    schema = _check_stream(catalog, stream_id)
+    constraints: dict[str, IntervalSet] = {}
+    for predicate in predicates:
+        _check_attribute(schema, predicate.attribute)
+        attr = schema.attribute(predicate.attribute)
+        intervals = []
+        for raw_lo, raw_hi in predicate.interval_bounds():
+            lo = max(raw_lo, attr.lo)
+            hi = min(raw_hi, attr.hi)
+            if hi >= lo:
+                intervals.append(Interval(lo, hi))
+        if not intervals:
+            raise QuerySyntaxError(
+                f"predicate on {predicate.attribute!r} is empty after "
+                f"clipping to the attribute domain [{attr.lo}, {attr.hi}]"
+            )
+        ivs = IntervalSet(intervals)
+        if predicate.attribute in constraints:
+            constraints[predicate.attribute] = constraints[
+                predicate.attribute
+            ].intersect(ivs)
+            if constraints[predicate.attribute].is_empty:
+                raise QuerySyntaxError(
+                    f"conflicting predicates on {predicate.attribute!r}"
+                )
+        else:
+            constraints[predicate.attribute] = ivs
+    return StreamInterest(stream_id=stream_id, constraints=constraints)
+
+
+def compile_query(
+    text: str,
+    catalog: StreamCatalog,
+    *,
+    query_id: str,
+    cost_multiplier: float = 1.0,
+    client_x: float = 0.5,
+    client_y: float = 0.5,
+) -> QuerySpec:
+    """Compile query text into an executable :class:`QuerySpec`.
+
+    Raises:
+        QuerySyntaxError: On syntax errors or names missing from the
+            catalog.
+    """
+    ast = parse_query(text)
+    streams = [ast.stream]
+    if ast.join is not None:
+        if ast.join.stream == ast.stream:
+            raise QuerySyntaxError("cannot join a stream with itself")
+        streams.append(ast.join.stream)
+
+    # distribute predicates onto streams
+    per_stream: dict[str, list[Predicate]] = {s: [] for s in streams}
+    for predicate in ast.predicates:
+        if predicate.stream is not None:
+            if predicate.stream not in per_stream:
+                raise QuerySyntaxError(
+                    f"predicate references {predicate.stream!r}, which is "
+                    "not a FROM/JOIN stream"
+                )
+            per_stream[predicate.stream].append(predicate)
+        elif ast.join is not None:
+            # with two input streams, unqualified predicates apply to
+            # both (each stream keeps only attributes it has)
+            for stream_id in streams:
+                schema = _check_stream(catalog, stream_id)
+                if predicate.attribute in schema.attribute_names():
+                    per_stream[stream_id].append(predicate)
+        else:
+            per_stream[ast.stream].append(predicate)
+
+    interests = tuple(
+        _interest_for(stream_id, per_stream[stream_id], catalog)
+        for stream_id in streams
+    )
+
+    # SELECT clause -> aggregate + projection
+    aggregates = [item for item in ast.items if item.aggregate is not None]
+    plain = [item.attribute for item in ast.items if item.aggregate is None]
+    if len(aggregates) > 1:
+        raise QuerySyntaxError("at most one aggregate per query")
+    aggregate: AggregateSpec | None = None
+    if aggregates:
+        if ast.window is None:
+            raise QuerySyntaxError("an aggregate requires a WINDOW clause")
+        if ast.join is not None:
+            raise QuerySyntaxError(
+                "aggregates over joins are not supported; aggregate one "
+                "stream or join without aggregation"
+            )
+        item = aggregates[0]
+        schema = _check_stream(catalog, ast.stream)
+        _check_attribute(schema, item.attribute)
+        group_by = ast.window.group_by
+        if group_by is not None:
+            _check_attribute(schema, group_by)
+        aggregate = AggregateSpec(
+            attribute=item.attribute,
+            fn=item.aggregate,
+            window=ast.window.seconds,
+            group_by=group_by,
+        )
+        # aggregates emit {fn, window_end, group}; projecting raw names
+        # through them would drop everything, so plain items become the
+        # projection over aggregate outputs
+        project = tuple(plain + [item.aggregate]) if plain else None
+    elif ast.window is not None:
+        raise QuerySyntaxError("WINDOW without an aggregate in SELECT")
+    else:
+        project = tuple(plain) if (plain and not ast.select_all) else None
+
+    if ast.join is not None:
+        for stream_id in streams:
+            schema = _check_stream(catalog, stream_id)
+            _check_attribute(schema, ast.join.attribute)
+
+    return QuerySpec(
+        query_id=query_id,
+        interests=interests,
+        join=(
+            JoinSpec(attribute=ast.join.attribute, window=ast.join.window)
+            if ast.join is not None
+            else None
+        ),
+        aggregate=aggregate,
+        project=project,
+        cost_multiplier=cost_multiplier,
+        client_x=client_x,
+        client_y=client_y,
+    )

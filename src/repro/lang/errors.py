@@ -1,0 +1,18 @@
+"""Errors raised by the query language front-end."""
+
+from __future__ import annotations
+
+
+class QuerySyntaxError(ValueError):
+    """A query text failed to tokenize, parse, or compile.
+
+    Attributes:
+        message: What went wrong.
+        position: Character offset in the source text (when known).
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)

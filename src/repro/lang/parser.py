@@ -1,0 +1,269 @@
+"""Recursive-descent parser producing the query AST."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.tokens import (
+    AGGREGATES,
+    END,
+    NAME,
+    NUMBER,
+    SYMBOL,
+    Token,
+    tokenize,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectionItem:
+    """One SELECT item: a plain attribute or ``AGG(attribute)``."""
+
+    attribute: str
+    aggregate: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A range constraint, normalised to ``lo <= attr <= hi``.
+
+    ``stream`` is ``None`` for unqualified attributes; comparison
+    predicates use infinite bounds on the open side (the compiler clips
+    to the schema domain).  ``IN (a, b, c)`` lists compile to a union of
+    point ranges carried in ``ranges`` (``lo``/``hi`` then hold the
+    hull); plain predicates leave ``ranges`` as ``None``.
+    """
+
+    attribute: str
+    lo: float
+    hi: float
+    stream: str | None = None
+    ranges: tuple[tuple[float, float], ...] | None = None
+
+    def interval_bounds(self) -> tuple[tuple[float, float], ...]:
+        """The disjunctive ranges this predicate allows."""
+        if self.ranges is not None:
+            return self.ranges
+        return ((self.lo, self.hi),)
+
+
+@dataclass(frozen=True, slots=True)
+class JoinClause:
+    """``JOIN stream ON attribute [WITHIN seconds]``."""
+
+    stream: str
+    attribute: str
+    window: float = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class WindowClause:
+    """``WINDOW seconds [GROUP BY attribute]``."""
+
+    seconds: float
+    group_by: str | None = None
+
+
+@dataclass(frozen=True)
+class QueryAst:
+    """A parsed continuous query."""
+
+    stream: str
+    select_all: bool
+    items: tuple[ProjectionItem, ...]
+    predicates: tuple[Predicate, ...]
+    join: JoinClause | None = None
+    window: WindowClause | None = None
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != END:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self.current
+        if not token.is_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word.upper()}, found {token.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self.current
+        if not token.is_symbol(symbol):
+            raise QuerySyntaxError(
+                f"expected {symbol!r}, found {token.value!r}", token.position
+            )
+        return self._advance()
+
+    def _expect_name(self, what: str = "name") -> str:
+        token = self.current
+        if token.kind != NAME:
+            raise QuerySyntaxError(
+                f"expected {what}, found {token.value!r}", token.position
+            )
+        self._advance()
+        return token.value
+
+    def _expect_number(self) -> float:
+        token = self.current
+        if token.kind != NUMBER:
+            raise QuerySyntaxError(
+                f"expected a number, found {token.value!r}", token.position
+            )
+        self._advance()
+        return float(token.value)
+
+    # ------------------------------------------------------------------
+    def parse(self) -> QueryAst:
+        self._expect_keyword("select")
+        select_all, items = self._projection()
+        self._expect_keyword("from")
+        stream = self._expect_name("stream name")
+        join = self._join() if self.current.is_keyword("join") else None
+        predicates: tuple[Predicate, ...] = ()
+        if self.current.is_keyword("where"):
+            self._advance()
+            predicates = self._predicates()
+        window = self._window() if self.current.is_keyword("window") else None
+        if self.current.kind != END:
+            raise QuerySyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return QueryAst(
+            stream=stream,
+            select_all=select_all,
+            items=items,
+            predicates=predicates,
+            join=join,
+            window=window,
+        )
+
+    def _projection(self) -> tuple[bool, tuple[ProjectionItem, ...]]:
+        if self.current.is_symbol("*"):
+            self._advance()
+            return True, ()
+        items = [self._projection_item()]
+        while self.current.is_symbol(","):
+            self._advance()
+            items.append(self._projection_item())
+        return False, tuple(items)
+
+    def _projection_item(self) -> ProjectionItem:
+        name = self._expect_name("projection item")
+        if name.lower() in AGGREGATES and self.current.is_symbol("("):
+            self._advance()
+            attribute = self._expect_name("aggregated attribute")
+            self._expect_symbol(")")
+            return ProjectionItem(attribute=attribute, aggregate=name.lower())
+        return ProjectionItem(attribute=name)
+
+    def _join(self) -> JoinClause:
+        self._expect_keyword("join")
+        stream = self._expect_name("joined stream")
+        self._expect_keyword("on")
+        attribute = self._expect_name("join attribute")
+        window = 5.0
+        if self.current.is_keyword("within"):
+            self._advance()
+            window = self._expect_number()
+            if window <= 0:
+                raise QuerySyntaxError("WITHIN window must be positive")
+        return JoinClause(stream=stream, attribute=attribute, window=window)
+
+    def _predicates(self) -> tuple[Predicate, ...]:
+        predicates = [self._predicate()]
+        while self.current.is_keyword("and"):
+            self._advance()
+            predicates.append(self._predicate())
+        return tuple(predicates)
+
+    def _predicate(self) -> Predicate:
+        qualified = self._expect_name("attribute")
+        stream: str | None = None
+        attribute = qualified
+        # a stream qualifier looks like "<stream>.<attr>"; stream ids
+        # themselves contain dots, so split on the last one only when the
+        # prefix is plausible (contains a dot or dash, i.e. a stream id)
+        if "." in qualified:
+            prefix, __, last = qualified.rpartition(".")
+            if "." in prefix or "-" in prefix:
+                stream, attribute = prefix, last
+
+        token = self.current
+        if token.is_keyword("in"):
+            self._advance()
+            self._expect_symbol("(")
+            values = [self._expect_number()]
+            while self.current.is_symbol(","):
+                self._advance()
+                values.append(self._expect_number())
+            self._expect_symbol(")")
+            ranges = tuple(sorted((v, v) for v in values))
+            return Predicate(
+                attribute=attribute,
+                lo=min(values),
+                hi=max(values),
+                stream=stream,
+                ranges=ranges,
+            )
+        if token.is_keyword("between"):
+            self._advance()
+            lo = self._expect_number()
+            self._expect_keyword("and")
+            hi = self._expect_number()
+            if hi < lo:
+                raise QuerySyntaxError(
+                    f"BETWEEN bounds reversed: {lo} > {hi}", token.position
+                )
+            return Predicate(attribute=attribute, lo=lo, hi=hi, stream=stream)
+        if token.kind == SYMBOL and token.value in ("<", "<=", ">", ">=", "="):
+            op = token.value
+            self._advance()
+            value = self._expect_number()
+            if op == "=":
+                return Predicate(attribute, value, value, stream)
+            if op in ("<", "<="):
+                return Predicate(attribute, -math.inf, value, stream)
+            return Predicate(attribute, value, math.inf, stream)
+        raise QuerySyntaxError(
+            f"expected BETWEEN or a comparison, found {token.value!r}",
+            token.position,
+        )
+
+    def _window(self) -> WindowClause:
+        self._expect_keyword("window")
+        seconds = self._expect_number()
+        if seconds <= 0:
+            raise QuerySyntaxError("WINDOW length must be positive")
+        group_by = None
+        if self.current.is_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            group_by = self._expect_name("grouping attribute")
+        return WindowClause(seconds=seconds, group_by=group_by)
+
+
+def parse_query(text: str) -> QueryAst:
+    """Parse a query string into an AST.
+
+    Raises:
+        QuerySyntaxError: On any lexical or grammatical problem.
+    """
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,71 @@
+"""Render query ASTs back to canonical text.
+
+Useful for logging what the portal actually admitted, and it gives the
+test suite a parse/render round-trip property: ``parse(render(ast)) ==
+ast`` for every canonical AST.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lang.parser import Predicate, QueryAst
+
+
+def _number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_predicate(predicate: Predicate) -> str:
+    name = (
+        f"{predicate.stream}.{predicate.attribute}"
+        if predicate.stream is not None
+        else predicate.attribute
+    )
+    if predicate.ranges is not None:
+        values = ", ".join(_number(lo) for lo, __ in predicate.ranges)
+        return f"{name} IN ({values})"
+    if math.isinf(predicate.lo) and math.isinf(predicate.hi):
+        raise ValueError("predicate with two infinite bounds")
+    if math.isinf(predicate.lo):
+        return f"{name} <= {_number(predicate.hi)}"
+    if math.isinf(predicate.hi):
+        return f"{name} >= {_number(predicate.lo)}"
+    if predicate.lo == predicate.hi:
+        return f"{name} = {_number(predicate.lo)}"
+    return (
+        f"{name} BETWEEN {_number(predicate.lo)} AND {_number(predicate.hi)}"
+    )
+
+
+def render_query(ast: QueryAst) -> str:
+    """The canonical text form of a parsed query."""
+    if ast.select_all:
+        projection = "*"
+    else:
+        parts = []
+        for item in ast.items:
+            if item.aggregate is not None:
+                parts.append(f"{item.aggregate.upper()}({item.attribute})")
+            else:
+                parts.append(item.attribute)
+        projection = ", ".join(parts)
+    pieces = [f"SELECT {projection} FROM {ast.stream}"]
+    if ast.join is not None:
+        pieces.append(
+            f"JOIN {ast.join.stream} ON {ast.join.attribute} "
+            f"WITHIN {_number(ast.join.window)}"
+        )
+    if ast.predicates:
+        rendered = " AND ".join(
+            _render_predicate(p) for p in ast.predicates
+        )
+        pieces.append(f"WHERE {rendered}")
+    if ast.window is not None:
+        clause = f"WINDOW {_number(ast.window.seconds)}"
+        if ast.window.group_by is not None:
+            clause += f" GROUP BY {ast.window.group_by}"
+        pieces.append(clause)
+    return " ".join(pieces)

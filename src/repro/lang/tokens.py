@@ -1,0 +1,98 @@
+"""Tokenizer for the continuous-query language.
+
+Stream names may contain dots and dashes (``exchange-0.trades``), so a
+NAME token is greedy over ``[A-Za-z0-9_.-]`` and keywords are recognised
+case-insensitively afterwards.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.errors import QuerySyntaxError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "between",
+    "in",
+    "join",
+    "on",
+    "within",
+    "window",
+    "group",
+    "by",
+    "as",
+}
+
+AGGREGATES = {"avg", "sum", "count", "min", "max"}
+
+# token kinds
+NAME = "NAME"
+NUMBER = "NUMBER"
+KEYWORD = "KEYWORD"
+SYMBOL = "SYMBOL"
+END = "END"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<symbol><=|>=|[*(),<>=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword test."""
+        return self.kind == KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        """Exact symbol test."""
+        return self.kind == SYMBOL and self.value == symbol
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a query string.
+
+    Raises:
+        QuerySyntaxError: On any unrecognised character.
+    """
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r}", position
+            )
+        if match.lastgroup == "ws":
+            position = match.end()
+            continue
+        value = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(NUMBER, value, position))
+        elif match.lastgroup == "name":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, position))
+            else:
+                tokens.append(Token(NAME, value, position))
+        else:
+            tokens.append(Token(SYMBOL, value, position))
+        position = match.end()
+    tokens.append(Token(END, "", len(text)))
+    return tokens

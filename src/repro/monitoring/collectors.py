@@ -1,0 +1,49 @@
+"""Per-entity load sampling."""
+
+from __future__ import annotations
+
+from repro.core.entity import Entity
+from repro.monitoring.reports import LoadReport
+from repro.ordering.statistics import EwmaEstimator
+from repro.simulation.simulator import Simulator
+
+
+class EntityLoadCollector:
+    """Samples one entity's processors into smoothed load reports.
+
+    Utilisation is estimated from the *busy-time delta* between
+    samples, so the estimate tracks the current regime rather than the
+    lifetime mean; backlog is the instantaneous worst queue.
+    """
+
+    def __init__(
+        self, sim: Simulator, entity: Entity, *, alpha: float = 0.4
+    ) -> None:
+        self.sim = sim
+        self.entity = entity
+        self._load = EwmaEstimator(alpha=alpha)
+        self._last_busy = 0.0
+        self._last_time = sim.now
+        self.samples = 0
+
+    def sample(self) -> LoadReport:
+        """Take one sample and return the smoothed report."""
+        now = self.sim.now
+        busy = sum(
+            proc.stats.busy_time for proc in self.entity.processors.values()
+        )
+        elapsed = now - self._last_time
+        procs = max(1, len(self.entity.processors))
+        if elapsed > 0:
+            instantaneous = (busy - self._last_busy) / (elapsed * procs)
+            self._load.update(min(1.0, max(0.0, instantaneous)))
+        self._last_busy = busy
+        self._last_time = now
+        self.samples += 1
+        return LoadReport(
+            entity_id=self.entity.entity_id,
+            cpu_load=self._load.value_or(0.0),
+            backlog_seconds=self.entity.max_backlog(),
+            query_count=self.entity.query_count,
+            timestamp=now,
+        )

@@ -1,0 +1,43 @@
+"""Report records exchanged by the monitoring hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LoadReport:
+    """One entity's self-measurement at one instant.
+
+    Attributes:
+        entity_id: The reporting entity.
+        cpu_load: Mean processor utilisation estimate in [0, 1].
+        backlog_seconds: Worst queued service backlog across processors.
+        query_count: Queries hosted.
+        timestamp: Virtual time of the sample.
+    """
+
+    entity_id: str
+    cpu_load: float
+    backlog_seconds: float
+    query_count: int
+    timestamp: float
+
+
+@dataclass(frozen=True, slots=True)
+class SubtreeLoad:
+    """A coordinator's aggregate view of one child subtree."""
+
+    member_id: str
+    entity_count: int
+    total_cpu_load: float
+    max_backlog: float
+    total_queries: int
+    timestamp: float
+
+    @property
+    def mean_cpu_load(self) -> float:
+        """Average utilisation across the subtree's entities."""
+        if not self.entity_count:
+            return 0.0
+        return self.total_cpu_load / self.entity_count

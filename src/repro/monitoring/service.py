@@ -1,0 +1,152 @@
+"""The hierarchical monitoring service.
+
+Every ``report_interval`` seconds each entity reports to its leaf
+coordinator (one message per entity), and each coordinator forwards a
+single *aggregate* to its parent (one message per cluster per level).
+The root therefore learns system-wide load with O(entities) messages
+per round while any coordinator stores only O(k) child aggregates —
+the information diet that makes the tree scalable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.coordination.tree import CoordinatorTree
+from repro.monitoring.collectors import EntityLoadCollector
+from repro.monitoring.reports import LoadReport, SubtreeLoad
+from repro.simulation.simulator import Simulator
+
+
+class MonitoringService:
+    """Collects entity reports and aggregates them up the tree."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tree: CoordinatorTree,
+        *,
+        report_interval: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.tree = tree
+        self.report_interval = report_interval
+        self._collectors: dict[str, EntityLoadCollector] = {}
+        self._reports: dict[str, LoadReport] = {}
+        self._subtree: dict[tuple[str, int], SubtreeLoad] = {}
+        self.report_messages = 0
+        self.rounds = 0
+        self._stop: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    def register(self, collector: EntityLoadCollector) -> None:
+        """Track one entity (id must match its tree membership)."""
+        self._collectors[collector.entity.entity_id] = collector
+
+    def deregister(self, entity_id: str) -> None:
+        """Stop tracking a departed entity."""
+        self._collectors.pop(entity_id, None)
+        self._reports.pop(entity_id, None)
+
+    def start(self) -> None:
+        """Begin periodic reporting rounds."""
+        if self._stop is None:
+            self._stop = self.sim.every(self.report_interval, self.run_round)
+
+    def stop(self) -> None:
+        """Halt periodic reporting."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> None:
+        """One reporting round: entities report, coordinators aggregate."""
+        self.rounds += 1
+        for entity_id, collector in self._collectors.items():
+            if entity_id not in self.tree.members:
+                continue
+            self._reports[entity_id] = collector.sample()
+            self.report_messages += 1  # entity -> leaf coordinator
+
+        # aggregate level by level: each cluster's leader combines its
+        # members' aggregates and reports upward
+        self._subtree.clear()
+        for level in range(self.tree.depth):
+            for cluster in self.tree.layers[level]:
+                for member_id in cluster.member_ids:
+                    self._subtree[(member_id, level)] = self._aggregate(
+                        member_id, level
+                    )
+                if level + 1 < self.tree.depth:
+                    self.report_messages += 1  # leader -> parent
+
+    def _aggregate(self, member_id: str, level: int) -> SubtreeLoad:
+        if level == 0:
+            report = self._reports.get(member_id)
+            if report is None:
+                return SubtreeLoad(member_id, 0, 0.0, 0.0, 0, self.sim.now)
+            return SubtreeLoad(
+                member_id=member_id,
+                entity_count=1,
+                total_cpu_load=report.cpu_load,
+                max_backlog=report.backlog_seconds,
+                total_queries=report.query_count,
+                timestamp=report.timestamp,
+            )
+        cluster = self.tree.cluster_led_by(level - 1, member_id)
+        children = [
+            self._subtree.get((child, level - 1))
+            or self._aggregate(child, level - 1)
+            for child in cluster.member_ids
+        ]
+        return SubtreeLoad(
+            member_id=member_id,
+            entity_count=sum(c.entity_count for c in children),
+            total_cpu_load=sum(c.total_cpu_load for c in children),
+            max_backlog=max((c.max_backlog for c in children), default=0.0),
+            total_queries=sum(c.total_queries for c in children),
+            timestamp=self.sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def entity_report(self, entity_id: str) -> LoadReport | None:
+        """Latest report for one entity (``None`` before the first round)."""
+        return self._reports.get(entity_id)
+
+    def subtree_view(self, member_id: str, level: int) -> SubtreeLoad | None:
+        """A coordinator's latest aggregate for one child subtree."""
+        return self._subtree.get((member_id, level))
+
+    def root_view(self) -> SubtreeLoad | None:
+        """The root's whole-system aggregate.
+
+        The root coordinator combines the aggregates of every member of
+        the top cluster (including its own subtree's).
+        """
+        root = self.tree.root_id
+        if root is None or not self.tree.layers:
+            return None
+        top_level = self.tree.depth - 1
+        members = self.tree.layers[-1][0].member_ids
+        children = [
+            self._subtree.get((member, top_level)) for member in members
+        ]
+        children = [c for c in children if c is not None]
+        if not children:
+            return None
+        return SubtreeLoad(
+            member_id=root,
+            entity_count=sum(c.entity_count for c in children),
+            total_cpu_load=sum(c.total_cpu_load for c in children),
+            max_backlog=max(c.max_backlog for c in children),
+            total_queries=sum(c.total_queries for c in children),
+            timestamp=self.sim.now,
+        )
+
+    def load_of(self, entity_id: str) -> float:
+        """Router-friendly accessor: smoothed CPU load of an entity."""
+        report = self._reports.get(entity_id)
+        return report.cpu_load if report is not None else 0.0

@@ -1,0 +1,32 @@
+"""Adaptive distributed operator ordering (§4.2).
+
+An engine-independent **Adaptation Module (AM)** "intercepts the input
+and output stream of the processing engine", keeps statistics about the
+candidate downstream processors (workload, fragment selectivities,
+bandwidth), and "adaptively chooses the immediate downstream processor
+for an output tuple".
+
+The package models a set of *commutative* fragments (each hosted on a
+processor) that every tuple must traverse in some order; the AM at each
+hop picks which of the remaining fragments to visit next.
+"""
+
+from repro.ordering.adaptation_module import AdaptationModule, OrderingNetwork
+from repro.ordering.policies import (
+    AdaptivePolicy,
+    OrderingPolicy,
+    RandomPolicy,
+    StaticPolicy,
+)
+from repro.ordering.statistics import CandidateStats, EwmaEstimator
+
+__all__ = [
+    "AdaptationModule",
+    "OrderingNetwork",
+    "OrderingPolicy",
+    "StaticPolicy",
+    "RandomPolicy",
+    "AdaptivePolicy",
+    "EwmaEstimator",
+    "CandidateStats",
+]

@@ -1,0 +1,189 @@
+"""The Adaptation Module and the ordering network it runs in.
+
+An :class:`OrderingNetwork` wires a set of commutative fragments — each
+installed on its own processor's engine — so that every input tuple
+visits all of them in *some* order.  The :class:`AdaptationModule` sits
+in front of the engines (it "intercepts the input and output stream"),
+probes candidates periodically, and picks the next hop per tuple via a
+pluggable policy.  Tuples that a fragment drops terminate immediately:
+the earlier the drop, the less CPU and bandwidth the query burns, which
+is the whole point of adapting the order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine.executor import LocalEngine
+from repro.engine.plan import Fragment
+from repro.ordering.policies import AdaptivePolicy, OrderingPolicy
+from repro.ordering.statistics import CandidateStats
+from repro.simulation.network import Network
+from repro.simulation.simulator import Simulator
+from repro.streams.tuples import StreamTuple
+
+
+@dataclass
+class _Station:
+    """One commutative fragment hosted on one engine/processor."""
+
+    fragment: Fragment
+    engine: LocalEngine
+    node_id: str
+    stats: CandidateStats
+
+
+class AdaptationModule:
+    """Per-tuple next-hop selection over (stale) candidate statistics."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: OrderingPolicy | None = None,
+        *,
+        refresh_interval: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.policy = policy or AdaptivePolicy()
+        self.refresh_interval = refresh_interval
+        self.probe_messages = 0
+        self._stations: dict[str, _Station] = {}
+        self._stop: Callable[[], None] | None = None
+
+    def register(self, station: _Station) -> None:
+        """Add a candidate station to this AM's view."""
+        self._stations[station.fragment.fragment_id] = station
+
+    def start(self) -> None:
+        """Begin periodic statistic refreshes."""
+        if self._stop is None:
+            self._refresh()
+            self._stop = self.sim.every(self.refresh_interval, self._refresh)
+
+    def stop(self) -> None:
+        """Stop refreshing."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _refresh(self) -> None:
+        for station in self._stations.values():
+            self.probe_messages += 1
+            fragment = station.fragment
+            observed_sel = fragment.selectivity()
+            station.stats.refresh(
+                self.sim.now,
+                queue_wait=station.engine.processor.expected_wait(),
+                selectivity=observed_sel,
+                cost=fragment.cost_per_input_tuple(),
+            )
+
+    def choose_next(
+        self, remaining: list[str], rng: random.Random
+    ) -> _Station:
+        """Pick the next station among ``remaining`` fragment ids."""
+        candidates = [self._stations[fid].stats for fid in remaining]
+        chosen = self.policy.choose(candidates, rng)
+        return self._stations[chosen.fragment_id]
+
+
+class OrderingNetwork:
+    """Runs tuples through commutative fragments in an adaptive order.
+
+    Args:
+        sim: The simulator.
+        network: The (LAN) network between the processors.
+        am: The adaptation module deciding next hops.
+        entry_node: Network node id where tuples arrive (the delegation
+            processor).
+        sink: Called with each tuple that survives every fragment.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        am: AdaptationModule,
+        entry_node: str,
+        *,
+        sink: Callable[[StreamTuple], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.am = am
+        self.entry_node = entry_node
+        self.sink = sink
+        self.rng = random.Random(0)
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.latency_sum = 0.0
+        self._stations: list[_Station] = []
+
+    # ------------------------------------------------------------------
+    def add_station(
+        self, fragment: Fragment, engine: LocalEngine, node_id: str
+    ) -> None:
+        """Host one commutative fragment on an engine; register with the AM."""
+        station = _Station(
+            fragment=fragment,
+            engine=engine,
+            node_id=node_id,
+            stats=CandidateStats(
+                fragment_id=fragment.fragment_id,
+                proc_id=engine.processor.proc_id,
+            ),
+        )
+        self._stations.append(station)
+        self.am.register(station)
+        engine.install(fragment, downstream=None)
+
+    def station_ids(self) -> list[str]:
+        """Fragment ids of all stations."""
+        return [s.fragment.fragment_id for s in self._stations]
+
+    # ------------------------------------------------------------------
+    def ingest(self, tup: StreamTuple) -> None:
+        """Run one tuple through every station in an adaptive order."""
+        self.tuples_in += 1
+        remaining = self.station_ids()
+        self._dispatch(tup, remaining, self.entry_node)
+
+    def _dispatch(
+        self, tup: StreamTuple, remaining: list[str], from_node: str
+    ) -> None:
+        if not remaining:
+            self.tuples_out += 1
+            self.latency_sum += self.sim.now - tup.created_at
+            if self.sink is not None:
+                self.sink(tup)
+            return
+        station = self.am.choose_next(remaining, self.rng)
+        next_remaining = [
+            fid for fid in remaining if fid != station.fragment.fragment_id
+        ]
+
+        def arrived(payload: StreamTuple) -> None:
+            self._process_at(station, payload, next_remaining)
+
+        self.network.send(
+            from_node, station.node_id, tup.size, payload=tup, on_delivery=arrived
+        )
+
+    def _process_at(
+        self, station: _Station, tup: StreamTuple, remaining: list[str]
+    ) -> None:
+        def downstream(out: StreamTuple) -> None:
+            self._dispatch(out, remaining, station.node_id)
+
+        station.engine.ingest(
+            station.fragment.fragment_id, tup, downstream=downstream
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency of surviving tuples."""
+        if not self.tuples_out:
+            return 0.0
+        return self.latency_sum / self.tuples_out

@@ -1,0 +1,75 @@
+"""Downstream-choice policies for the Adaptation Module.
+
+The adaptive policy uses the classical rank criterion for pipelined
+selection ordering — visit next the fragment with the lowest
+``(expected time) / (expected drop probability)`` — where expected time
+includes the candidate processor's queueing delay, so both selectivity
+drift *and* load drift steer the ordering.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ordering.statistics import CandidateStats
+
+
+class OrderingPolicy:
+    """Chooses the next fragment among the remaining candidates."""
+
+    def choose(
+        self, candidates: list[CandidateStats], rng: random.Random
+    ) -> CandidateStats:
+        """Pick one candidate; ``candidates`` is non-empty."""
+        raise NotImplementedError
+
+
+class StaticPolicy(OrderingPolicy):
+    """Always follow the fixed, compile-time order (lowest fragment id).
+
+    This is the non-adaptive baseline: the order chosen at placement
+    time is kept forever, however selectivities drift.
+    """
+
+    def choose(
+        self, candidates: list[CandidateStats], rng: random.Random
+    ) -> CandidateStats:
+        return min(candidates, key=lambda c: c.fragment_id)
+
+
+class RandomPolicy(OrderingPolicy):
+    """Uniform random order (a sanity baseline)."""
+
+    def choose(
+        self, candidates: list[CandidateStats], rng: random.Random
+    ) -> CandidateStats:
+        return rng.choice(candidates)
+
+
+class AdaptivePolicy(OrderingPolicy):
+    """Rank-based adaptive ordering on (stale) statistics.
+
+    ``rank = (queue_wait * wait_weight + cost) / max(eps, 1 - selectivity)``
+
+    Lower rank first: cheap, highly-selective fragments on lightly
+    loaded processors drop tuples early, sparing downstream work.
+    """
+
+    def __init__(self, *, wait_weight: float = 1.0, epsilon: float = 0.05) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.wait_weight = wait_weight
+        self.epsilon = epsilon
+
+    def rank(self, candidate: CandidateStats) -> float:
+        """The candidate's current rank (lower = visit sooner)."""
+        wait = candidate.queue_wait.value_or(0.0)
+        cost = candidate.cost.value_or(1e-4)
+        selectivity = candidate.selectivity.value_or(0.5)
+        drop = max(self.epsilon, 1.0 - selectivity)
+        return (wait * self.wait_weight + cost) / drop
+
+    def choose(
+        self, candidates: list[CandidateStats], rng: random.Random
+    ) -> CandidateStats:
+        return min(candidates, key=lambda c: (self.rank(c), c.fragment_id))

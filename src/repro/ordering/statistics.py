@@ -1,0 +1,85 @@
+"""Runtime statistics the Adaptation Module keeps per candidate.
+
+"The AM continuously collects statistics of these candidate processors,
+such as workload, selectivities of the query fragments and the
+bandwidth usage etc."  Statistics are refreshed by periodic probes (not
+read instantaneously), so adaptivity operates on slightly stale
+information exactly as a real deployment would — the staleness interval
+is an ablation knob in E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average with a sane empty state."""
+
+    def __init__(self, alpha: float = 0.3, initial: float | None = None) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value = initial
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in and return the new estimate."""
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = self.alpha * sample + (1 - self.alpha) * self._value
+        self.samples += 1
+        return self._value
+
+    @property
+    def value(self) -> float | None:
+        """Current estimate (``None`` before any sample)."""
+        return self._value
+
+    def value_or(self, default: float) -> float:
+        """Current estimate with a fallback."""
+        return self._value if self._value is not None else default
+
+
+@dataclass
+class CandidateStats:
+    """The AM's (possibly stale) view of one candidate fragment/processor.
+
+    Attributes:
+        fragment_id: The candidate fragment.
+        proc_id: The processor hosting it.
+        queue_wait: EWMA of the processor's expected queueing delay.
+        selectivity: EWMA of the fragment's observed selectivity.
+        cost: EWMA of the fragment's per-tuple CPU cost.
+        last_refresh: Virtual time of the last probe.
+    """
+
+    fragment_id: str
+    proc_id: str
+    queue_wait: EwmaEstimator = field(
+        default_factory=lambda: EwmaEstimator(alpha=0.3)
+    )
+    selectivity: EwmaEstimator = field(
+        default_factory=lambda: EwmaEstimator(alpha=0.3)
+    )
+    cost: EwmaEstimator = field(default_factory=lambda: EwmaEstimator(alpha=0.3))
+    last_refresh: float = 0.0
+
+    def refresh(
+        self,
+        now: float,
+        *,
+        queue_wait: float,
+        selectivity: float,
+        cost: float,
+    ) -> None:
+        """Fold a probe's readings into the estimators."""
+        self.queue_wait.update(queue_wait)
+        self.selectivity.update(selectivity)
+        self.cost.update(cost)
+        self.last_refresh = now
+
+    def staleness(self, now: float) -> float:
+        """Seconds since the last probe."""
+        return now - self.last_refresh

@@ -1,0 +1,38 @@
+"""Intra-entity operator placement (§4.1).
+
+The entity receives streams through per-stream *delegation* processors,
+cuts each query plan into fragments, and assigns fragments to processors
+to minimise the worst **Performance Ratio** ``PR_k = d_k / p_k`` using
+the paper's three heuristics:
+
+1. balance load across processors (waiting time);
+2. bound each query's spread by its *distribution limit* (network hops);
+3. minimise inter-processor traffic subject to 1 and 2.
+
+Because of delegation, this is an *assignment* problem — processors are
+not interchangeable — which the paper contrasts with the Flux/Borealis
+partitioning formulation (experiment E11).
+"""
+
+from repro.placement.baselines import (
+    LoadOnlyPlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+    SingleNodePlacer,
+)
+from repro.placement.delegation import DelegationScheme
+from repro.placement.fragments import fragment_plan
+from repro.placement.performance_ratio import PerformanceTracker
+from repro.placement.placer import PlacementPlan, PRPlacer
+
+__all__ = [
+    "DelegationScheme",
+    "fragment_plan",
+    "PRPlacer",
+    "PlacementPlan",
+    "PerformanceTracker",
+    "RandomPlacer",
+    "RoundRobinPlacer",
+    "LoadOnlyPlacer",
+    "SingleNodePlacer",
+]

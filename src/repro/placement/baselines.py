@@ -1,0 +1,126 @@
+"""Placement baselines for experiments E9 and E11.
+
+All baselines share :class:`PRPlacer`'s output type so the entity
+runtime and benchmarks can swap them freely:
+
+* :class:`RandomPlacer` — fragments land anywhere;
+* :class:`RoundRobinPlacer` — fragments cycle over processors
+  (Flux/Borealis-style partitioning that treats all processors as
+  identical, ignoring delegation — the *partitioning* formulation the
+  paper contrasts with its *assignment* problem);
+* :class:`LoadOnlyPlacer` — pure least-loaded, traffic-blind and
+  distribution-limit-blind (heuristic 1 alone);
+* :class:`SingleNodePlacer` — a whole query on one processor
+  (query-level load sharing; distribution limit 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.placement.placer import PlacementJob, PlacementPlan, _fragment_rates
+
+
+class RandomPlacer:
+    """Uniform random fragment placement."""
+
+    def __init__(self, processors: dict[str, float], *, seed: int = 0) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = dict(processors)
+        self._rng = random.Random(seed)
+
+    def place(self, jobs: list[PlacementJob]) -> PlacementPlan:
+        """Place every fragment uniformly at random."""
+        plan = PlacementPlan(predicted_load={p: 0.0 for p in self.processors})
+        procs = sorted(self.processors)
+        for job in jobs:
+            for fragment, (rate, __) in zip(job.fragments, _fragment_rates(job)):
+                proc = self._rng.choice(procs)
+                plan.assignment[fragment.fragment_id] = proc
+                plan.predicted_load[proc] += fragment.estimated_load(rate)
+        return plan
+
+
+class RoundRobinPlacer:
+    """Cycle fragments over all processors (partitioning-style)."""
+
+    def __init__(self, processors: dict[str, float]) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = dict(processors)
+
+    def place(self, jobs: list[PlacementJob]) -> PlacementPlan:
+        """Place fragments cyclically, ignoring delegation and limits."""
+        plan = PlacementPlan(predicted_load={p: 0.0 for p in self.processors})
+        procs = sorted(self.processors)
+        index = 0
+        for job in jobs:
+            for fragment, (rate, __) in zip(job.fragments, _fragment_rates(job)):
+                proc = procs[index % len(procs)]
+                index += 1
+                plan.assignment[fragment.fragment_id] = proc
+                plan.predicted_load[proc] += fragment.estimated_load(rate)
+        return plan
+
+
+class LoadOnlyPlacer:
+    """Greedy least-normalised-load placement (heuristic 1 only)."""
+
+    def __init__(self, processors: dict[str, float]) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = dict(processors)
+
+    def place(self, jobs: list[PlacementJob]) -> PlacementPlan:
+        """Each fragment to the currently least-loaded processor."""
+        plan = PlacementPlan(predicted_load={p: 0.0 for p in self.processors})
+        for job in jobs:
+            for fragment, (rate, __) in zip(job.fragments, _fragment_rates(job)):
+                load = fragment.estimated_load(rate)
+                proc = min(
+                    self.processors,
+                    key=lambda p: (
+                        (plan.predicted_load[p] + load) / self.processors[p],
+                        p,
+                    ),
+                )
+                plan.assignment[fragment.fragment_id] = proc
+                plan.predicted_load[proc] += load
+        return plan
+
+
+class SingleNodePlacer:
+    """Whole-query placement: distribution limit pinned to 1."""
+
+    def __init__(self, processors: dict[str, float]) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = dict(processors)
+
+    def place(self, jobs: list[PlacementJob]) -> PlacementPlan:
+        """Each query entirely on the least-loaded processor."""
+        plan = PlacementPlan(predicted_load={p: 0.0 for p in self.processors})
+        ordered = sorted(
+            jobs,
+            key=lambda j: -sum(
+                f.estimated_load(r)
+                for f, (r, __) in zip(j.fragments, _fragment_rates(j))
+            ),
+        )
+        for job in ordered:
+            total = sum(
+                f.estimated_load(r)
+                for f, (r, __) in zip(job.fragments, _fragment_rates(job))
+            )
+            proc = min(
+                self.processors,
+                key=lambda p: (
+                    (plan.predicted_load[p] + total) / self.processors[p],
+                    p,
+                ),
+            )
+            for fragment in job.fragments:
+                plan.assignment[fragment.fragment_id] = proc
+            plan.predicted_load[proc] += total
+        return plan

@@ -1,0 +1,71 @@
+"""Stream delegation inside an entity (§4, Figure 3).
+
+"Relying on a single processor to receive all the streams is not
+scalable.  Hence, we assign a processor as the delegation of each data
+stream that is sent to the entity.  The delegation processor is
+responsible to route the streams to other processors in the same entity
+as well as to transfer the streams to the child entities."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DelegationScheme:
+    """Maps each incoming stream to its delegation processor.
+
+    Assignment is greedy: each new stream goes to the processor with
+    the least total delegated *rate* (bytes/second), so intake work is
+    spread across the cluster.
+
+    Args:
+        processor_ids: The entity's processors, in preference order.
+    """
+
+    processor_ids: list[str]
+    _delegate: dict[str, str] = field(default_factory=dict)
+    _rates: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.processor_ids:
+            raise ValueError("an entity needs at least one processor")
+        for proc in self.processor_ids:
+            self._rates.setdefault(proc, 0.0)
+
+    # ------------------------------------------------------------------
+    def assign(self, stream_id: str, rate: float) -> str:
+        """Delegate ``stream_id`` (idempotent) and return the processor."""
+        existing = self._delegate.get(stream_id)
+        if existing is not None:
+            return existing
+        proc = min(self.processor_ids, key=lambda p: (self._rates[p], p))
+        self._delegate[stream_id] = proc
+        self._rates[proc] += rate
+        return proc
+
+    def release(self, stream_id: str, rate: float) -> None:
+        """Remove a delegation when a stream is no longer received."""
+        proc = self._delegate.pop(stream_id, None)
+        if proc is not None:
+            self._rates[proc] = max(0.0, self._rates[proc] - rate)
+
+    def delegate_of(self, stream_id: str) -> str | None:
+        """The processor delegated for a stream (``None`` if unassigned)."""
+        return self._delegate.get(stream_id)
+
+    def delegated_streams(self, proc_id: str) -> list[str]:
+        """Streams delegated to one processor."""
+        return sorted(
+            s for s, p in self._delegate.items() if p == proc_id
+        )
+
+    def intake_rate(self, proc_id: str) -> float:
+        """Bytes/second of stream intake delegated to one processor."""
+        return self._rates.get(proc_id, 0.0)
+
+    @property
+    def stream_count(self) -> int:
+        """Number of delegated streams."""
+        return len(self._delegate)

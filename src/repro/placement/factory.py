@@ -1,0 +1,34 @@
+"""Placer construction by name (used by entity config and benches)."""
+
+from __future__ import annotations
+
+from repro.placement.baselines import (
+    LoadOnlyPlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+    SingleNodePlacer,
+)
+from repro.placement.placer import PRPlacer
+
+PLACER_NAMES = ("pr", "load", "random", "rr", "single")
+
+
+def make_placer(name: str, processors: dict[str, float], *, seed: int = 0):
+    """Build a placer by strategy name.
+
+    Args:
+        name: One of ``pr``, ``load``, ``random``, ``rr``, ``single``.
+        processors: Processor id -> speed.
+        seed: Seed for randomised placers.
+    """
+    if name == "pr":
+        return PRPlacer(processors)
+    if name == "load":
+        return LoadOnlyPlacer(processors)
+    if name == "random":
+        return RandomPlacer(processors, seed=seed)
+    if name == "rr":
+        return RoundRobinPlacer(processors)
+    if name == "single":
+        return SingleNodePlacer(processors)
+    raise ValueError(f"unknown placer {name!r}; pick from {PLACER_NAMES}")

@@ -1,0 +1,83 @@
+"""Query fragmentation under a distribution limit.
+
+A query may spread over at most ``distribution_limit`` processors, "so
+that communication overhead of a query is limited" (§4.1 heuristic 2).
+Fragmentation therefore cuts the pipeline into at most that many
+contiguous pieces, choosing cut points that (a) balance the expected CPU
+cost of the pieces and (b) prefer cutting where the inter-fragment tuple
+rate is low — both via a small exact search over cut combinations (plans
+are short pipelines).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.engine.plan import Fragment, QueryPlan
+
+
+def _prefix_costs(plan: QueryPlan) -> tuple[list[float], list[float]]:
+    """Per-operator discounted costs and post-operator carried selectivity."""
+    costs: list[float] = []
+    carried_after: list[float] = []
+    carried = 1.0
+    for op in plan.operators:
+        costs.append(carried * op.cost_per_tuple)
+        carried *= op.selectivity
+        carried_after.append(carried)
+    return costs, carried_after
+
+
+def _score(
+    cuts: tuple[int, ...],
+    costs: list[float],
+    carried_after: list[float],
+    rate_weight: float,
+) -> float:
+    """Lower is better: max fragment cost + weighted cut-rate penalty."""
+    boundaries = [*cuts, len(costs) - 1]
+    start = 0
+    max_cost = 0.0
+    for cut in boundaries:
+        max_cost = max(max_cost, sum(costs[start : cut + 1]))
+        start = cut + 1
+    cut_rate = sum(carried_after[c] for c in cuts)
+    return max_cost + rate_weight * cut_rate
+
+
+def fragment_plan(
+    plan: QueryPlan,
+    max_fragments: int,
+    *,
+    rate_weight: float = 1e-6,
+) -> list[Fragment]:
+    """Cut ``plan`` into at most ``max_fragments`` balanced fragments.
+
+    Args:
+        plan: The pipeline to cut.
+        max_fragments: The query's distribution limit (>= 1).
+        rate_weight: Trade-off between fragment cost balance and the
+            tuple rate crossing the cuts.
+
+    Returns:
+        The chosen fragments (one fragment when the limit is 1 or the
+        plan is a single operator).
+    """
+    if max_fragments < 1:
+        raise ValueError("max_fragments must be >= 1")
+    n = len(plan.operators)
+    fragment_count = min(max_fragments, n)
+    if fragment_count == 1:
+        return [plan.as_single_fragment()]
+
+    costs, carried_after = _prefix_costs(plan)
+    candidate_positions = range(n - 1)
+    best_cuts: tuple[int, ...] = ()
+    best_score = _score((), costs, carried_after, rate_weight)
+    for count in range(1, fragment_count):
+        for cuts in itertools.combinations(candidate_positions, count):
+            score = _score(cuts, costs, carried_after, rate_weight)
+            if score < best_score:
+                best_score = score
+                best_cuts = cuts
+    return plan.split(list(best_cuts))

@@ -1,0 +1,89 @@
+"""The Performance Ratio metric (§4.1).
+
+"The PR of a query q_k is defined as PR_k = d_k / p_k.  Our objective is
+to minimize the worst relative performance among all the queries, i.e.
+PR_max = max PR_k."
+
+``d_k`` is the observed end-to-end result delay; ``p_k`` the query's
+inherent complexity (its evaluation CPU time), so PR normalises away the
+fact that heavy queries are legitimately slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerformanceTracker:
+    """Accumulates result delays and computes PR per query."""
+
+    _complexity: dict[str, float] = field(default_factory=dict)
+    _delay_sum: dict[str, float] = field(default_factory=dict)
+    _delay_count: dict[str, int] = field(default_factory=dict)
+
+    def set_complexity(self, query_id: str, p_k: float) -> None:
+        """Declare the inherent evaluation time of one query."""
+        if p_k <= 0:
+            raise ValueError("inherent complexity must be positive")
+        self._complexity[query_id] = p_k
+
+    def record_result(self, query_id: str, delay: float) -> None:
+        """Account one result tuple's end-to-end delay ``d_k``."""
+        self._delay_sum[query_id] = self._delay_sum.get(query_id, 0.0) + delay
+        self._delay_count[query_id] = self._delay_count.get(query_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    def mean_delay(self, query_id: str) -> float:
+        """Mean observed delay of a query's results."""
+        count = self._delay_count.get(query_id, 0)
+        if not count:
+            return 0.0
+        return self._delay_sum[query_id] / count
+
+    def pr(self, query_id: str) -> float | None:
+        """PR_k, or ``None`` before the first result / without p_k."""
+        p_k = self._complexity.get(query_id)
+        if p_k is None or not self._delay_count.get(query_id):
+            return None
+        return self.mean_delay(query_id) / p_k
+
+    def pr_values(self) -> dict[str, float]:
+        """All queries with a defined PR."""
+        out = {}
+        for query_id in self._complexity:
+            value = self.pr(query_id)
+            if value is not None:
+                out[query_id] = value
+        return out
+
+    def pr_max(self) -> float:
+        """The paper's objective (0.0 when nothing measured yet)."""
+        values = self.pr_values()
+        if not values:
+            return 0.0
+        return max(values.values())
+
+    def pr_mean(self) -> float:
+        """Mean PR across measured queries."""
+        values = self.pr_values()
+        if not values:
+            return 0.0
+        return sum(values.values()) / len(values)
+
+    @property
+    def queries_measured(self) -> int:
+        """Queries with at least one recorded result."""
+        return sum(1 for c in self._delay_count.values() if c)
+
+    @property
+    def total_results(self) -> int:
+        """Result tuples recorded across all queries."""
+        return sum(self._delay_count.values())
+
+    def overall_mean_delay(self) -> float:
+        """Mean delay over every recorded result."""
+        total = self.total_results
+        if not total:
+            return 0.0
+        return sum(self._delay_sum.values()) / total

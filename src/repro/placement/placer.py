@@ -1,0 +1,256 @@
+"""The PR-aware fragment placer (§4.1).
+
+Implements the paper's three heuristics as a greedy assignment plus a
+local-search pass:
+
+1. **load balance** — fragments are placed longest-processing-time
+   first, each on the processor minimising its post-placement load;
+2. **distribution limit** — a query's fragments may touch at most
+   ``distribution_limit`` distinct processors (enforced during both the
+   greedy pass and local search);
+3. **traffic minimisation** — among near-balanced choices, prefer the
+   processor already holding the upstream fragment (or the stream's
+   delegation processor for the head fragment), so tuples cross the LAN
+   as rarely as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plan import Fragment
+
+
+@dataclass(frozen=True)
+class PlacementJob:
+    """One query's placement input.
+
+    Attributes:
+        query_id: The query.
+        fragments: Pipeline fragments in order (from ``fragment_plan``).
+        input_rate: Tuples/second entering the head fragment.
+        input_byte_rate: Bytes/second entering the head fragment.
+        delegate_proc: The delegation processor of the query's dominant
+            input stream (traffic anchor for the head fragment).
+        distribution_limit: Max distinct processors for this query.
+    """
+
+    query_id: str
+    fragments: list[Fragment]
+    input_rate: float
+    input_byte_rate: float
+    delegate_proc: str
+    distribution_limit: int = 2
+
+
+@dataclass
+class PlacementPlan:
+    """The placer's output."""
+
+    assignment: dict[str, str] = field(default_factory=dict)
+    predicted_load: dict[str, float] = field(default_factory=dict)
+    predicted_traffic: float = 0.0
+
+    def processors_of(self, job: PlacementJob) -> set[str]:
+        """Distinct processors a query's fragments landed on."""
+        return {
+            self.assignment[f.fragment_id]
+            for f in job.fragments
+            if f.fragment_id in self.assignment
+        }
+
+    def load_imbalance(self) -> float:
+        """Max predicted load over mean (1.0 = perfect)."""
+        if not self.predicted_load:
+            return 1.0
+        loads = list(self.predicted_load.values())
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+
+def _fragment_rates(job: PlacementJob) -> list[tuple[float, float]]:
+    """Per-fragment ``(input tuple rate, input byte rate)``."""
+    rates = []
+    rate = job.input_rate
+    byte_rate = job.input_byte_rate
+    for fragment in job.fragments:
+        rates.append((rate, byte_rate))
+        sel = fragment.selectivity()
+        rate *= sel
+        byte_rate *= sel
+    return rates
+
+
+class PRPlacer:
+    """Greedy + local-search placer for the intra-entity assignment.
+
+    Args:
+        processors: Processor id -> relative speed.
+        traffic_weight: Seconds of score added per byte/second of LAN
+            traffic; tunes heuristic 3 against heuristic 1.
+        local_search_passes: Improvement passes after the greedy phase.
+    """
+
+    def __init__(
+        self,
+        processors: dict[str, float],
+        *,
+        traffic_weight: float = 1e-8,
+        balance_tolerance: float = 0.05,
+        local_search_passes: int = 2,
+    ) -> None:
+        if not processors:
+            raise ValueError("need at least one processor")
+        self.processors = dict(processors)
+        self.traffic_weight = traffic_weight
+        # Heuristic 3 applies *under* heuristics 1-2: among processors
+        # whose post-placement normalised load is within this relative
+        # tolerance of the best, the least-traffic one wins.
+        self.balance_tolerance = balance_tolerance
+        self.local_search_passes = local_search_passes
+
+    # ------------------------------------------------------------------
+    def place(self, jobs: list[PlacementJob]) -> PlacementPlan:
+        """Assign every fragment of every job to a processor."""
+        plan = PlacementPlan(
+            predicted_load={p: 0.0 for p in self.processors}
+        )
+        ordered = sorted(
+            jobs,
+            key=lambda j: -sum(
+                f.estimated_load(r)
+                for f, (r, __) in zip(j.fragments, _fragment_rates(j))
+            ),
+        )
+        for job in ordered:
+            self._place_job(job, plan)
+        for __ in range(self.local_search_passes):
+            if not self._improve_once(jobs, plan):
+                break
+        plan.predicted_traffic = self._total_traffic(jobs, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _place_job(self, job: PlacementJob, plan: PlacementPlan) -> None:
+        rates = _fragment_rates(job)
+        used: set[str] = set()
+        upstream_proc = job.delegate_proc
+        for fragment, (rate, byte_rate) in zip(job.fragments, rates):
+            load = fragment.estimated_load(rate)
+            candidates = self._candidates(job, used)
+            load_score = {
+                p: (plan.predicted_load[p] + load) / self.processors[p]
+                for p in candidates
+            }
+            best = min(load_score.values())
+            # lexicographic heuristics: near-balanced candidates first,
+            # then minimal traffic (prefer the upstream processor)
+            tolerance = self.balance_tolerance * best + 1e-12
+            near_balanced = [
+                p for p in candidates if load_score[p] <= best + tolerance
+            ]
+            proc = min(
+                near_balanced,
+                key=lambda p: (
+                    0.0 if p == upstream_proc else byte_rate,
+                    load_score[p],
+                    p,
+                ),
+            )
+            plan.assignment[fragment.fragment_id] = proc
+            plan.predicted_load[proc] += load
+            used.add(proc)
+            upstream_proc = proc
+
+    def _candidates(self, job: PlacementJob, used: set[str]) -> list[str]:
+        if len(used) >= job.distribution_limit:
+            return sorted(used)
+        return sorted(self.processors)
+
+    # ------------------------------------------------------------------
+    def _total_traffic(
+        self, jobs: list[PlacementJob], plan: PlacementPlan
+    ) -> float:
+        """Predicted LAN bytes/second crossing processor boundaries."""
+        traffic = 0.0
+        for job in jobs:
+            upstream = job.delegate_proc
+            for fragment, (__, byte_rate) in zip(
+                job.fragments, _fragment_rates(job)
+            ):
+                proc = plan.assignment.get(fragment.fragment_id)
+                if proc is None:
+                    continue
+                if proc != upstream:
+                    traffic += byte_rate
+                upstream = proc
+        return traffic
+
+    def _traffic_at(self, job: PlacementJob, plan: PlacementPlan, index: int,
+                    proc: str) -> float:
+        """Byte rate crossing the LAN if fragment ``index`` sits on ``proc``."""
+        rates = _fragment_rates(job)
+        upstream = (
+            job.delegate_proc
+            if index == 0
+            else plan.assignment[job.fragments[index - 1].fragment_id]
+        )
+        traffic = 0.0 if proc == upstream else rates[index][1]
+        if index + 1 < len(job.fragments):
+            downstream = plan.assignment[job.fragments[index + 1].fragment_id]
+            if downstream != proc:
+                traffic += rates[index + 1][1]
+        return traffic
+
+    def _improve_once(
+        self, jobs: list[PlacementJob], plan: PlacementPlan
+    ) -> bool:
+        """Lower max normalised load + traffic by single-fragment moves."""
+        improved = False
+        by_fragment = {
+            f.fragment_id: (job, f, rates, i)
+            for job in jobs
+            for i, (f, rates) in enumerate(
+                zip(job.fragments, _fragment_rates(job))
+            )
+        }
+        for fragment_id, (job, fragment, (rate, __), index) in by_fragment.items():
+            current = plan.assignment[fragment_id]
+            load = fragment.estimated_load(rate)
+            current_norm = plan.predicted_load[current] / self.processors[current]
+            current_traffic = self._traffic_at(job, plan, index, current)
+            # Processors used by the query's *other* fragments: moving this
+            # fragment to p yields the used set others | {p}.
+            others = {
+                plan.assignment[f.fragment_id]
+                for f in job.fragments
+                if f.fragment_id != fragment_id
+                and f.fragment_id in plan.assignment
+            }
+            if len(others) < job.distribution_limit:
+                candidates = set(self.processors)
+            else:
+                candidates = set(others)
+            candidates.discard(current)
+            for proc in sorted(candidates):
+                new_norm = (
+                    plan.predicted_load[proc] + load
+                ) / self.processors[proc]
+                new_traffic = self._traffic_at(job, plan, index, proc)
+                # move for a real balance win, or a free traffic win
+                balance_win = new_norm < current_norm * (
+                    1.0 - self.balance_tolerance
+                )
+                traffic_win = (
+                    new_norm <= current_norm + 1e-12
+                    and new_traffic < current_traffic - 1e-9
+                )
+                if balance_win or traffic_win:
+                    plan.assignment[fragment_id] = proc
+                    plan.predicted_load[current] -= load
+                    plan.predicted_load[proc] += load
+                    improved = True
+                    break
+        return improved

@@ -1,0 +1,20 @@
+"""Continuous query model: declarative specs and workload generators.
+
+A :class:`~repro.query.spec.QuerySpec` declares *what* a client wants —
+per-stream data interests plus optional join/aggregate/projection — and
+compiles to an engine :class:`~repro.engine.plan.QueryPlan`.  Keeping the
+spec declarative is what makes the inter-entity layer loosely coupled:
+entities exchange specs, never engine-internal operator state.
+"""
+
+from repro.query.generator import QueryWorkload, WorkloadConfig, generate_workload
+from repro.query.spec import AggregateSpec, JoinSpec, QuerySpec
+
+__all__ = [
+    "QuerySpec",
+    "JoinSpec",
+    "AggregateSpec",
+    "WorkloadConfig",
+    "QueryWorkload",
+    "generate_workload",
+]

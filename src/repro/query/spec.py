@@ -1,0 +1,216 @@
+"""Declarative continuous-query specifications.
+
+Specs are the currency of the inter-entity layer: a coordinator routes a
+spec down the tree, an entity's wrapper compiles it to a plan for its
+local engine.  Each spec carries the client's position (for latency
+accounting) and a cost multiplier modelling heterogeneous "inherent
+complexity" — the ``p_k`` the Performance Ratio normalises by (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.operators import (
+    FilterOperator,
+    Operator,
+    ProjectOperator,
+    UnionOperator,
+    WindowAggregateOperator,
+    WindowJoinOperator,
+)
+from repro.engine.plan import QueryPlan
+from repro.interest.overlap import interest_rate, interest_selectivity
+from repro.interest.predicates import StreamInterest
+from repro.streams.catalog import StreamCatalog
+
+
+@dataclass(frozen=True, slots=True)
+class JoinSpec:
+    """Join the spec's two input streams on ``attribute``."""
+
+    attribute: str
+    window: float = 5.0
+    tolerance: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateSpec:
+    """Tumbling-window aggregate over ``attribute``."""
+
+    attribute: str
+    fn: str = "avg"
+    window: float = 10.0
+    group_by: str | None = None
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One continuous query.
+
+    Attributes:
+        query_id: Unique id.
+        interests: One :class:`StreamInterest` per input stream.
+        join: Optional join of exactly two input streams.
+        aggregate: Optional trailing window aggregate.
+        project: Optional trailing projection attribute list.
+        cost_multiplier: Scales every operator cost — heterogeneous
+            inherent complexity across queries.
+        client_x, client_y: Client position in the WAN plane (result
+            delivery latency).
+    """
+
+    query_id: str
+    interests: tuple[StreamInterest, ...]
+    join: JoinSpec | None = None
+    aggregate: AggregateSpec | None = None
+    project: tuple[str, ...] | None = None
+    cost_multiplier: float = 1.0
+    client_x: float = 0.5
+    client_y: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.interests:
+            raise ValueError(f"query {self.query_id} has no input streams")
+        stream_ids = [i.stream_id for i in self.interests]
+        if len(stream_ids) != len(set(stream_ids)):
+            raise ValueError(f"query {self.query_id} repeats an input stream")
+        if self.join is not None and len(self.interests) != 2:
+            raise ValueError("a join spec requires exactly two input streams")
+        if self.cost_multiplier <= 0:
+            raise ValueError("cost_multiplier must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def input_streams(self) -> list[str]:
+        """Ids of the streams this query consumes."""
+        return [i.stream_id for i in self.interests]
+
+    def interest_for(self, stream_id: str) -> StreamInterest | None:
+        """The query's interest on ``stream_id``, if it consumes it."""
+        for interest in self.interests:
+            if interest.stream_id == stream_id:
+                return interest
+        return None
+
+    def required_attributes(self, stream_id: str) -> set[str] | None:
+        """Attributes of ``stream_id`` this query actually reads.
+
+        Used for the §3.1 "transforming" at dissemination ancestors: an
+        upstream relay may project tuples down to the union of the
+        subtree's required attributes.  Returns ``None`` when the query
+        needs every attribute (``SELECT *`` with no narrowing), which
+        disables projection for its subtree.
+        """
+        interest = self.interest_for(stream_id)
+        if interest is None:
+            return set()
+        needed = set(interest.constraints)
+        if self.join is not None:
+            needed.add(self.join.attribute)
+        if self.aggregate is not None:
+            needed.add(self.aggregate.attribute)
+            if self.aggregate.group_by is not None:
+                needed.add(self.aggregate.group_by)
+        if self.project is not None:
+            needed.update(self.project)
+        elif self.aggregate is None:
+            # no projection and no aggregate: results carry raw tuples,
+            # so every attribute must survive
+            return None
+        return needed
+
+    # ------------------------------------------------------------------
+    # Analytics used by allocation and placement
+    # ------------------------------------------------------------------
+    def input_rate(self, catalog: StreamCatalog) -> float:
+        """Raw tuples/second arriving at the plan head."""
+        return sum(catalog.schema(s).rate for s in self.input_streams)
+
+    def required_rate(self, catalog: StreamCatalog) -> float:
+        """Bytes/second of data this query's interests require."""
+        return sum(
+            interest_rate(i, catalog.schema(i.stream_id)) for i in self.interests
+        )
+
+    def estimated_load(self, catalog: StreamCatalog) -> float:
+        """CPU sec/sec this query costs (the vertex weight of §3.2.2)."""
+        return self.build_plan(catalog).estimated_load(self.input_rate(catalog))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def build_plan(self, catalog: StreamCatalog) -> QueryPlan:
+        """Compile the spec to an executable pipeline.
+
+        Shape: per-stream filters, then join or union (multi-stream),
+        then aggregate, then projection.  Filter selectivities are set
+        analytically from the schema value models.
+        """
+        ops: list[Operator] = []
+        for i, interest in enumerate(self.interests):
+            schema = catalog.schema(interest.stream_id)
+            ops.append(
+                FilterOperator(
+                    f"{self.query_id}.filter{i}",
+                    interest,
+                    cost_per_tuple=5e-5 * self.cost_multiplier,
+                    estimated_selectivity=self._filter_selectivity(
+                        interest, catalog
+                    ),
+                )
+            )
+        if self.join is not None:
+            left, right = self.input_streams
+            ops.append(
+                WindowJoinOperator(
+                    f"{self.query_id}.join",
+                    left,
+                    right,
+                    self.join.attribute,
+                    window=self.join.window,
+                    tolerance=self.join.tolerance,
+                    cost_per_tuple=2e-4 * self.cost_multiplier,
+                )
+            )
+        elif len(self.interests) > 1:
+            ops.append(
+                UnionOperator(f"{self.query_id}.union", self.input_streams)
+            )
+        if self.aggregate is not None:
+            ops.append(
+                WindowAggregateOperator(
+                    f"{self.query_id}.agg",
+                    self.aggregate.attribute,
+                    fn=self.aggregate.fn,
+                    window=self.aggregate.window,
+                    group_by=self.aggregate.group_by,
+                    cost_per_tuple=6e-5 * self.cost_multiplier,
+                )
+            )
+        if self.project is not None:
+            ops.append(
+                ProjectOperator(
+                    f"{self.query_id}.project",
+                    list(self.project),
+                    cost_per_tuple=2e-5 * self.cost_multiplier,
+                )
+            )
+        return QueryPlan(self.query_id, self.input_streams, ops)
+
+    def _filter_selectivity(
+        self, interest: StreamInterest, catalog: StreamCatalog
+    ) -> float:
+        """Fraction of the *combined* head input one filter passes.
+
+        A filter passes all tuples of other streams through, so for a
+        multi-stream head its effective selectivity is a rate-weighted
+        mix of its own stream's selectivity and 1.
+        """
+        own = catalog.schema(interest.stream_id)
+        own_sel = interest_selectivity(interest, own)
+        total_rate = self.input_rate(catalog)
+        if total_rate <= 0:
+            return own_sel
+        other_rate = total_rate - own.rate
+        return (own.rate * own_sel + other_rate) / total_rate

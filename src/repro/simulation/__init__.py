@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's system spans a wide-area network of entities, each a LAN
+cluster of processors.  The substrate simulates both tiers:
+
+* :mod:`repro.simulation.simulator` — the event loop and virtual clock;
+* :mod:`repro.simulation.network` — nodes, links with latency and
+  bandwidth, and topology generators for WAN (inter-entity) and LAN
+  (intra-entity) tiers;
+* :mod:`repro.simulation.processor` — CPU service queues used to model
+  stream processors and measure busy periods / waiting times;
+* :mod:`repro.simulation.failure` — scripted failure and churn injection.
+"""
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.failure import ChurnSchedule, FailureInjector
+from repro.simulation.network import (
+    LinkStats,
+    Network,
+    NetworkNode,
+    lan_topology,
+    two_tier_topology,
+    wan_topology,
+)
+from repro.simulation.processor import ProcessorStats, SimProcessor, WorkItem
+from repro.simulation.simulator import Simulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Network",
+    "NetworkNode",
+    "LinkStats",
+    "wan_topology",
+    "lan_topology",
+    "two_tier_topology",
+    "SimProcessor",
+    "WorkItem",
+    "ProcessorStats",
+    "FailureInjector",
+    "ChurnSchedule",
+]

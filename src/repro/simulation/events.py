@@ -1,0 +1,73 @@
+"""Event primitives for the discrete-event simulator.
+
+Events carry a fire time, a monotonically increasing sequence number (to
+break ties deterministically), and a zero-argument callback.  The queue is
+a binary heap ordered by ``(time, seq)`` so two events scheduled for the
+same instant fire in scheduling order, which keeps simulations
+reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the event fires.
+        seq: Tie-breaking sequence number assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at virtual time ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the fire time of the earliest pending event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,106 @@
+"""Scripted failure and churn injection.
+
+Section 3.2.1 requires the coordinator tree to survive nodes that "join
+or leave at any time which is out of control even without failure", with
+heartbeats detecting crashes.  The injector turns those scenarios into
+deterministic event schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simulation.simulator import Simulator
+
+
+@dataclass(slots=True)
+class ChurnSchedule:
+    """A deterministic description of join/leave/crash times.
+
+    Attributes:
+        joins: ``(time, member_id)`` pairs.
+        leaves: ``(time, member_id)`` pairs for graceful departures.
+        crashes: ``(time, member_id)`` pairs for silent failures.
+    """
+
+    joins: list[tuple[float, str]] = field(default_factory=list)
+    leaves: list[tuple[float, str]] = field(default_factory=list)
+    crashes: list[tuple[float, str]] = field(default_factory=list)
+
+    @classmethod
+    def poisson(
+        cls,
+        rng,
+        *,
+        duration: float,
+        join_rate: float = 0.0,
+        leave_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        member_ids: list[str] | None = None,
+        new_prefix: str = "joiner",
+    ) -> "ChurnSchedule":
+        """Draw a Poisson churn trace over ``duration`` seconds.
+
+        Leaves and crashes sample (with replacement at draw time) from
+        ``member_ids``; joins create fresh ids ``{new_prefix}-{n}``.
+        """
+        schedule = cls()
+        members = list(member_ids or [])
+
+        def arrival_times(rate: float) -> list[float]:
+            times = []
+            t = 0.0
+            while rate > 0:
+                t += rng.expovariate(rate)
+                if t >= duration:
+                    break
+                times.append(t)
+            return times
+
+        for i, t in enumerate(arrival_times(join_rate)):
+            schedule.joins.append((t, f"{new_prefix}-{i}"))
+        for t in arrival_times(leave_rate):
+            if members:
+                schedule.leaves.append((t, rng.choice(members)))
+        for t in arrival_times(crash_rate):
+            if members:
+                schedule.crashes.append((t, rng.choice(members)))
+        return schedule
+
+
+class FailureInjector:
+    """Binds a :class:`ChurnSchedule` to callbacks on a simulator."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.injected_joins = 0
+        self.injected_leaves = 0
+        self.injected_crashes = 0
+
+    def apply(
+        self,
+        schedule: ChurnSchedule,
+        *,
+        on_join: Callable[[str], None] | None = None,
+        on_leave: Callable[[str], None] | None = None,
+        on_crash: Callable[[str], None] | None = None,
+    ) -> None:
+        """Schedule every churn event against the simulator clock."""
+
+        def wrap(counter: str, handler: Callable[[str], None], member: str):
+            def fire() -> None:
+                setattr(self, counter, getattr(self, counter) + 1)
+                handler(member)
+
+            return fire
+
+        if on_join is not None:
+            for time, member in schedule.joins:
+                self.sim.schedule_at(time, wrap("injected_joins", on_join, member))
+        if on_leave is not None:
+            for time, member in schedule.leaves:
+                self.sim.schedule_at(time, wrap("injected_leaves", on_leave, member))
+        if on_crash is not None:
+            for time, member in schedule.crashes:
+                self.sim.schedule_at(time, wrap("injected_crashes", on_crash, member))

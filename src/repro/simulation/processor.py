@@ -1,0 +1,159 @@
+"""Simulated stream processors: single-server FIFO CPU queues.
+
+Section 4.1 of the paper reasons about the delay ``d_k`` of a query as
+evaluation time + waiting time + network transfer time, and observes that
+"the length of the busy period of a processor depends on the workload
+imposed upon the processor".  :class:`SimProcessor` implements exactly
+that model: work items queue FIFO, waiting and service times are measured
+per item, and the processor exposes its queued backlog so placement
+heuristics can balance load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.simulation.simulator import Simulator
+
+
+@dataclass(slots=True)
+class WorkItem:
+    """One unit of CPU work submitted to a processor."""
+
+    service_time: float
+    on_done: Callable[[], None] | None = None
+    tag: Any = None
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+
+
+@dataclass(slots=True)
+class ProcessorStats:
+    """Aggregate statistics for one processor."""
+
+    completed: int = 0
+    total_service_time: float = 0.0
+    total_wait_time: float = 0.0
+    busy_time: float = 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay per completed item (0 when idle so far)."""
+        if not self.completed:
+            return 0.0
+        return self.total_wait_time / self.completed
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` wall-clock the processor was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class SimProcessor:
+    """A single-server FIFO work queue with speed scaling.
+
+    Args:
+        sim: Owning simulator.
+        proc_id: Identifier, normally matching a LAN network node id.
+        speed: Relative CPU speed; an item with ``service_time`` s of
+            nominal work occupies the CPU for ``service_time / speed`` s.
+    """
+
+    def __init__(self, sim: Simulator, proc_id: str, *, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ValueError("processor speed must be positive")
+        self.sim = sim
+        self.proc_id = proc_id
+        self.speed = speed
+        self.stats = ProcessorStats()
+        self._queue: deque[WorkItem] = deque()
+        self._busy = False
+        self._queued_service = 0.0
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether an item is currently on the CPU."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of items waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Nominal service seconds waiting in the queue (load signal)."""
+        return self._queued_service
+
+    def expected_wait(self) -> float:
+        """Estimate of the delay a new arrival would see before service."""
+        return self._queued_service / self.speed
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        service_time: float,
+        on_done: Callable[[], None] | None = None,
+        tag: Any = None,
+    ) -> WorkItem:
+        """Enqueue ``service_time`` seconds of nominal work.
+
+        ``on_done`` fires when the item finishes service.  Work submitted
+        to a dead processor is silently discarded (the caller observes the
+        missing completion), matching a crashed node.
+        """
+        item = WorkItem(
+            service_time=service_time,
+            on_done=on_done,
+            tag=tag,
+            submitted_at=self.sim.now,
+        )
+        if not self.alive:
+            return item
+        self._queue.append(item)
+        self._queued_service += service_time
+        if not self._busy:
+            self._start_next()
+        return item
+
+    def _start_next(self) -> None:
+        if self._busy:
+            # Already serving an item; the queue drains on its completion.
+            return
+        if not self._queue or not self.alive:
+            return
+        item = self._queue.popleft()
+        self._queued_service -= item.service_time
+        self._busy = True
+        item.started_at = self.sim.now
+        duration = item.service_time / self.speed
+
+        def finish() -> None:
+            self.stats.completed += 1
+            self.stats.total_service_time += duration
+            self.stats.total_wait_time += item.started_at - item.submitted_at
+            self.stats.busy_time += duration
+            self._busy = False
+            # Start the next queued item before running on_done: on_done
+            # may submit new work to this same processor (a co-located
+            # downstream fragment), which must queue, not double-dispatch.
+            self._start_next()
+            if item.on_done is not None:
+                item.on_done()
+
+        self.sim.schedule(duration, finish)
+
+    def fail(self) -> None:
+        """Kill the processor: drop the queue, stop accepting work."""
+        self.alive = False
+        self._queue.clear()
+        self._queued_service = 0.0
+
+    def recover(self) -> None:
+        """Bring a failed processor back (empty queue)."""
+        self.alive = True

@@ -1,0 +1,151 @@
+"""The discrete-event simulator driving every experiment.
+
+A :class:`Simulator` owns the virtual clock, the event queue, and a seeded
+random generator.  All subsystems (network, processors, coordinator tree,
+adaptation modules) schedule work through it, so a whole federated run is
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.simulation.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Virtual clock plus event queue plus seeded randomness.
+
+    Args:
+        seed: Seed for the simulation-owned :class:`random.Random`.
+
+    Example:
+        >>> sim = Simulator(seed=1)
+        >>> fired = []
+        >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [2.0]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which supports ``cancel()``.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock already at {self._now}"
+            )
+        return self._queue.push(time, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: Stop once the clock would pass this time.  Events at
+                exactly ``until`` still fire; later ones stay queued.
+            max_events: Safety valve — stop after this many events.
+        """
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and self._events_fired >= max_events:
+                    return
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    return
+                if until is not None and next_time > until:
+                    self._now = until
+                    return
+                event = self._queue.pop()
+                if event is None:
+                    return
+                self._now = event.time
+                self._events_fired += 1
+                event.callback()
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns ``False`` if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        start_after: float | None = None,
+    ) -> Callable[[], None]:
+        """Fire ``callback`` periodically; returns a function that stops it.
+
+        Args:
+            interval: Seconds between firings.
+            callback: Invoked at each tick.
+            jitter: Uniform jitter in ``[0, jitter)`` added to each gap,
+                drawn from the simulator RNG (deterministic per seed).
+            start_after: Delay before the first tick; defaults to one
+                interval.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        state = {"stopped": False, "event": None}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            gap = interval + (self.rng.uniform(0.0, jitter) if jitter else 0.0)
+            state["event"] = self.schedule(gap, tick)
+
+        first = interval if start_after is None else start_after
+        state["event"] = self.schedule(first, tick)
+
+        def stop() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return stop

@@ -1,0 +1,23 @@
+"""Stream data model: schemas, value distributions, tuples, and sources.
+
+Streams are push-based sequences of tuples with a fixed schema.  Each
+attribute carries an explicit value distribution so that predicate
+selectivities — and therefore the data-interest overlap weights of the
+paper's query graph (Figure 2) — are computable analytically as well as
+observable empirically.
+"""
+
+from repro.streams.catalog import StreamCatalog, network_catalog, stock_catalog
+from repro.streams.schema import Attribute, StreamSchema
+from repro.streams.source import StreamSource
+from repro.streams.tuples import StreamTuple
+
+__all__ = [
+    "Attribute",
+    "StreamSchema",
+    "StreamTuple",
+    "StreamSource",
+    "StreamCatalog",
+    "stock_catalog",
+    "network_catalog",
+]

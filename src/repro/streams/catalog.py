@@ -1,0 +1,112 @@
+"""Stream catalogs: the global schema the paper assumes is known.
+
+Section 1 assumes "there is a known global schema of the data".  The
+catalog is that schema registry, plus ready-made catalogs for the two
+application domains the paper motivates: financial market monitoring and
+network management.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streams.schema import Attribute, StreamSchema
+
+
+class UnknownStreamError(KeyError):
+    """Raised when a stream id is not in the catalog."""
+
+
+@dataclass
+class StreamCatalog:
+    """Registry mapping stream ids to schemas."""
+
+    _schemas: dict[str, StreamSchema] = field(default_factory=dict)
+
+    def register(self, schema: StreamSchema) -> StreamSchema:
+        """Add a schema; stream ids must be unique."""
+        if schema.stream_id in self._schemas:
+            raise ValueError(f"stream {schema.stream_id!r} already registered")
+        self._schemas[schema.stream_id] = schema
+        return schema
+
+    def schema(self, stream_id: str) -> StreamSchema:
+        """Look up a schema, raising :class:`UnknownStreamError` if absent."""
+        try:
+            return self._schemas[stream_id]
+        except KeyError as exc:
+            raise UnknownStreamError(stream_id) from exc
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._schemas
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def stream_ids(self) -> list[str]:
+        """All registered stream ids, in registration order."""
+        return list(self._schemas)
+
+    def schemas(self) -> list[StreamSchema]:
+        """All registered schemas, in registration order."""
+        return list(self._schemas.values())
+
+
+def stock_catalog(
+    *,
+    exchanges: int = 2,
+    symbols_per_exchange: int = 500,
+    rate: float = 200.0,
+    zipf_s: float = 1.1,
+) -> StreamCatalog:
+    """A stock-ticker catalog: one trade stream per exchange.
+
+    Symbols follow a Zipf popularity distribution (a handful of hot
+    tickers dominate the tape), prices and volumes are uniform.  This is
+    the "financial market monitoring" workload of the paper's intro.
+    """
+    catalog = StreamCatalog()
+    for i in range(exchanges):
+        catalog.register(
+            StreamSchema(
+                stream_id=f"exchange-{i}.trades",
+                attributes=(
+                    Attribute(
+                        "symbol", 0, symbols_per_exchange - 1, "zipf", zipf_s
+                    ),
+                    Attribute("price", 1.0, 1000.0),
+                    Attribute("volume", 1.0, 10_000.0),
+                ),
+                tuple_size=48.0,
+                rate=rate,
+            )
+        )
+    return catalog
+
+
+def network_catalog(
+    *,
+    monitors: int = 4,
+    rate: float = 500.0,
+) -> StreamCatalog:
+    """A network-management catalog: one flow-record stream per monitor.
+
+    Source/destination prefixes are Zipf (traffic concentrates on popular
+    prefixes), packet sizes and durations uniform.
+    """
+    catalog = StreamCatalog()
+    for i in range(monitors):
+        catalog.register(
+            StreamSchema(
+                stream_id=f"monitor-{i}.flows",
+                attributes=(
+                    Attribute("src_prefix", 0, 4095, "zipf", 1.0),
+                    Attribute("dst_prefix", 0, 4095, "zipf", 1.0),
+                    Attribute("bytes", 40.0, 1_500_000.0),
+                    Attribute("duration", 0.001, 3600.0),
+                ),
+                tuple_size=64.0,
+                rate=rate,
+            )
+        )
+    return catalog

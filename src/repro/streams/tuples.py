@@ -1,0 +1,49 @@
+"""Stream tuples: the unit of data flowing through the system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class StreamTuple:
+    """One immutable stream element.
+
+    Attributes:
+        stream_id: The stream this tuple belongs to.
+        seq: Per-stream sequence number assigned by the source.
+        created_at: Virtual time the source emitted the tuple; end-to-end
+            latency is measured against this.
+        values: Attribute name -> value.
+        size: Serialised size in bytes (from the schema, possibly reduced
+            by projection).
+    """
+
+    stream_id: str
+    seq: int
+    created_at: float
+    values: dict[str, float]
+    size: float
+
+    def value(self, name: str) -> float:
+        """Attribute accessor with a clear error on missing names."""
+        try:
+            return self.values[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"tuple of {self.stream_id} has no attribute {name!r}"
+            ) from exc
+
+    def project(self, names: list[str], size: float | None = None) -> "StreamTuple":
+        """Return a copy keeping only ``names`` (optionally resized)."""
+        kept = {n: self.values[n] for n in names}
+        new_size = size if size is not None else self.size * len(kept) / max(
+            1, len(self.values)
+        )
+        return replace(self, values=kept, size=new_size)
+
+    def with_values(self, **updates: float) -> "StreamTuple":
+        """Return a copy with some attribute values replaced/added."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return replace(self, values=merged)

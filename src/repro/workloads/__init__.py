@@ -1,0 +1,28 @@
+"""Ready-made workload scenarios for examples and benchmarks.
+
+The paper motivates the system with stock tickers and network
+management; these scenarios combine a stream catalog, a query workload
+with controlled interest overlap, drifting operators whose statistics
+change mid-run, and time-varying rate profiles for bursty feeds.
+"""
+
+from repro.workloads.drifting import DriftingFilter, linear_drift, step_drift
+from repro.workloads.rates import constant_rate, diurnal, ramp, square_burst
+from repro.workloads.scenarios import (
+    Scenario,
+    financial_scenario,
+    network_monitoring_scenario,
+)
+
+__all__ = [
+    "DriftingFilter",
+    "step_drift",
+    "linear_drift",
+    "constant_rate",
+    "square_burst",
+    "diurnal",
+    "ramp",
+    "Scenario",
+    "financial_scenario",
+    "network_monitoring_scenario",
+]

@@ -1,0 +1,69 @@
+"""Operators whose behaviour drifts over time.
+
+Runtime adaptation only pays off when "the system is subject to
+changes"; the drifting filter makes selectivity a function of virtual
+time, so the compile-time optimal operator order stops being optimal
+mid-run — the scenario E10 uses to compare static vs adaptive ordering.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable
+
+from repro.engine.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+
+
+class DriftingFilter(Operator):
+    """A filter whose pass probability is ``probability_fn(time)``.
+
+    The per-tuple keep/drop decision is a deterministic hash of
+    ``(name, stream, seq)`` compared against the current probability, so
+    runs are reproducible without threading an RNG through the engine.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        probability_fn: Callable[[float], float],
+        *,
+        cost_per_tuple: float = 1e-4,
+    ) -> None:
+        super().__init__(
+            name, cost_per_tuple=cost_per_tuple, estimated_selectivity=0.5
+        )
+        self.probability_fn = probability_fn
+
+    def _unit_hash(self, tup: StreamTuple) -> float:
+        key = f"{self.name}|{tup.stream_id}|{tup.seq}".encode()
+        return (zlib.crc32(key) & 0xFFFFFFFF) / 2**32
+
+    def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
+        probability = min(1.0, max(0.0, self.probability_fn(now)))
+        if self._unit_hash(tup) < probability:
+            return [tup]
+        return []
+
+
+def step_drift(
+    before: float, after: float, switch_at: float
+) -> Callable[[float], float]:
+    """A pass-probability that jumps from ``before`` to ``after``."""
+    def fn(now: float) -> float:
+        return before if now < switch_at else after
+
+    return fn
+
+
+def linear_drift(
+    start: float, end: float, duration: float
+) -> Callable[[float], float]:
+    """A pass-probability that slides linearly over ``duration`` seconds."""
+    def fn(now: float) -> float:
+        if duration <= 0:
+            return end
+        frac = min(1.0, max(0.0, now / duration))
+        return start + (end - start) * frac
+
+    return fn

@@ -1,0 +1,65 @@
+"""Time-varying rate profiles for bursty stream sources.
+
+Market feeds burst at the open, network monitors burst under attack;
+these profiles plug into :class:`~repro.streams.source.StreamSource`
+via its ``rate_fn`` argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+RateFn = Callable[[float], float]
+
+
+def constant_rate(rate: float) -> RateFn:
+    """A flat profile (equivalent to the schema's static rate)."""
+    def fn(now: float) -> float:
+        return rate
+
+    return fn
+
+
+def square_burst(
+    base: float, burst: float, *, period: float = 10.0, duty: float = 0.2
+) -> RateFn:
+    """``base`` rate with ``burst``-rate windows.
+
+    Each ``period`` opens with a burst lasting ``duty * period`` seconds.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    if not 0.0 <= duty <= 1.0:
+        raise ValueError("duty must lie in [0, 1]")
+
+    def fn(now: float) -> float:
+        phase = now % period
+        return burst if phase < duty * period else base
+
+    return fn
+
+
+def diurnal(
+    mean: float, *, amplitude: float = 0.5, period: float = 60.0
+) -> RateFn:
+    """A sinusoidal day-cycle: ``mean * (1 + amplitude * sin)``."""
+    if not 0.0 <= amplitude <= 1.0:
+        raise ValueError("amplitude must lie in [0, 1]")
+
+    def fn(now: float) -> float:
+        return mean * (1.0 + amplitude * math.sin(2 * math.pi * now / period))
+
+    return fn
+
+
+def ramp(start: float, end: float, *, duration: float) -> RateFn:
+    """Linear ramp from ``start`` to ``end`` over ``duration`` seconds."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+
+    def fn(now: float) -> float:
+        frac = min(1.0, max(0.0, now / duration))
+        return start + (end - start) * frac
+
+    return fn

@@ -1,0 +1,67 @@
+"""Named end-to-end scenarios: catalog + workload in one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.generator import QueryWorkload, WorkloadConfig, generate_workload
+from repro.streams.catalog import StreamCatalog, network_catalog, stock_catalog
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible workload bundle."""
+
+    name: str
+    catalog: StreamCatalog
+    workload: QueryWorkload
+
+    @property
+    def queries(self):
+        """The scenario's query specs."""
+        return self.workload.queries
+
+
+def financial_scenario(
+    *,
+    exchanges: int = 2,
+    query_count: int = 200,
+    rate: float = 200.0,
+    hot_fraction: float = 0.7,
+    join_fraction: float = 0.1,
+    seed: int = 0,
+) -> Scenario:
+    """Stock-market monitoring: Zipf-hot symbols, clustered interests."""
+    catalog = stock_catalog(exchanges=exchanges, rate=rate)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=query_count,
+            hot_fraction=hot_fraction,
+            join_fraction=join_fraction,
+        ),
+        seed=seed,
+    )
+    return Scenario(name="financial", catalog=catalog, workload=workload)
+
+
+def network_monitoring_scenario(
+    *,
+    monitors: int = 4,
+    query_count: int = 200,
+    rate: float = 500.0,
+    seed: int = 0,
+) -> Scenario:
+    """Network management: per-prefix flow monitoring queries."""
+    catalog = network_catalog(monitors=monitors, rate=rate)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=query_count,
+            hot_fraction=0.6,
+            join_fraction=0.05,
+            aggregate_fraction=0.5,
+        ),
+        seed=seed,
+    )
+    return Scenario(name="network", catalog=catalog, workload=workload)

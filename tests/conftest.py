@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.network import Network, NetworkNode
+from repro.simulation.simulator import Simulator
+from repro.streams.catalog import StreamCatalog, stock_catalog
+from repro.streams.schema import Attribute, StreamSchema
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh seeded simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """An empty network bound to the simulator."""
+    return Network(sim)
+
+
+@pytest.fixture
+def simple_schema() -> StreamSchema:
+    """A single-stream schema with one uniform and one zipf attribute."""
+    return StreamSchema(
+        stream_id="ticks",
+        attributes=(
+            Attribute("price", 0.0, 100.0),
+            Attribute("symbol", 0, 99, "zipf", 1.0),
+        ),
+        tuple_size=64.0,
+        rate=50.0,
+    )
+
+
+@pytest.fixture
+def catalog(simple_schema: StreamSchema) -> StreamCatalog:
+    """A catalog holding only the simple schema."""
+    cat = StreamCatalog()
+    cat.register(simple_schema)
+    return cat
+
+
+@pytest.fixture
+def stocks() -> StreamCatalog:
+    """The standard two-exchange stock catalog."""
+    return stock_catalog(exchanges=2, rate=100.0)

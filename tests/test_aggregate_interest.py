@@ -1,0 +1,91 @@
+"""Tests for interest aggregation (the ancestor filter of §3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interest.aggregate import aggregate_interests
+from repro.interest.predicates import StreamInterest
+from repro.streams.schema import Attribute, StreamSchema
+
+
+def test_aggregate_unions_ranges():
+    a = StreamInterest.on("s", price=(0, 10))
+    b = StreamInterest.on("s", price=(20, 30))
+    agg = aggregate_interests([a, b])
+    assert agg.member_count == 2
+    assert agg.matches_values({"price": 5})
+    assert agg.matches_values({"price": 25})
+    assert not agg.matches_values({"price": 15})
+
+
+def test_aggregate_drops_non_common_attributes():
+    # One query is unconstrained on volume, so the subtree needs all volumes.
+    a = StreamInterest.on("s", price=(0, 10), volume=(0, 5))
+    b = StreamInterest.on("s", price=(20, 30))
+    agg = aggregate_interests([a, b])
+    assert "volume" not in agg.interest.constraints
+    assert agg.matches_values({"price": 5, "volume": 1e9})
+
+
+def test_aggregate_respects_interval_budget():
+    interests = [
+        StreamInterest.on("s", price=(i * 10, i * 10 + 1)) for i in range(20)
+    ]
+    agg = aggregate_interests(interests, max_intervals=4)
+    assert len(agg.interest.constraints["price"]) <= 4
+    # still a superset: every original point matches
+    for i in range(20):
+        assert agg.matches_values({"price": i * 10 + 0.5})
+
+
+def test_aggregate_empty_list_raises():
+    with pytest.raises(ValueError):
+        aggregate_interests([])
+
+
+def test_aggregate_mixed_streams_raises():
+    with pytest.raises(ValueError):
+        aggregate_interests(
+            [StreamInterest.on("a", x=(0, 1)), StreamInterest.on("b", x=(0, 1))]
+        )
+
+
+def test_aggregate_selectivity():
+    schema = StreamSchema(
+        "s", attributes=(Attribute("price", 0.0, 100.0),), rate=1.0
+    )
+    a = StreamInterest.on("s", price=(0, 10))
+    b = StreamInterest.on("s", price=(50, 60))
+    agg = aggregate_interests([a, b])
+    assert agg.selectivity(schema) == pytest.approx(0.2)
+
+
+def test_single_member_aggregate_is_identity_filter():
+    a = StreamInterest.on("s", price=(5, 9))
+    agg = aggregate_interests([a])
+    assert agg.matches_values({"price": 7})
+    assert not agg.matches_values({"price": 4})
+
+
+@given(
+    ranges=st.lists(
+        st.tuples(
+            st.floats(0, 90, allow_nan=False), st.floats(0, 10, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    probe=st.floats(0, 100, allow_nan=False),
+    budget=st.integers(min_value=1, max_value=6),
+)
+def test_aggregate_is_safe_superset(ranges, probe, budget):
+    """Safety: the aggregate never rejects a tuple a member wants."""
+    interests = [
+        StreamInterest.on("s", price=(lo, lo + width)) for lo, width in ranges
+    ]
+    agg = aggregate_interests(interests, max_intervals=budget)
+    wanted = any(i.matches_values({"price": probe}) for i in interests)
+    if wanted:
+        assert agg.matches_values({"price": probe})

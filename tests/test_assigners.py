@@ -1,0 +1,114 @@
+"""Tests for the online allocation baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.assigners import (
+    LoadOnlyAssigner,
+    RandomAssigner,
+    RoundRobinAssigner,
+    SimilarityAssigner,
+)
+from repro.allocation.query_graph import QueryGraph, figure2_graph
+
+
+def uniform_graph(n=40):
+    g = QueryGraph()
+    for i in range(n):
+        g.add_vertex(f"v{i}", 1.0)
+    return g
+
+
+@pytest.mark.parametrize(
+    "assigner_factory",
+    [
+        lambda: RandomAssigner(4, seed=1),
+        lambda: RoundRobinAssigner(4),
+        lambda: LoadOnlyAssigner(4),
+        lambda: SimilarityAssigner(4),
+    ],
+)
+def test_all_vertices_assigned_to_valid_parts(assigner_factory):
+    g = figure2_graph()
+    assignment = assigner_factory().assign_all(g)
+    assert sorted(assignment) == sorted(g.vertices())
+    assert all(0 <= p < 4 for p in assignment.values())
+
+
+@pytest.mark.parametrize(
+    "cls", [RandomAssigner, RoundRobinAssigner, LoadOnlyAssigner, SimilarityAssigner]
+)
+def test_parts_must_be_positive(cls):
+    with pytest.raises(ValueError):
+        cls(0)
+
+
+def test_round_robin_cycles():
+    g = uniform_graph(8)
+    assignment = RoundRobinAssigner(4).assign_all(g)
+    assert [assignment[f"v{i}"] for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_round_robin_perfectly_balanced_on_uniform_weights():
+    g = uniform_graph(40)
+    assignment = RoundRobinAssigner(4).assign_all(g)
+    assert g.imbalance(assignment, 4) == pytest.approx(1.0)
+
+
+def test_load_only_balances_heterogeneous_weights():
+    g = QueryGraph()
+    weights = [10.0, 1.0, 1.0, 1.0, 9.0, 1.0, 1.0, 8.0]
+    for i, w in enumerate(weights):
+        g.add_vertex(f"v{i}", w)
+    assignment = LoadOnlyAssigner(2).assign_all(g)
+    assert g.imbalance(assignment, 2) < 1.4
+
+
+def test_load_only_ignores_overlap():
+    """Two heavily-overlapping equal-weight queries get split apart."""
+    g = QueryGraph()
+    g.add_vertex("a", 1.0)
+    g.add_vertex("b", 1.0)
+    g.add_edge("a", "b", 100.0)
+    assignment = LoadOnlyAssigner(2).assign_all(g, order=["a", "b"])
+    assert assignment["a"] != assignment["b"]
+
+
+def test_similarity_colocates_overlap():
+    g = QueryGraph()
+    for v in ("a", "b", "c", "d"):
+        g.add_vertex(v, 1.0)
+    g.add_edge("a", "b", 100.0)
+    g.add_edge("c", "d", 100.0)
+    assignment = SimilarityAssigner(2).assign_all(g, order=["a", "b", "c", "d"])
+    assert assignment["a"] == assignment["b"]
+    assert assignment["c"] == assignment["d"]
+
+
+def test_similarity_cap_prevents_single_part_pileup():
+    g = QueryGraph()
+    for i in range(20):
+        g.add_vertex(f"v{i}", 1.0)
+    for i in range(20):
+        for j in range(i + 1, 20):
+            g.add_edge(f"v{i}", f"v{j}", 1.0)  # everything overlaps
+    assignment = SimilarityAssigner(4, cap_factor=2.0).assign_all(g)
+    loads = g.part_loads(assignment, 4)
+    assert max(loads) < 20  # not all on one part
+
+
+def test_random_assigner_deterministic_per_seed():
+    g = uniform_graph(30)
+    a = RandomAssigner(4, seed=9).assign_all(g)
+    b = RandomAssigner(4, seed=9).assign_all(g)
+    assert a == b
+
+
+def test_custom_order_respected():
+    g = uniform_graph(4)
+    assignment = RoundRobinAssigner(2).assign_all(
+        g, order=["v3", "v2", "v1", "v0"]
+    )
+    assert assignment["v3"] == 0
+    assert assignment["v0"] == 1

@@ -1,0 +1,68 @@
+"""Tests for stream catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.catalog import (
+    StreamCatalog,
+    UnknownStreamError,
+    network_catalog,
+    stock_catalog,
+)
+from repro.streams.schema import Attribute, StreamSchema
+
+
+def test_register_and_lookup(simple_schema):
+    catalog = StreamCatalog()
+    catalog.register(simple_schema)
+    assert catalog.schema("ticks") is simple_schema
+    assert "ticks" in catalog
+    assert len(catalog) == 1
+
+
+def test_duplicate_registration_rejected(simple_schema):
+    catalog = StreamCatalog()
+    catalog.register(simple_schema)
+    with pytest.raises(ValueError):
+        catalog.register(simple_schema)
+
+
+def test_unknown_stream_error():
+    with pytest.raises(UnknownStreamError):
+        StreamCatalog().schema("nope")
+
+
+def test_stream_ids_in_registration_order():
+    catalog = StreamCatalog()
+    for name in ("c", "a", "b"):
+        catalog.register(
+            StreamSchema(name, attributes=(Attribute("x", 0, 1),))
+        )
+    assert catalog.stream_ids() == ["c", "a", "b"]
+
+
+def test_stock_catalog_shape():
+    catalog = stock_catalog(exchanges=3, symbols_per_exchange=100, rate=50.0)
+    assert len(catalog) == 3
+    schema = catalog.schema("exchange-0.trades")
+    assert schema.rate == 50.0
+    symbol = schema.attribute("symbol")
+    assert symbol.distribution == "zipf"
+    assert symbol.hi == 99
+
+
+def test_stock_catalog_shares_attribute_names():
+    catalog = stock_catalog(exchanges=2)
+    names = {
+        tuple(schema.attribute_names()) for schema in catalog.schemas()
+    }
+    assert len(names) == 1  # joinable across exchanges
+
+
+def test_network_catalog_shape():
+    catalog = network_catalog(monitors=2, rate=100.0)
+    assert len(catalog) == 2
+    schema = catalog.schema("monitor-1.flows")
+    assert schema.attribute("src_prefix").distribution == "zipf"
+    assert schema.bytes_per_second == 64.0 * 100.0

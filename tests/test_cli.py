@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "allocation strategies" in out
+
+
+def test_experiments_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("E1", "E7", "E13"):
+        assert exp_id in out
+    assert "bench_figure2_query_graph.py" in out
+
+
+def test_demo_runs(capsys):
+    code = main(
+        [
+            "demo",
+            "--seed",
+            "3",
+            "--entities",
+            "3",
+            "--queries",
+            "12",
+            "--duration",
+            "2.0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "queries answered" in out
+
+
+def test_query_command_runs(capsys):
+    code = main(
+        [
+            "query",
+            "SELECT * FROM exchange-0.trades WHERE price BETWEEN 1 AND 900",
+            "--duration",
+            "2.0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "query allocated to" in out
+    assert "results in" in out
+
+
+def test_query_syntax_error_exit_code(capsys):
+    code = main(["query", "SELEKT nonsense"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "syntax error" in err
+
+
+def test_missing_command_raises_system_exit():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,211 @@
+"""Tests for the coordinator tree protocol (§3.2.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coordination.tree import CoordinatorTree, Member
+
+
+def grid_member(i, cols=8):
+    return Member(f"m{i:03d}", (i % cols) * 1.0, (i // cols) * 1.0)
+
+
+def build_tree(n, k=3, seed=0):
+    rng = random.Random(seed)
+    tree = CoordinatorTree(k=k)
+    for i in range(n):
+        tree.join(Member(f"m{i:03d}", rng.random(), rng.random()))
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Basics
+# ----------------------------------------------------------------------
+def test_k_must_be_at_least_two():
+    with pytest.raises(ValueError):
+        CoordinatorTree(k=1)
+
+
+def test_empty_tree():
+    tree = CoordinatorTree(k=3)
+    assert tree.depth == 0
+    assert tree.root_id is None
+    assert tree.check_invariants() == []
+
+
+def test_single_join_creates_root():
+    tree = CoordinatorTree(k=3)
+    tree.join(Member("a", 0.0, 0.0))
+    assert tree.depth == 1
+    assert tree.root_id == "a"
+    assert tree.check_invariants() == []
+
+
+def test_duplicate_join_raises():
+    tree = CoordinatorTree(k=3)
+    tree.join(Member("a", 0.0, 0.0))
+    with pytest.raises(ValueError):
+        tree.join(Member("a", 1.0, 1.0))
+
+
+def test_unknown_leave_raises():
+    tree = CoordinatorTree(k=3)
+    with pytest.raises(KeyError):
+        tree.leave("ghost")
+
+
+# ----------------------------------------------------------------------
+# Invariants under growth
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 5, 8, 17, 40, 100])
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_invariants_hold_after_joins(n, k):
+    tree = build_tree(n, k=k, seed=n + k)
+    assert tree.check_invariants() == []
+    assert len(tree.members) == n
+
+
+def test_depth_grows_logarithmically():
+    small = build_tree(8, k=3)
+    large = build_tree(120, k=3)
+    assert large.depth > small.depth
+    assert large.depth <= 6
+
+
+def test_split_triggered_beyond_bound():
+    tree = build_tree(3 * 3, k=3, seed=1)  # 9 > 3k-1=8 forces a split
+    assert tree.stats.splits >= 1
+    assert all(c.size <= tree.max_cluster_size for c in tree.layers[0])
+
+
+def test_join_returns_hops_and_counts_messages():
+    tree = build_tree(30, k=3, seed=2)
+    before = tree.stats.messages
+    hops = tree.join(Member("zz", 0.5, 0.5))
+    assert hops >= 1
+    assert tree.stats.messages > before
+
+
+def test_leader_is_cluster_centre():
+    tree = build_tree(20, k=3, seed=3)
+    for layer in tree.layers:
+        for cluster in layer:
+            from repro.coordination.geometry import centre_member
+
+            points = {
+                m: tree.members[m].point for m in cluster.member_ids
+            }
+            assert cluster.leader_id == centre_member(points)
+
+
+# ----------------------------------------------------------------------
+# Leaves and crashes
+# ----------------------------------------------------------------------
+def test_invariants_hold_after_leaves():
+    tree = build_tree(60, k=3, seed=4)
+    rng = random.Random(5)
+    members = tree.member_ids()
+    rng.shuffle(members)
+    for member in members[:45]:
+        tree.leave(member)
+        assert tree.check_invariants() == [], f"after leaving {member}"
+    assert len(tree.members) == 15
+
+
+def test_leave_everyone():
+    tree = build_tree(20, k=2, seed=6)
+    for member in list(tree.member_ids()):
+        tree.leave(member)
+    assert tree.depth == 0
+    assert tree.members == {}
+
+
+def test_root_crash_is_repaired():
+    tree = build_tree(40, k=3, seed=7)
+    root = tree.root_id
+    tree.crash(root)
+    assert root not in tree.members
+    assert tree.root_id is not None
+    assert tree.root_id != root
+    assert tree.check_invariants() == []
+
+
+def test_crash_of_unknown_member_is_noop():
+    tree = build_tree(10, k=3, seed=8)
+    tree.crash("ghost")  # no exception
+    assert len(tree.members) == 10
+
+
+def test_merge_triggered_by_shrinking():
+    tree = build_tree(12, k=3, seed=9)
+    for member in tree.member_ids()[:9]:
+        tree.leave(member)
+    assert tree.check_invariants() == []
+    # small clusters were merged rather than left undersized
+    if len(tree.layers[0]) > 1:
+        assert all(c.size >= tree.k for c in tree.layers[0])
+
+
+# ----------------------------------------------------------------------
+# Re-centering and subtree queries
+# ----------------------------------------------------------------------
+def test_recenter_reports_changes():
+    tree = build_tree(30, k=3, seed=10)
+    # mutate positions to force a new centre
+    for member_id in tree.member_ids()[:10]:
+        member = tree.members[member_id]
+        tree.members[member_id] = Member(member_id, member.x + 5.0, member.y)
+    changes = tree.recenter()
+    assert changes >= 0
+    assert tree.check_invariants() == []
+
+
+def test_subtree_members_partition_under_top_cluster():
+    tree = build_tree(50, k=3, seed=11)
+    top_level = tree.depth - 1
+    cluster = tree.layers[-1][0]
+    seen: set[str] = set()
+    for child in cluster.member_ids:
+        subtree = tree.subtree_members(child, top_level)
+        assert not seen & subtree
+        seen |= subtree
+    assert seen == set(tree.member_ids())
+
+
+def test_levels_of_leader_spans_layers():
+    tree = build_tree(40, k=3, seed=12)
+    root = tree.root_id
+    levels = tree.levels_of(root)
+    assert levels == list(range(tree.depth))
+
+
+# ----------------------------------------------------------------------
+# Property-based churn
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    ops=st.lists(st.integers(min_value=0, max_value=2), min_size=5, max_size=60),
+    k=st.integers(min_value=2, max_value=4),
+)
+def test_invariants_hold_under_random_churn(seed, ops, k):
+    """The five maintenance rules keep every invariant under any churn mix."""
+    rng = random.Random(seed)
+    tree = CoordinatorTree(k=k)
+    counter = 0
+    for op in ops:
+        if op in (0, 1) or not tree.members:
+            tree.join(Member(f"n{counter}", rng.random(), rng.random()))
+            counter += 1
+        else:
+            victim = rng.choice(tree.member_ids())
+            if op == 1:
+                tree.leave(victim)
+            else:
+                tree.crash(victim)
+        violations = tree.check_invariants()
+        assert violations == [], violations

@@ -1,0 +1,73 @@
+"""Tests for the stream delegation scheme (§4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.delegation import DelegationScheme
+
+
+def test_requires_processors():
+    with pytest.raises(ValueError):
+        DelegationScheme(processor_ids=[])
+
+
+def test_assign_is_idempotent():
+    scheme = DelegationScheme(["p0", "p1"])
+    first = scheme.assign("s1", 100.0)
+    second = scheme.assign("s1", 100.0)
+    assert first == second
+    assert scheme.stream_count == 1
+
+
+def test_assign_spreads_by_rate():
+    scheme = DelegationScheme(["p0", "p1"])
+    scheme.assign("heavy", 1000.0)
+    proc = scheme.assign("light", 10.0)
+    assert proc != scheme.delegate_of("heavy")
+
+
+def test_rates_balance_over_many_streams():
+    scheme = DelegationScheme(["p0", "p1", "p2", "p3"])
+    for i in range(40):
+        scheme.assign(f"s{i}", 100.0)
+    rates = [scheme.intake_rate(p) for p in ("p0", "p1", "p2", "p3")]
+    assert max(rates) == pytest.approx(min(rates))
+
+
+def test_delegate_of_unassigned_is_none():
+    scheme = DelegationScheme(["p0"])
+    assert scheme.delegate_of("ghost") is None
+
+
+def test_release_frees_rate():
+    scheme = DelegationScheme(["p0", "p1"])
+    proc = scheme.assign("s1", 500.0)
+    scheme.release("s1", 500.0)
+    assert scheme.delegate_of("s1") is None
+    assert scheme.intake_rate(proc) == 0.0
+
+
+def test_release_unknown_stream_is_noop():
+    scheme = DelegationScheme(["p0"])
+    scheme.release("ghost", 100.0)
+
+
+def test_delegated_streams_listing():
+    scheme = DelegationScheme(["p0", "p1"])
+    scheme.assign("a", 1.0)
+    scheme.assign("b", 1.0)
+    all_streams = scheme.delegated_streams("p0") + scheme.delegated_streams("p1")
+    assert sorted(all_streams) == ["a", "b"]
+
+
+def test_every_stream_has_exactly_one_delegate():
+    """Figure 3: one processor per incoming stream."""
+    scheme = DelegationScheme(["p0", "p1", "p2"])
+    for i in range(10):
+        scheme.assign(f"s{i}", 50.0)
+    owners = [scheme.delegate_of(f"s{i}") for i in range(10)]
+    assert all(owner is not None for owner in owners)
+    per_proc = [scheme.delegated_streams(p) for p in ("p0", "p1", "p2")]
+    flattened = [s for streams in per_proc for s in streams]
+    assert sorted(flattened) == sorted(f"s{i}" for i in range(10))

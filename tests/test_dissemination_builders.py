@@ -1,0 +1,112 @@
+"""Tests for dissemination tree builders and the improvement pass."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dissemination.builders import (
+    build_balanced_tree,
+    build_closest_parent_tree,
+    build_source_direct_tree,
+    improve_tree,
+)
+from repro.dissemination.tree import SOURCE
+
+
+@pytest.fixture
+def positions():
+    rng = random.Random(11)
+    return {f"e{i}": (rng.random(), rng.random()) for i in range(20)}
+
+
+SOURCE_POS = (0.5, 0.5)
+
+
+def test_source_direct_is_a_star(positions):
+    tree = build_source_direct_tree("s", SOURCE_POS, positions)
+    for entity in tree.entities:
+        assert tree.parent_of(entity) == SOURCE
+        assert tree.depth_of(entity) == 1
+
+
+def test_closest_parent_respects_fanout(positions):
+    tree = build_closest_parent_tree("s", SOURCE_POS, positions, max_fanout=3)
+    assert tree.fanout(SOURCE) <= 3
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= 3
+
+
+def test_closest_parent_attaches_everyone(positions):
+    tree = build_closest_parent_tree("s", SOURCE_POS, positions, max_fanout=3)
+    assert sorted(tree.entities) == sorted(positions)
+
+
+def test_balanced_tree_respects_fanout(positions):
+    tree = build_balanced_tree("s", SOURCE_POS, positions, max_fanout=4)
+    assert tree.fanout(SOURCE) <= 4
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= 4
+    assert sorted(tree.entities) == sorted(positions)
+
+
+def test_balanced_tree_depth_is_logarithmic(positions):
+    tree = build_balanced_tree("s", SOURCE_POS, positions, max_fanout=4)
+    assert max(tree.depth_of(e) for e in tree.entities) <= 4
+
+
+def test_cooperative_trees_bound_source_degree(positions):
+    direct = build_source_direct_tree("s", SOURCE_POS, positions)
+    coop = build_closest_parent_tree("s", SOURCE_POS, positions, max_fanout=4)
+    assert direct.fanout(SOURCE) == 20
+    assert coop.fanout(SOURCE) <= 4
+
+
+def test_improve_tree_reduces_total_edge_length(positions):
+    tree = build_balanced_tree("s", SOURCE_POS, positions, max_fanout=4)
+
+    def total_length(t):
+        import math
+
+        pts = {SOURCE: SOURCE_POS, **positions}
+        return sum(
+            math.dist(pts[e], pts[t.parent_of(e)]) for e in t.entities
+        )
+
+    before = total_length(tree)
+    moves = improve_tree(tree, SOURCE_POS, positions)
+    after = total_length(tree)
+    assert after <= before
+    if moves:
+        assert after < before
+
+
+def test_improve_tree_keeps_validity(positions):
+    tree = build_closest_parent_tree("s", SOURCE_POS, positions, max_fanout=3)
+    improve_tree(tree, SOURCE_POS, positions)
+    assert sorted(tree.entities) == sorted(positions)
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= 3
+        tree.depth_of(entity)  # raises on a cycle
+
+
+def test_improve_repairs_fanout_violation_after_detach(positions):
+    tree = build_closest_parent_tree("s", SOURCE_POS, positions, max_fanout=2)
+    # detaching an inner node pushes its children to the parent,
+    # potentially exceeding the bound
+    inner = next(
+        e for e in tree.entities if tree.children_of(e)
+    )
+    victim_positions = dict(positions)
+    victim_positions.pop(inner)
+    tree.detach(inner)
+    improve_tree(tree, SOURCE_POS, victim_positions)
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= 2
+    assert tree.fanout(SOURCE) <= 2
+
+
+def test_single_entity_tree():
+    tree = build_closest_parent_tree("s", SOURCE_POS, {"only": (0.1, 0.1)})
+    assert tree.parent_of("only") == SOURCE

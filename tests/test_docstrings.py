@@ -1,0 +1,58 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def all_modules():
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name not in SKIP_MODULES:
+            names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def public_items():
+    items = []
+    for module_name in all_modules():
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export; documented at its home
+            items.append((module_name, name, obj))
+    return items
+
+
+@pytest.mark.parametrize(
+    "module_name,name,obj",
+    public_items(),
+    ids=[f"{m}.{n}" for m, n, __ in public_items()],
+)
+def test_public_item_has_docstring(module_name, name, obj):
+    assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"
+    if inspect.isclass(obj):
+        for meth_name, meth in vars(obj).items():
+            if meth_name.startswith("_") or not inspect.isfunction(meth):
+                continue
+            assert inspect.getdoc(meth), (
+                f"{module_name}.{name}.{meth_name} lacks a docstring"
+            )

@@ -1,0 +1,100 @@
+"""Tests for drifting operators and workload scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.tuples import StreamTuple
+from repro.workloads.drifting import DriftingFilter, linear_drift, step_drift
+from repro.workloads.scenarios import (
+    financial_scenario,
+    network_monitoring_scenario,
+)
+
+
+def tup(seq):
+    return StreamTuple(
+        stream_id="s", seq=seq, created_at=0.0, values={"x": 1.0}, size=10.0
+    )
+
+
+def pass_rate(op, now, n=2000):
+    kept = sum(1 for i in range(n) if op.process(tup(i), now))
+    return kept / n
+
+
+def test_drifting_filter_matches_probability():
+    op = DriftingFilter("d", lambda now: 0.3)
+    assert pass_rate(op, 0.0) == pytest.approx(0.3, abs=0.05)
+
+
+def test_drifting_filter_is_deterministic_per_tuple():
+    op = DriftingFilter("d", lambda now: 0.5)
+    a = [bool(op.process(tup(i), 0.0)) for i in range(100)]
+    op2 = DriftingFilter("d", lambda now: 0.5)
+    b = [bool(op2.process(tup(i), 0.0)) for i in range(100)]
+    assert a == b
+
+
+def test_different_names_decorrelate():
+    a = DriftingFilter("a", lambda now: 0.5)
+    b = DriftingFilter("b", lambda now: 0.5)
+    decisions_a = [bool(a.process(tup(i), 0.0)) for i in range(200)]
+    decisions_b = [bool(b.process(tup(i), 0.0)) for i in range(200)]
+    assert decisions_a != decisions_b
+
+
+def test_step_drift_switches():
+    fn = step_drift(0.9, 0.1, switch_at=10.0)
+    assert fn(5.0) == 0.9
+    assert fn(15.0) == 0.1
+
+
+def test_linear_drift_interpolates():
+    fn = linear_drift(0.0, 1.0, duration=10.0)
+    assert fn(0.0) == pytest.approx(0.0)
+    assert fn(5.0) == pytest.approx(0.5)
+    assert fn(20.0) == pytest.approx(1.0)
+
+
+def test_linear_drift_zero_duration():
+    fn = linear_drift(0.2, 0.8, duration=0.0)
+    assert fn(0.0) == 0.8
+
+
+def test_probability_clamped():
+    op = DriftingFilter("d", lambda now: 5.0)
+    assert pass_rate(op, 0.0, n=100) == 1.0
+    op = DriftingFilter("d", lambda now: -1.0)
+    assert pass_rate(op, 0.0, n=100) == 0.0
+
+
+def test_filter_selectivity_changes_with_time():
+    op = DriftingFilter("d", step_drift(0.9, 0.1, switch_at=10.0))
+    early = pass_rate(op, 5.0)
+    late = pass_rate(op, 15.0)
+    assert early > 0.8
+    assert late < 0.2
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def test_financial_scenario_builds():
+    scenario = financial_scenario(query_count=30, seed=1)
+    assert scenario.name == "financial"
+    assert len(scenario.queries) == 30
+    assert len(scenario.catalog) == 2
+
+
+def test_network_scenario_builds():
+    scenario = network_monitoring_scenario(query_count=25, seed=2)
+    assert scenario.name == "network"
+    assert len(scenario.queries) == 25
+    assert len(scenario.catalog) == 4
+
+
+def test_scenarios_are_reproducible():
+    a = financial_scenario(query_count=10, seed=3)
+    b = financial_scenario(query_count=10, seed=3)
+    assert [q.interests for q in a.queries] == [q.interests for q in b.queries]

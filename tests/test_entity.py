@@ -1,0 +1,173 @@
+"""Tests for the entity: hosting, delegation, deployment, intake."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entity import Entity
+from repro.interest.predicates import StreamInterest
+from repro.query.spec import QuerySpec
+from repro.simulation.network import Network, NetworkNode
+from repro.simulation.simulator import Simulator
+from repro.streams.source import StreamSource
+
+
+def build_entity(stocks, procs=3, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    gateway = net.add_node(NetworkNode("e0", 0.5, 0.5, group="e0"))
+    nodes = [
+        net.add_node(
+            NetworkNode(f"e0/p{i}", tier="lan", group="e0", x=0.5, y=0.5)
+        )
+        for i in range(procs)
+    ]
+    entity = Entity(sim, net, "e0", nodes, stocks)
+    return sim, net, entity
+
+
+def spec(stocks, query_id="q0", lo=0.0, hi=500.0, **kwargs):
+    stream = stocks.stream_ids()[0]
+    return QuerySpec(
+        query_id=query_id,
+        interests=(StreamInterest.on(stream, price=(lo, hi)),),
+        **kwargs,
+    )
+
+
+def test_entity_requires_processors(stocks):
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        Entity(sim, net, "e0", [], stocks)
+
+
+def test_host_and_duplicate_rejected(stocks):
+    __, __, entity = build_entity(stocks)
+    entity.host(spec(stocks))
+    assert entity.query_count == 1
+    with pytest.raises(ValueError):
+        entity.host(spec(stocks))
+
+
+def test_interests_by_stream(stocks):
+    __, __, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0"))
+    entity.host(spec(stocks, "q1", lo=100, hi=200))
+    by_stream = entity.interests_by_stream()
+    stream = stocks.stream_ids()[0]
+    assert len(by_stream[stream]) == 2
+
+
+def test_deploy_assigns_all_fragments(stocks):
+    __, __, entity = build_entity(stocks)
+    for i in range(6):
+        entity.host(spec(stocks, f"q{i}"))
+    plan = entity.deploy(placer="pr", distribution_limit=2)
+    assert len(plan.assignment) >= 6
+    for proc in plan.assignment.values():
+        assert proc in entity.processors
+
+
+def test_deploy_delegates_streams(stocks):
+    __, __, entity = build_entity(stocks)
+    entity.host(spec(stocks))
+    entity.deploy()
+    stream = stocks.stream_ids()[0]
+    assert entity.delegation.delegate_of(stream) is not None
+
+
+def test_receive_processes_and_emits_result(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0", lo=0, hi=1000))  # matches everything
+    entity.deploy()
+    results = []
+    entity.result_handler = lambda qid, tup: results.append((qid, tup))
+    source = StreamSource(sim, stocks.schemas()[0], poisson=False)
+    source.subscribe(entity.receive)
+    source.start()
+    sim.run(until=2.0)
+    assert entity.tuples_received > 0
+    assert results
+    assert all(qid == "q0" for qid, __ in results)
+    assert entity.results_emitted == len(results)
+
+
+def test_receive_filters_non_matching(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0", lo=0.0, hi=0.5))  # nearly nothing matches
+    entity.deploy()
+    results = []
+    entity.result_handler = lambda qid, tup: results.append(qid)
+    source = StreamSource(sim, stocks.schemas()[0], poisson=False)
+    source.subscribe(entity.receive)
+    source.start()
+    sim.run(until=1.0)
+    assert len(results) <= 2
+
+
+def test_receive_unknown_stream_dropped(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks))
+    entity.deploy()
+    # a tuple from the second exchange, which no query consumes
+    other = StreamSource(sim, stocks.schemas()[1], poisson=False)
+    other.subscribe(entity.receive)
+    other.start()
+    sim.run(until=1.0)
+    assert entity.results_emitted == 0
+
+
+def test_multiple_queries_share_stream_intake(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0", lo=0, hi=1000))
+    entity.host(spec(stocks, "q1", lo=0, hi=1000))
+    entity.deploy()
+    results = []
+    entity.result_handler = lambda qid, tup: results.append(qid)
+    source = StreamSource(sim, stocks.schemas()[0], poisson=False)
+    source.subscribe(entity.receive)
+    source.start()
+    sim.run(until=1.0)
+    assert "q0" in results and "q1" in results
+
+
+def test_distribution_limit_respected_in_deploy(stocks):
+    __, __, entity = build_entity(stocks, procs=4)
+    entity.host(
+        spec(stocks, "q0", aggregate=None, project=("price",))
+    )
+    plan = entity.deploy(placer="pr", distribution_limit=1)
+    hosted = entity.hosted["q0"]
+    procs = {plan.assignment[f.fragment_id] for f in hosted.fragments}
+    assert len(procs) == 1
+
+
+def test_inherent_complexity_positive(stocks):
+    __, __, entity = build_entity(stocks)
+    hosted = entity.host(spec(stocks))
+    assert hosted.inherent_complexity > 0
+
+
+def test_redeploy_after_unhost(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0"))
+    entity.host(spec(stocks, "q1"))
+    entity.deploy()
+    entity.unhost("q0")
+    plan = entity.deploy()
+    fragment_queries = {fid.split("#")[0] for fid in plan.assignment}
+    assert fragment_queries == {"q1"}
+
+
+def test_utilizations_and_backlog(stocks):
+    sim, net, entity = build_entity(stocks)
+    entity.host(spec(stocks, "q0", lo=0, hi=1000, cost_multiplier=50.0))
+    entity.deploy()
+    source = StreamSource(sim, stocks.schemas()[0], poisson=False)
+    source.subscribe(entity.receive)
+    source.start()
+    sim.run(until=2.0)
+    utils = entity.utilizations(2.0)
+    assert any(u > 0 for u in utils.values())
+    assert entity.max_backlog() >= 0.0

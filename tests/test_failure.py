@@ -1,0 +1,93 @@
+"""Tests for churn schedules and the failure injector."""
+
+from __future__ import annotations
+
+import random
+
+from repro.simulation.failure import ChurnSchedule, FailureInjector
+from repro.simulation.simulator import Simulator
+
+
+def test_poisson_schedule_respects_duration():
+    rng = random.Random(1)
+    schedule = ChurnSchedule.poisson(
+        rng,
+        duration=10.0,
+        join_rate=2.0,
+        leave_rate=1.0,
+        crash_rate=0.5,
+        member_ids=["a", "b", "c"],
+    )
+    for t, __ in schedule.joins + schedule.leaves + schedule.crashes:
+        assert 0.0 <= t < 10.0
+
+
+def test_poisson_schedule_is_deterministic():
+    a = ChurnSchedule.poisson(
+        random.Random(5), duration=20.0, join_rate=1.0
+    )
+    b = ChurnSchedule.poisson(
+        random.Random(5), duration=20.0, join_rate=1.0
+    )
+    assert a.joins == b.joins
+
+
+def test_zero_rates_produce_empty_schedule():
+    schedule = ChurnSchedule.poisson(random.Random(1), duration=10.0)
+    assert not schedule.joins
+    assert not schedule.leaves
+    assert not schedule.crashes
+
+
+def test_leaves_require_member_ids():
+    schedule = ChurnSchedule.poisson(
+        random.Random(1), duration=10.0, leave_rate=5.0, member_ids=[]
+    )
+    assert schedule.leaves == []
+
+
+def test_joins_get_fresh_ids():
+    schedule = ChurnSchedule.poisson(
+        random.Random(2), duration=50.0, join_rate=1.0, new_prefix="n"
+    )
+    ids = [m for __, m in schedule.joins]
+    assert len(ids) == len(set(ids))
+    assert all(m.startswith("n-") for m in ids)
+
+
+def test_injector_fires_callbacks_in_time_order():
+    sim = Simulator(seed=0)
+    injector = FailureInjector(sim)
+    schedule = ChurnSchedule(
+        joins=[(1.0, "x"), (3.0, "y")],
+        leaves=[(2.0, "a")],
+        crashes=[(4.0, "b")],
+    )
+    log = []
+    injector.apply(
+        schedule,
+        on_join=lambda m: log.append(("join", m, sim.now)),
+        on_leave=lambda m: log.append(("leave", m, sim.now)),
+        on_crash=lambda m: log.append(("crash", m, sim.now)),
+    )
+    sim.run()
+    assert log == [
+        ("join", "x", 1.0),
+        ("leave", "a", 2.0),
+        ("join", "y", 3.0),
+        ("crash", "b", 4.0),
+    ]
+    assert injector.injected_joins == 2
+    assert injector.injected_leaves == 1
+    assert injector.injected_crashes == 1
+
+
+def test_injector_skips_missing_handlers():
+    sim = Simulator(seed=0)
+    injector = FailureInjector(sim)
+    schedule = ChurnSchedule(joins=[(1.0, "x")], crashes=[(2.0, "y")])
+    seen = []
+    injector.apply(schedule, on_crash=lambda m: seen.append(m))
+    sim.run()
+    assert seen == ["y"]
+    assert injector.injected_joins == 0

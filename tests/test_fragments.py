@@ -1,0 +1,81 @@
+"""Tests for fragmentation under the distribution limit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import MapOperator
+from repro.engine.plan import QueryPlan
+from repro.placement.fragments import fragment_plan
+
+
+def plan_with_costs(costs, sels=None, query="q"):
+    sels = sels or [1.0] * len(costs)
+    ops = []
+    for i, (cost, sel) in enumerate(zip(costs, sels)):
+        op = MapOperator(f"{query}.op{i}", lambda t: t, cost_per_tuple=cost)
+        op.estimated_selectivity = sel
+        ops.append(op)
+    return QueryPlan(query, ["s"], ops)
+
+
+def test_limit_one_yields_single_fragment():
+    plan = plan_with_costs([1e-4] * 4)
+    fragments = fragment_plan(plan, 1)
+    assert len(fragments) == 1
+    assert len(fragments[0].operators) == 4
+
+
+def test_invalid_limit():
+    with pytest.raises(ValueError):
+        fragment_plan(plan_with_costs([1e-4]), 0)
+
+
+def test_limit_capped_by_operator_count():
+    plan = plan_with_costs([1e-4, 1e-4])
+    fragments = fragment_plan(plan, 8)
+    assert len(fragments) <= 2
+
+
+def test_fragments_cover_all_operators_in_order():
+    plan = plan_with_costs([1e-4] * 5)
+    fragments = fragment_plan(plan, 3)
+    names = [op.name for f in fragments for op in f.operators]
+    assert names == [op.name for op in plan.operators]
+
+
+def test_balanced_cuts_on_uniform_costs():
+    plan = plan_with_costs([1e-4] * 4)
+    fragments = fragment_plan(plan, 2)
+    sizes = [len(f.operators) for f in fragments]
+    assert sizes == [2, 2]
+
+
+def test_heavy_operator_isolated():
+    plan = plan_with_costs([1e-5, 1e-2, 1e-5])
+    fragments = fragment_plan(plan, 2)
+    # the expensive middle op should not share a fragment with both cheap ones
+    sizes = {len(f.operators) for f in fragments}
+    assert sizes == {1, 2}
+
+
+def test_cut_prefers_low_rate_boundaries():
+    # op0 is highly selective: cutting after it crosses few tuples and
+    # also yields the best bottleneck cost
+    plan = plan_with_costs(
+        [1e-4, 1e-4, 1e-4], sels=[0.01, 1.0, 1.0]
+    )
+    fragments = fragment_plan(plan, 2)
+    assert len(fragments[0].operators) == 1  # cut right after the filter
+
+
+def test_high_rate_weight_discourages_cutting():
+    plan = plan_with_costs([1e-4, 1e-4], sels=[1.0, 1.0])
+    fragments = fragment_plan(plan, 2, rate_weight=10.0)
+    assert len(fragments) == 1  # any cut would cross the full rate
+
+
+def test_single_operator_plan():
+    plan = plan_with_costs([1e-4])
+    fragments = fragment_plan(plan, 4)
+    assert len(fragments) == 1

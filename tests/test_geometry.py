@@ -1,0 +1,90 @@
+"""Tests for cluster geometry helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coordination.geometry import (
+    centre_member,
+    cluster_radius,
+    distance,
+    farthest_pair,
+    min_radii_bipartition,
+)
+
+
+def test_distance():
+    assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+
+def test_cluster_radius():
+    points = {"a": (0.0, 0.0), "b": (1.0, 0.0), "c": (0.0, 2.0)}
+    assert cluster_radius(points, "a") == pytest.approx(2.0)
+
+
+def test_cluster_radius_singleton():
+    assert cluster_radius({"a": (5.0, 5.0)}, "a") == 0.0
+
+
+def test_centre_member_picks_minimax():
+    points = {"a": (0.0, 0.0), "b": (1.0, 0.0), "c": (2.0, 0.0)}
+    assert centre_member(points) == "b"
+
+
+def test_centre_member_tie_breaks_on_id():
+    points = {"b": (0.0, 0.0), "a": (1.0, 0.0)}
+    assert centre_member(points) == "a"
+
+
+def test_centre_member_empty_raises():
+    with pytest.raises(ValueError):
+        centre_member({})
+
+
+def test_farthest_pair():
+    points = {"a": (0.0, 0.0), "b": (1.0, 0.0), "c": (10.0, 0.0)}
+    assert set(farthest_pair(points)) == {"a", "c"}
+
+
+def test_farthest_pair_needs_two():
+    with pytest.raises(ValueError):
+        farthest_pair({"a": (0.0, 0.0)})
+
+
+def test_bipartition_sizes_respected():
+    points = {f"m{i}": (float(i), 0.0) for i in range(10)}
+    a, b = min_radii_bipartition(points, 4)
+    assert len(a) >= 4 and len(b) >= 4
+    assert sorted(a + b) == sorted(points)
+
+
+def test_bipartition_separates_spatial_clusters():
+    points = {f"l{i}": (0.0 + i * 0.01, 0.0) for i in range(4)}
+    points.update({f"r{i}": (10.0 + i * 0.01, 0.0) for i in range(4)})
+    a, b = min_radii_bipartition(points, 3)
+    groups = (set(a), set(b))
+    left = {m for m in points if m.startswith("l")}
+    assert left in groups or (set(points) - left) in groups
+
+
+def test_bipartition_too_small_raises():
+    points = {f"m{i}": (float(i), 0.0) for i in range(5)}
+    with pytest.raises(ValueError):
+        min_radii_bipartition(points, 3)
+
+
+@given(
+    coords=st.lists(
+        st.tuples(st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)),
+        min_size=6,
+        max_size=20,
+    ),
+    min_size=st.integers(min_value=1, max_value=3),
+)
+def test_bipartition_partitions_everything(coords, min_size):
+    points = {f"m{i}": c for i, c in enumerate(coords)}
+    a, b = min_radii_bipartition(points, min_size)
+    assert len(a) >= min_size and len(b) >= min_size
+    assert sorted(a + b) == sorted(points)
+    assert not set(a) & set(b)

@@ -1,0 +1,166 @@
+"""Tests (incl. property-based) for intervals and interval sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interest.predicates import Interval, IntervalSet
+
+
+intervals = st.builds(
+    lambda lo, width: Interval(lo, lo + width),
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+interval_sets = st.lists(intervals, max_size=6).map(IntervalSet)
+
+
+# ----------------------------------------------------------------------
+# Interval
+# ----------------------------------------------------------------------
+def test_invalid_interval_raises():
+    with pytest.raises(ValueError):
+        Interval(2.0, 1.0)
+
+
+def test_contains_endpoints():
+    iv = Interval(1.0, 2.0)
+    assert iv.contains(1.0)
+    assert iv.contains(2.0)
+    assert not iv.contains(2.0001)
+
+
+def test_intersect_overlapping():
+    assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+
+def test_intersect_disjoint_is_none():
+    assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+
+def test_intersect_touching_endpoints():
+    assert Interval(0, 2).intersect(Interval(2, 4)) == Interval(2, 2)
+
+
+def test_hull():
+    assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+
+
+@given(a=intervals, b=intervals)
+def test_intersect_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(a=intervals, b=intervals)
+def test_intersection_within_both(a, b):
+    c = a.intersect(b)
+    if c is not None:
+        assert c.lo >= max(a.lo, b.lo)
+        assert c.hi <= min(a.hi, b.hi)
+
+
+# ----------------------------------------------------------------------
+# IntervalSet
+# ----------------------------------------------------------------------
+def test_normalisation_merges_overlaps():
+    s = IntervalSet([Interval(0, 2), Interval(1, 3), Interval(5, 6)])
+    assert s.intervals == (Interval(0, 3), Interval(5, 6))
+
+
+def test_normalisation_merges_touching():
+    s = IntervalSet([Interval(0, 1), Interval(1, 2)])
+    assert s.intervals == (Interval(0, 2),)
+
+
+def test_empty_set():
+    s = IntervalSet()
+    assert s.is_empty
+    assert not s.contains(0.0)
+    assert s.total_width() == 0.0
+
+
+def test_union():
+    a = IntervalSet.single(0, 1)
+    b = IntervalSet.single(2, 3)
+    u = a.union(b)
+    assert len(u) == 2
+    assert u.contains(0.5) and u.contains(2.5)
+
+
+def test_intersect_sets():
+    a = IntervalSet([Interval(0, 5), Interval(10, 15)])
+    b = IntervalSet.single(4, 11)
+    c = a.intersect(b)
+    assert c.intervals == (Interval(4, 5), Interval(10, 11))
+
+
+def test_covers():
+    big = IntervalSet.single(0, 10)
+    small = IntervalSet([Interval(1, 2), Interval(8, 9)])
+    assert big.covers(small)
+    assert not small.covers(big)
+
+
+def test_widen_to_reduces_count_and_is_superset():
+    s = IntervalSet([Interval(0, 1), Interval(2, 3), Interval(10, 11)])
+    widened = s.widen_to(2)
+    assert len(widened) == 2
+    assert widened.covers(s)
+    # closest pair merged first
+    assert widened.intervals[0] == Interval(0, 3)
+
+
+def test_widen_to_one():
+    s = IntervalSet([Interval(0, 1), Interval(9, 10)])
+    assert s.widen_to(1).intervals == (Interval(0, 10),)
+
+
+def test_widen_to_invalid():
+    with pytest.raises(ValueError):
+        IntervalSet.single(0, 1).widen_to(0)
+
+
+def test_equality_and_hash():
+    a = IntervalSet([Interval(0, 1), Interval(0.5, 2)])
+    b = IntervalSet.single(0, 2)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@given(s=interval_sets)
+def test_normalised_intervals_sorted_disjoint(s):
+    ivs = s.intervals
+    for left, right in zip(ivs, ivs[1:]):
+        assert left.hi < right.lo
+
+
+@given(a=interval_sets, b=interval_sets)
+def test_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.covers(a)
+    assert u.covers(b)
+
+
+@given(a=interval_sets, b=interval_sets)
+def test_intersection_contained_in_both(a, b):
+    c = a.intersect(b)
+    assert a.covers(c)
+    assert b.covers(c)
+
+
+@given(a=interval_sets, b=interval_sets, x=st.floats(-150, 150))
+def test_union_membership_pointwise(a, b, x):
+    assert a.union(b).contains(x) == (a.contains(x) or b.contains(x))
+
+
+@given(a=interval_sets, b=interval_sets, x=st.floats(-150, 150))
+def test_intersect_membership_pointwise(a, b, x):
+    assert a.intersect(b).contains(x) == (a.contains(x) and b.contains(x))
+
+
+@given(s=interval_sets, k=st.integers(min_value=1, max_value=5))
+def test_widen_is_superset_property(s, k):
+    widened = s.widen_to(k)
+    assert len(widened) <= k or s.is_empty
+    assert widened.covers(s)

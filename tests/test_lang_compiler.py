@@ -1,0 +1,244 @@
+"""Tests for query-language compilation to QuerySpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import QuerySyntaxError, compile_query
+from repro.streams.catalog import stock_catalog
+
+
+@pytest.fixture
+def catalog():
+    return stock_catalog(exchanges=2)
+
+
+S0 = "exchange-0.trades"
+S1 = "exchange-1.trades"
+
+
+def test_simple_filter_query(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE price BETWEEN 100 AND 400",
+        catalog,
+        query_id="q1",
+    )
+    assert spec.query_id == "q1"
+    assert spec.input_streams == [S0]
+    interest = spec.interests[0]
+    assert interest.matches_values({"price": 200.0})
+    assert not interest.matches_values({"price": 500.0})
+    assert spec.aggregate is None
+    assert spec.join is None
+
+
+def test_comparison_clipped_to_domain(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE price <= 400",
+        catalog,
+        query_id="q1",
+    )
+    ivs = spec.interests[0].constraints["price"]
+    assert ivs.intervals[0].lo == catalog.schema(S0).attribute("price").lo
+    assert ivs.intervals[0].hi == 400.0
+
+
+def test_conjunction_intersects_same_attribute(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE price >= 100 AND price <= 300",
+        catalog,
+        query_id="q1",
+    )
+    ivs = spec.interests[0].constraints["price"]
+    assert ivs.intervals[0].lo == 100.0
+    assert ivs.intervals[0].hi == 300.0
+
+
+def test_conflicting_predicates_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="conflicting"):
+        compile_query(
+            f"SELECT * FROM {S0} WHERE price <= 100 AND price >= 300",
+            catalog,
+            query_id="q1",
+        )
+
+
+def test_aggregate_query(catalog):
+    spec = compile_query(
+        f"SELECT AVG(price) FROM {S0} WHERE symbol BETWEEN 0 AND 19 "
+        "WINDOW 10 GROUP BY symbol",
+        catalog,
+        query_id="q1",
+    )
+    assert spec.aggregate is not None
+    assert spec.aggregate.fn == "avg"
+    assert spec.aggregate.window == 10.0
+    assert spec.aggregate.group_by == "symbol"
+    plan = spec.build_plan(catalog)
+    assert plan.cost_per_input_tuple() > 0
+
+
+def test_join_query(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} JOIN {S1} ON symbol WITHIN 2 "
+        f"WHERE {S0}.symbol BETWEEN 0 AND 9",
+        catalog,
+        query_id="q1",
+    )
+    assert spec.join is not None
+    assert spec.join.attribute == "symbol"
+    assert spec.join.window == 2.0
+    assert spec.input_streams == [S0, S1]
+    # the qualified predicate constrains only exchange-0
+    assert "symbol" in spec.interests[0].constraints
+    assert "symbol" not in spec.interests[1].constraints
+
+
+def test_unqualified_predicate_with_join_applies_to_both(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} JOIN {S1} ON symbol "
+        "WHERE price BETWEEN 100 AND 200",
+        catalog,
+        query_id="q1",
+    )
+    assert "price" in spec.interests[0].constraints
+    assert "price" in spec.interests[1].constraints
+
+
+def test_projection(catalog):
+    spec = compile_query(
+        f"SELECT price, volume FROM {S0}", catalog, query_id="q1"
+    )
+    assert spec.project == ("price", "volume")
+
+
+def test_select_star_no_projection(catalog):
+    spec = compile_query(f"SELECT * FROM {S0}", catalog, query_id="q1")
+    assert spec.project is None
+
+
+def test_unknown_stream_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="unknown stream"):
+        compile_query("SELECT * FROM nasdaq.ghost", catalog, query_id="q1")
+
+
+def test_unknown_attribute_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="no attribute"):
+        compile_query(
+            f"SELECT * FROM {S0} WHERE colour BETWEEN 1 AND 2",
+            catalog,
+            query_id="q1",
+        )
+
+
+def test_unknown_projection_attribute_is_tolerated(catalog):
+    # projection of unknown names is a runtime no-op, not an error
+    spec = compile_query(f"SELECT price FROM {S0}", catalog, query_id="q1")
+    assert spec.project == ("price",)
+
+
+def test_aggregate_requires_window(catalog):
+    with pytest.raises(QuerySyntaxError, match="WINDOW"):
+        compile_query(f"SELECT AVG(price) FROM {S0}", catalog, query_id="q1")
+
+
+def test_window_requires_aggregate(catalog):
+    with pytest.raises(QuerySyntaxError, match="aggregate"):
+        compile_query(f"SELECT * FROM {S0} WINDOW 10", catalog, query_id="q1")
+
+
+def test_two_aggregates_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="at most one"):
+        compile_query(
+            f"SELECT AVG(price), MAX(price) FROM {S0} WINDOW 10",
+            catalog,
+            query_id="q1",
+        )
+
+
+def test_self_join_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="itself"):
+        compile_query(
+            f"SELECT * FROM {S0} JOIN {S0} ON symbol", catalog, query_id="q1"
+        )
+
+
+def test_aggregate_over_join_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="joins"):
+        compile_query(
+            f"SELECT AVG(price) FROM {S0} JOIN {S1} ON symbol WINDOW 5",
+            catalog,
+            query_id="q1",
+        )
+
+
+def test_predicate_on_foreign_stream_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="not a FROM/JOIN"):
+        compile_query(
+            f"SELECT * FROM {S0} WHERE monitor-9.flows.price BETWEEN 1 AND 2",
+            catalog,
+            query_id="q1",
+        )
+
+
+def test_client_metadata_passed_through(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0}",
+        catalog,
+        query_id="q9",
+        cost_multiplier=3.0,
+        client_x=0.2,
+        client_y=0.9,
+    )
+    assert spec.cost_multiplier == 3.0
+    assert (spec.client_x, spec.client_y) == (0.2, 0.9)
+
+
+def test_compiled_query_runs_end_to_end(catalog):
+    """A compiled query flows through the full system."""
+    from repro.core.system import FederatedSystem, SystemConfig
+
+    system = FederatedSystem(
+        catalog, SystemConfig(entity_count=2, processors_per_entity=2, seed=4)
+    )
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE price BETWEEN 1 AND 900",
+        catalog,
+        query_id="lang-q",
+    )
+    system.submit([spec])
+    report = system.run(3.0)
+    assert report.results > 0
+
+
+def test_in_list_compiles_to_union(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE symbol IN (2, 5, 9)",
+        catalog,
+        query_id="q-in",
+    )
+    interest = spec.interests[0]
+    for symbol in (2.0, 5.0, 9.0):
+        assert interest.matches_values({"symbol": symbol})
+    for symbol in (3.0, 7.0, 100.0):
+        assert not interest.matches_values({"symbol": symbol})
+
+
+def test_in_list_intersects_with_range(catalog):
+    spec = compile_query(
+        f"SELECT * FROM {S0} WHERE symbol IN (2, 50) AND symbol <= 10",
+        catalog,
+        query_id="q-in2",
+    )
+    interest = spec.interests[0]
+    assert interest.matches_values({"symbol": 2.0})
+    assert not interest.matches_values({"symbol": 50.0})
+
+
+def test_in_list_outside_domain_rejected(catalog):
+    with pytest.raises(QuerySyntaxError, match="empty"):
+        compile_query(
+            f"SELECT * FROM {S0} WHERE symbol IN (-5)",
+            catalog,
+            query_id="q-in3",
+        )

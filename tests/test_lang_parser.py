@@ -1,0 +1,138 @@
+"""Tests for the query-language parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.parser import parse_query
+
+
+def test_select_star():
+    ast = parse_query("SELECT * FROM ticks")
+    assert ast.select_all
+    assert ast.stream == "ticks"
+    assert ast.items == ()
+    assert ast.join is None
+    assert ast.window is None
+
+
+def test_select_items():
+    ast = parse_query("SELECT price, volume FROM ticks")
+    assert not ast.select_all
+    assert [i.attribute for i in ast.items] == ["price", "volume"]
+    assert all(i.aggregate is None for i in ast.items)
+
+
+def test_select_aggregate():
+    ast = parse_query("SELECT AVG(price) FROM ticks WINDOW 10")
+    item = ast.items[0]
+    assert item.aggregate == "avg"
+    assert item.attribute == "price"
+    assert ast.window.seconds == 10.0
+
+
+def test_where_between():
+    ast = parse_query("SELECT * FROM ticks WHERE price BETWEEN 10 AND 50")
+    pred = ast.predicates[0]
+    assert (pred.attribute, pred.lo, pred.hi) == ("price", 10.0, 50.0)
+    assert pred.stream is None
+
+
+def test_where_multiple_and():
+    ast = parse_query(
+        "SELECT * FROM ticks WHERE price BETWEEN 1 AND 2 AND volume >= 100"
+    )
+    assert len(ast.predicates) == 2
+    vol = ast.predicates[1]
+    assert vol.lo == 100.0
+    assert math.isinf(vol.hi)
+
+
+def test_comparison_operators():
+    for op, lo, hi in (
+        ("<", -math.inf, 5.0),
+        ("<=", -math.inf, 5.0),
+        (">", 5.0, math.inf),
+        (">=", 5.0, math.inf),
+        ("=", 5.0, 5.0),
+    ):
+        ast = parse_query(f"SELECT * FROM s WHERE x {op} 5")
+        pred = ast.predicates[0]
+        assert (pred.lo, pred.hi) == (lo, hi), op
+
+
+def test_qualified_predicate():
+    ast = parse_query(
+        "SELECT * FROM exchange-0.trades JOIN exchange-1.trades ON symbol "
+        "WHERE exchange-0.trades.price BETWEEN 1 AND 2"
+    )
+    pred = ast.predicates[0]
+    assert pred.stream == "exchange-0.trades"
+    assert pred.attribute == "price"
+
+
+def test_join_clause():
+    ast = parse_query("SELECT * FROM a.s JOIN b.s ON symbol WITHIN 2.5")
+    assert ast.join.stream == "b.s"
+    assert ast.join.attribute == "symbol"
+    assert ast.join.window == 2.5
+
+
+def test_join_default_window():
+    ast = parse_query("SELECT * FROM a.s JOIN b.s ON symbol")
+    assert ast.join.window == 5.0
+
+
+def test_window_group_by():
+    ast = parse_query("SELECT AVG(price) FROM ticks WINDOW 10 GROUP BY symbol")
+    assert ast.window.group_by == "symbol"
+
+
+def test_reversed_between_rejected():
+    with pytest.raises(QuerySyntaxError, match="reversed"):
+        parse_query("SELECT * FROM s WHERE x BETWEEN 5 AND 1")
+
+
+def test_nonpositive_window_rejected():
+    with pytest.raises(QuerySyntaxError, match="positive"):
+        parse_query("SELECT AVG(x) FROM s WINDOW 0")
+
+
+def test_nonpositive_within_rejected():
+    with pytest.raises(QuerySyntaxError, match="positive"):
+        parse_query("SELECT * FROM a.s JOIN b.s ON k WITHIN 0")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(QuerySyntaxError, match="trailing"):
+        parse_query("SELECT * FROM s nonsense more")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(QuerySyntaxError, match="FROM"):
+        parse_query("SELECT *")
+
+
+def test_missing_predicate_operator_rejected():
+    with pytest.raises(QuerySyntaxError, match="BETWEEN or a comparison"):
+        parse_query("SELECT * FROM s WHERE x")
+
+
+def test_in_list_predicate():
+    ast = parse_query("SELECT * FROM s WHERE symbol IN (3, 1, 7)")
+    pred = ast.predicates[0]
+    assert pred.ranges == ((1.0, 1.0), (3.0, 3.0), (7.0, 7.0))
+    assert (pred.lo, pred.hi) == (1.0, 7.0)
+
+
+def test_in_requires_parenthesised_list():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("SELECT * FROM s WHERE symbol IN 3, 4")
+
+
+def test_interval_bounds_default():
+    ast = parse_query("SELECT * FROM s WHERE x BETWEEN 1 AND 2")
+    assert ast.predicates[0].interval_bounds() == ((1.0, 2.0),)

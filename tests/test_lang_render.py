@@ -1,0 +1,153 @@
+"""Render/parse round-trip tests for the query language."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.parser import (
+    JoinClause,
+    Predicate,
+    ProjectionItem,
+    QueryAst,
+    WindowClause,
+    parse_query,
+)
+from repro.lang.render import render_query
+
+names = st.from_regex(r"[a-zA-Z][a-zA-Z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.lower()
+    not in {
+        "select",
+        "from",
+        "where",
+        "and",
+        "between",
+        "in",
+        "join",
+        "on",
+        "within",
+        "window",
+        "group",
+        "by",
+        "as",
+        "avg",
+        "sum",
+        "count",
+        "min",
+        "max",
+    }
+)
+numbers = st.integers(min_value=-1000, max_value=1000).map(float)
+
+
+@st.composite
+def predicates(draw):
+    attribute = draw(names)
+    kind = draw(st.sampled_from(["between", "le", "ge", "eq", "in"]))
+    if kind == "between":
+        lo = draw(numbers)
+        hi = lo + abs(draw(numbers))
+        return Predicate(attribute, lo, hi)
+    if kind == "le":
+        return Predicate(attribute, -math.inf, draw(numbers))
+    if kind == "ge":
+        return Predicate(attribute, draw(numbers), math.inf)
+    if kind == "eq":
+        value = draw(numbers)
+        return Predicate(attribute, value, value)
+    values = sorted(set(draw(st.lists(numbers, min_size=1, max_size=4))))
+    return Predicate(
+        attribute,
+        min(values),
+        max(values),
+        ranges=tuple((v, v) for v in values),
+    )
+
+
+@st.composite
+def asts(draw):
+    stream = draw(names)
+    select_all = draw(st.booleans())
+    window = None
+    if select_all:
+        items = ()
+    else:
+        aggregate = draw(st.booleans())
+        if aggregate:
+            items = (
+                ProjectionItem(
+                    attribute=draw(names),
+                    aggregate=draw(
+                        st.sampled_from(["avg", "sum", "count", "min", "max"])
+                    ),
+                ),
+            )
+            window = WindowClause(
+                seconds=float(draw(st.integers(1, 100))),
+                group_by=draw(st.none() | names),
+            )
+        else:
+            items = tuple(
+                ProjectionItem(attribute=draw(names))
+                for __ in range(draw(st.integers(1, 3)))
+            )
+    join = None
+    if window is None and draw(st.booleans()):
+        other = draw(names.filter(lambda n: n != stream))
+        join = JoinClause(
+            stream=other,
+            attribute=draw(names),
+            window=float(draw(st.integers(1, 60))),
+        )
+    preds = tuple(draw(st.lists(predicates(), max_size=3)))
+    return QueryAst(
+        stream=stream,
+        select_all=select_all,
+        items=items,
+        predicates=preds,
+        join=join,
+        window=window,
+    )
+
+
+@given(ast=asts())
+def test_render_parse_round_trip(ast):
+    """Canonical ASTs survive render -> parse unchanged."""
+    text = render_query(ast)
+    assert parse_query(text) == ast
+
+
+def test_render_examples_are_readable():
+    ast = parse_query(
+        "SELECT AVG(price) FROM ticks WHERE symbol IN (1, 2) "
+        "WINDOW 10 GROUP BY symbol"
+    )
+    assert render_query(ast) == (
+        "SELECT AVG(price) FROM ticks WHERE symbol IN (1, 2) "
+        "WINDOW 10 GROUP BY symbol"
+    )
+
+
+def test_render_comparison_forms():
+    for text in (
+        "SELECT * FROM s WHERE x <= 5",
+        "SELECT * FROM s WHERE x >= 5",
+        "SELECT * FROM s WHERE x = 5",
+        "SELECT * FROM s WHERE x BETWEEN 1 AND 5",
+    ):
+        assert render_query(parse_query(text)) == text
+
+
+def test_render_rejects_unbounded_predicate():
+    with pytest.raises(ValueError):
+        render_query(
+            QueryAst(
+                stream="s",
+                select_all=True,
+                items=(),
+                predicates=(Predicate("x", -math.inf, math.inf),),
+            )
+        )

@@ -1,0 +1,70 @@
+"""Tests for the query-language tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.errors import QuerySyntaxError
+from repro.lang.tokens import END, KEYWORD, NAME, NUMBER, SYMBOL, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != END]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("SELECT select SeLeCt") == [
+        (KEYWORD, "select"),
+        (KEYWORD, "select"),
+        (KEYWORD, "select"),
+    ]
+
+
+def test_stream_names_with_dots_and_dashes():
+    assert kinds("exchange-0.trades") == [(NAME, "exchange-0.trades")]
+
+
+def test_numbers():
+    assert kinds("42 3.14 -7 1e3 2.5E-2") == [
+        (NUMBER, "42"),
+        (NUMBER, "3.14"),
+        (NUMBER, "-7"),
+        (NUMBER, "1e3"),
+        (NUMBER, "2.5E-2"),
+    ]
+
+
+def test_symbols():
+    assert kinds("* ( ) , < <= > >= =") == [
+        (SYMBOL, "*"),
+        (SYMBOL, "("),
+        (SYMBOL, ")"),
+        (SYMBOL, ","),
+        (SYMBOL, "<"),
+        (SYMBOL, "<="),
+        (SYMBOL, ">"),
+        (SYMBOL, ">="),
+        (SYMBOL, "="),
+    ]
+
+
+def test_positions_recorded():
+    tokens = tokenize("select x")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 7
+
+
+def test_end_token_always_present():
+    assert tokenize("")[-1].kind == END
+    assert tokenize("select")[-1].kind == END
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(QuerySyntaxError) as excinfo:
+        tokenize("select @")
+    assert excinfo.value.position == 7
+
+
+def test_aggregate_names_are_plain_names():
+    # avg/sum/... are contextual: the parser decides, not the tokenizer
+    assert kinds("avg")[0][0] == NAME

@@ -1,0 +1,110 @@
+"""Tests for the heartbeat/membership runtime."""
+
+from __future__ import annotations
+
+import random
+
+from repro.coordination.membership import MembershipRuntime
+from repro.coordination.tree import CoordinatorTree, Member
+from repro.simulation.simulator import Simulator
+
+
+def build(n=20, k=3, seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    tree = CoordinatorTree(k=k)
+    runtime = MembershipRuntime(sim, tree, **kwargs)
+    rng = random.Random(seed)
+    for i in range(n):
+        runtime.join(Member(f"m{i}", rng.random(), rng.random()))
+    return sim, tree, runtime
+
+
+def test_heartbeats_accumulate():
+    sim, tree, runtime = build(heartbeat_interval=1.0)
+    runtime.start()
+    sim.run(until=5.0)
+    assert runtime.heartbeat_messages > 0
+
+
+def test_heartbeat_volume_scales_with_membership():
+    def volume(n):
+        sim, __, runtime = build(n=n, heartbeat_interval=1.0)
+        runtime.start()
+        sim.run(until=5.0)
+        return runtime.heartbeat_messages
+
+    assert volume(40) > volume(10)
+
+
+def test_crash_detected_after_timeout():
+    sim, tree, runtime = build(
+        heartbeat_interval=1.0, detection_multiplier=3.0
+    )
+    victim = tree.member_ids()[0]
+    runtime.crash(victim)
+    assert victim in tree.members  # not yet detected
+    sim.run(until=2.9)
+    assert victim in tree.members
+    sim.run(until=3.1)
+    assert victim not in tree.members
+    assert runtime.detected_crashes == 1
+    assert tree.check_invariants() == []
+
+
+def test_crash_callback_fires():
+    sim, tree, runtime = build()
+    detected = []
+    runtime.on_crash_detected = detected.append
+    victim = tree.member_ids()[3]
+    runtime.crash(victim)
+    sim.run(until=10.0)
+    assert detected == [victim]
+
+
+def test_crash_unknown_member_is_noop():
+    sim, tree, runtime = build()
+    runtime.crash("ghost")
+    sim.run(until=10.0)
+    assert runtime.detected_crashes == 0
+
+
+def test_graceful_leave_is_immediate():
+    sim, tree, runtime = build()
+    victim = tree.member_ids()[1]
+    runtime.leave(victim)
+    assert victim not in tree.members
+    assert tree.check_invariants() == []
+
+
+def test_recentering_runs_periodically():
+    sim, tree, runtime = build(recenter_interval=2.0)
+    # displace members so recenter has something to do
+    for member_id in tree.member_ids()[:5]:
+        m = tree.members[member_id]
+        tree.members[member_id] = Member(member_id, m.x + 3.0, m.y)
+    runtime.start()
+    sim.run(until=2.5)
+    assert tree.check_invariants() == []
+
+
+def test_stop_halts_heartbeats():
+    sim, tree, runtime = build(heartbeat_interval=1.0)
+    runtime.start()
+    sim.run(until=2.5)
+    count = runtime.heartbeat_messages
+    runtime.stop()
+    sim.run(until=10.0)
+    assert runtime.heartbeat_messages == count
+
+
+def test_crashed_member_stops_heartbeating():
+    sim, tree, runtime = build(n=10, heartbeat_interval=1.0)
+    runtime.start()
+    sim.run(until=1.5)
+    baseline = runtime.heartbeat_messages
+    victim = tree.member_ids()[0]
+    runtime.crash(victim)
+    sim.run(until=2.5)
+    delta = runtime.heartbeat_messages - baseline
+    # strictly fewer heartbeats than a full round with everyone alive
+    assert delta < 2 * (len(tree.members))

@@ -1,0 +1,138 @@
+"""Tests for the hierarchical monitoring service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coordination.tree import CoordinatorTree, Member
+from repro.core.entity import Entity
+from repro.monitoring import EntityLoadCollector, MonitoringService
+from repro.simulation.network import Network, NetworkNode
+from repro.simulation.simulator import Simulator
+from repro.streams.catalog import stock_catalog
+from repro.streams.source import StreamSource
+from repro.interest.predicates import StreamInterest
+from repro.query.spec import QuerySpec
+
+
+def build_world(entity_count=6, seed=3):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    catalog = stock_catalog(exchanges=1, rate=80.0)
+    tree = CoordinatorTree(k=2)
+    service = MonitoringService(sim, tree, report_interval=1.0)
+    entities = {}
+    for i in range(entity_count):
+        entity_id = f"e{i}"
+        net.add_node(NetworkNode(entity_id, 0.1 * i, 0.1, group=entity_id))
+        nodes = [
+            net.add_node(
+                NetworkNode(f"{entity_id}/p{j}", tier="lan", group=entity_id)
+            )
+            for j in range(2)
+        ]
+        entity = Entity(sim, net, entity_id, nodes, catalog)
+        entities[entity_id] = entity
+        tree.join(Member(entity_id, 0.1 * i, 0.1))
+        service.register(EntityLoadCollector(sim, entity))
+    return sim, catalog, tree, service, entities
+
+
+def load_entity(sim, catalog, entity, *, multiplier=50.0):
+    stream = catalog.stream_ids()[0]
+    entity.host(
+        QuerySpec(
+            query_id=f"{entity.entity_id}-q",
+            interests=(StreamInterest.on(stream, price=(1, 1000)),),
+            cost_multiplier=multiplier,
+        )
+    )
+    entity.deploy()
+    source = StreamSource(sim, catalog.schemas()[0], poisson=False)
+    source.subscribe(entity.receive)
+    source.start()
+
+
+def test_round_produces_entity_reports():
+    sim, catalog, tree, service, entities = build_world()
+    service.run_round()
+    for entity_id in entities:
+        report = service.entity_report(entity_id)
+        assert report is not None
+        assert report.cpu_load == 0.0  # idle
+
+
+def test_loaded_entity_reports_higher_load():
+    sim, catalog, tree, service, entities = build_world()
+    load_entity(sim, catalog, entities["e0"], multiplier=80.0)
+    service.start()
+    sim.run(until=6.0)
+    busy = service.load_of("e0")
+    idle = service.load_of("e1")
+    assert busy > idle
+    assert busy > 0.05
+
+
+def test_root_view_aggregates_everything():
+    sim, catalog, tree, service, entities = build_world()
+    load_entity(sim, catalog, entities["e0"])
+    service.start()
+    sim.run(until=4.0)
+    root = service.root_view()
+    assert root is not None
+    assert root.entity_count == len(entities)
+    assert root.total_queries == 1
+    assert root.total_cpu_load >= service.load_of("e0") - 1e-9
+
+
+def test_subtree_views_partition_entities():
+    sim, catalog, tree, service, entities = build_world(entity_count=8)
+    service.run_round()
+    top = tree.layers[-1][0]
+    total = 0
+    for member in top.member_ids:
+        view = service.subtree_view(member, tree.depth - 1)
+        assert view is not None
+        total += view.entity_count
+    assert total == 8
+
+
+def test_message_cost_is_linear_per_round():
+    sim, catalog, tree, service, entities = build_world(entity_count=8)
+    service.run_round()
+    first = service.report_messages
+    service.run_round()
+    per_round = service.report_messages - first
+    # one message per entity plus one per non-top cluster
+    clusters_below_top = sum(
+        len(layer) for layer in tree.layers[:-1]
+    )
+    assert per_round == 8 + clusters_below_top
+
+
+def test_deregister_stops_reports():
+    sim, catalog, tree, service, entities = build_world()
+    service.run_round()
+    service.deregister("e0")
+    assert service.entity_report("e0") is None
+    service.run_round()
+    assert service.entity_report("e0") is None
+
+
+def test_stop_halts_rounds():
+    sim, catalog, tree, service, entities = build_world()
+    service.start()
+    sim.run(until=3.5)
+    rounds = service.rounds
+    service.stop()
+    sim.run(until=10.0)
+    assert service.rounds == rounds
+
+
+def test_mean_cpu_load_property():
+    from repro.monitoring.reports import SubtreeLoad
+
+    view = SubtreeLoad("m", 4, 2.0, 0.5, 10, 1.0)
+    assert view.mean_cpu_load == pytest.approx(0.5)
+    empty = SubtreeLoad("m", 0, 0.0, 0.0, 0, 1.0)
+    assert empty.mean_cpu_load == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the tumbling-window aggregate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import WindowAggregateOperator
+from repro.streams.tuples import StreamTuple
+
+
+def tick(t, value, group=None):
+    values = {"price": value}
+    if group is not None:
+        values["symbol"] = group
+    return StreamTuple(
+        stream_id="s", seq=0, created_at=t, values=values, size=64.0
+    )
+
+
+def test_window_emits_on_rollover():
+    op = WindowAggregateOperator("a", "price", fn="avg", window=10.0)
+    assert op.apply(tick(1.0, 10.0), 1.0) == []
+    assert op.apply(tick(5.0, 20.0), 5.0) == []
+    out = op.apply(tick(11.0, 99.0), 11.0)
+    assert len(out) == 1
+    assert out[0].values["avg"] == pytest.approx(15.0)
+    assert out[0].values["window_end"] == pytest.approx(10.0)
+
+
+def test_sum_count_min_max():
+    for fn, expected in (("sum", 30.0), ("count", 2), ("min", 10.0), ("max", 20.0)):
+        op = WindowAggregateOperator("a", "price", fn=fn, window=10.0)
+        op.apply(tick(1.0, 10.0), 1.0)
+        op.apply(tick(2.0, 20.0), 2.0)
+        out = op.apply(tick(11.0, 0.0), 11.0)
+        assert out[0].values[fn] == pytest.approx(expected), fn
+
+
+def test_group_by_emits_one_tuple_per_group():
+    op = WindowAggregateOperator(
+        "a", "price", fn="avg", window=10.0, group_by="symbol"
+    )
+    op.apply(tick(1.0, 10.0, group=1.0), 1.0)
+    op.apply(tick(2.0, 30.0, group=2.0), 2.0)
+    op.apply(tick(3.0, 20.0, group=1.0), 3.0)
+    out = op.apply(tick(11.0, 0.0, group=1.0), 11.0)
+    assert len(out) == 2
+    by_group = {t.values["symbol"]: t.values["avg"] for t in out}
+    assert by_group[1.0] == pytest.approx(15.0)
+    assert by_group[2.0] == pytest.approx(30.0)
+
+
+def test_skipping_multiple_windows_flushes_once():
+    op = WindowAggregateOperator("a", "price", fn="count", window=10.0)
+    op.apply(tick(1.0, 1.0), 1.0)
+    out = op.apply(tick(35.0, 1.0), 35.0)
+    assert len(out) == 1  # the old window flushes; empty middle windows don't
+
+
+def test_missing_attribute_passes_through():
+    op = WindowAggregateOperator("a", "price", window=10.0)
+    foreign = StreamTuple(
+        stream_id="s", seq=0, created_at=0.0, values={"other": 1.0}, size=10.0
+    )
+    assert op.apply(foreign, 0.0) == [foreign]
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ValueError):
+        WindowAggregateOperator("a", "price", fn="median")
+
+
+def test_nonpositive_window_rejected():
+    with pytest.raises(ValueError):
+        WindowAggregateOperator("a", "price", window=0.0)
+
+
+def test_reset_state_drops_accumulators():
+    op = WindowAggregateOperator("a", "price", fn="count", window=10.0)
+    op.apply(tick(1.0, 1.0), 1.0)
+    op.reset_state()
+    out = op.apply(tick(11.0, 1.0), 11.0)
+    assert out == []  # nothing to flush after the reset
+
+
+def test_emitted_seq_numbers_increase():
+    op = WindowAggregateOperator("a", "price", fn="count", window=10.0)
+    op.apply(tick(1.0, 1.0), 1.0)
+    first = op.apply(tick(11.0, 1.0), 11.0)
+    second = op.apply(tick(21.0, 1.0), 21.0)
+    assert first[0].seq == 0
+    assert second[0].seq == 1

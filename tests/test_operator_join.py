@@ -1,0 +1,96 @@
+"""Tests for the sliding-window equi-join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import WindowJoinOperator
+from repro.streams.tuples import StreamTuple
+
+
+def tup(stream, seq, t, **values):
+    return StreamTuple(
+        stream_id=stream, seq=seq, created_at=t, values=values, size=50.0
+    )
+
+
+@pytest.fixture
+def join():
+    return WindowJoinOperator(
+        "j", "left", "right", "key", window=5.0, tolerance=0.0
+    )
+
+
+def test_matching_tuples_join(join):
+    assert join.apply(tup("left", 0, 0.0, key=1.0), 0.0) == []
+    out = join.apply(tup("right", 0, 1.0, key=1.0), 1.0)
+    assert len(out) == 1
+    joined = out[0]
+    assert joined.values["left.key"] == 1.0
+    assert joined.values["right.key"] == 1.0
+    assert joined.size == 100.0
+
+
+def test_non_matching_keys_do_not_join(join):
+    join.apply(tup("left", 0, 0.0, key=1.0), 0.0)
+    assert join.apply(tup("right", 0, 1.0, key=2.0), 1.0) == []
+
+
+def test_window_expiry(join):
+    join.apply(tup("left", 0, 0.0, key=1.0), 0.0)
+    # 6 seconds later the left tuple is out of the 5s window
+    assert join.apply(tup("right", 0, 6.0, key=1.0), 6.0) == []
+
+
+def test_multiple_matches_produce_multiple_outputs(join):
+    join.apply(tup("left", 0, 0.0, key=1.0), 0.0)
+    join.apply(tup("left", 1, 1.0, key=1.0), 1.0)
+    out = join.apply(tup("right", 0, 2.0, key=1.0), 2.0)
+    assert len(out) == 2
+
+
+def test_tolerance_join():
+    join = WindowJoinOperator(
+        "j", "left", "right", "key", window=5.0, tolerance=0.5
+    )
+    join.apply(tup("left", 0, 0.0, key=1.0), 0.0)
+    assert len(join.apply(tup("right", 0, 1.0, key=1.3), 1.0)) == 1
+    assert join.apply(tup("right", 1, 1.0, key=2.0), 1.0) == []
+
+
+def test_join_is_symmetric(join):
+    join.apply(tup("right", 0, 0.0, key=3.0), 0.0)
+    out = join.apply(tup("left", 0, 1.0, key=3.0), 1.0)
+    assert len(out) == 1
+    assert out[0].values["left.key"] == 3.0
+
+
+def test_foreign_stream_passes_through(join):
+    other = tup("other", 0, 0.0, key=1.0)
+    assert join.apply(other, 0.0) == [other]
+
+
+def test_cost_grows_with_window_contents(join):
+    base = join.cost(tup("left", 0, 0.0, key=1.0))
+    for i in range(10):
+        join.apply(tup("right", i, 0.0, key=float(i)), 0.0)
+    loaded = join.cost(tup("left", 1, 0.0, key=1.0))
+    assert loaded > base
+
+
+def test_reset_state_clears_windows(join):
+    join.apply(tup("left", 0, 0.0, key=1.0), 0.0)
+    join.reset_state()
+    assert join.window_size("left") == 0
+    assert join.apply(tup("right", 0, 1.0, key=1.0), 1.0) == []
+
+
+def test_same_stream_rejected():
+    with pytest.raises(ValueError):
+        WindowJoinOperator("j", "s", "s", "key")
+
+
+def test_output_created_at_is_older_input(join):
+    join.apply(tup("left", 0, 1.0, key=1.0), 1.0)
+    out = join.apply(tup("right", 0, 3.0, key=1.0), 3.0)
+    assert out[0].created_at == 1.0

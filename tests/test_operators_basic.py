@@ -1,0 +1,126 @@
+"""Tests for filter, project, map, and union operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import (
+    FilterOperator,
+    MapOperator,
+    ProjectOperator,
+    UnionOperator,
+)
+from repro.interest.predicates import StreamInterest
+from repro.streams.tuples import StreamTuple
+
+
+def make_tuple(stream="s", **values):
+    return StreamTuple(
+        stream_id=stream,
+        seq=0,
+        created_at=0.0,
+        values=values or {"price": 10.0},
+        size=64.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# FilterOperator
+# ----------------------------------------------------------------------
+def test_filter_keeps_matching():
+    op = FilterOperator("f", StreamInterest.on("s", price=(0, 50)))
+    assert op.apply(make_tuple(price=20.0), 0.0) == [make_tuple(price=20.0)]
+
+
+def test_filter_drops_non_matching():
+    op = FilterOperator("f", StreamInterest.on("s", price=(0, 50)))
+    assert op.apply(make_tuple(price=80.0), 0.0) == []
+
+
+def test_filter_passes_other_streams():
+    op = FilterOperator("f", StreamInterest.on("s", price=(0, 50)))
+    other = make_tuple(stream="t", price=80.0)
+    assert op.apply(other, 0.0) == [other]
+
+
+def test_filter_observed_selectivity():
+    op = FilterOperator("f", StreamInterest.on("s", price=(0, 50)))
+    op.apply(make_tuple(price=20.0), 0.0)
+    op.apply(make_tuple(price=80.0), 0.0)
+    assert op.stats.tuples_in == 2
+    assert op.stats.tuples_out == 1
+    assert op.stats.observed_selectivity == pytest.approx(0.5)
+    assert op.selectivity == pytest.approx(0.5)
+
+
+def test_selectivity_falls_back_to_estimate():
+    op = FilterOperator(
+        "f",
+        StreamInterest.on("s", price=(0, 50)),
+        estimated_selectivity=0.3,
+    )
+    assert op.selectivity == pytest.approx(0.3)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        FilterOperator(
+            "f", StreamInterest.on("s", price=(0, 1)), cost_per_tuple=-1.0
+        )
+
+
+# ----------------------------------------------------------------------
+# ProjectOperator
+# ----------------------------------------------------------------------
+def test_project_reduces_attributes_and_size():
+    op = ProjectOperator("p", ["price"], bytes_per_attribute=8.0)
+    tup = make_tuple(price=1.0, volume=2.0)
+    out = op.apply(tup, 0.0)
+    assert out[0].values == {"price": 1.0}
+    assert out[0].size == 8.0
+
+
+def test_project_without_matching_attributes_passes_through():
+    op = ProjectOperator("p", ["ghost"])
+    tup = make_tuple(price=1.0)
+    assert op.apply(tup, 0.0) == [tup]
+
+
+def test_project_requires_attributes():
+    with pytest.raises(ValueError):
+        ProjectOperator("p", [])
+
+
+# ----------------------------------------------------------------------
+# MapOperator
+# ----------------------------------------------------------------------
+def test_map_transforms():
+    op = MapOperator("m", lambda t: t.with_values(price=t.value("price") * 2))
+    out = op.apply(make_tuple(price=5.0), 0.0)
+    assert out[0].value("price") == 10.0
+
+
+def test_map_none_drops():
+    op = MapOperator("m", lambda t: None)
+    assert op.apply(make_tuple(), 0.0) == []
+    assert op.stats.tuples_out == 0
+
+
+# ----------------------------------------------------------------------
+# UnionOperator
+# ----------------------------------------------------------------------
+def test_union_relabels_member_streams():
+    op = UnionOperator("u", ["a", "b"])
+    out = op.apply(make_tuple(stream="a", price=1.0), 0.0)
+    assert out[0].stream_id == "u.out"
+
+
+def test_union_passes_foreign_streams():
+    op = UnionOperator("u", ["a", "b"])
+    tup = make_tuple(stream="c", price=1.0)
+    assert op.apply(tup, 0.0) == [tup]
+
+
+def test_union_requires_two_streams():
+    with pytest.raises(ValueError):
+        UnionOperator("u", ["only"])

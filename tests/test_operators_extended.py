@@ -1,0 +1,172 @@
+"""Tests for top-k, distinct, sample, and sliding-average operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import (
+    DistinctOperator,
+    SampleOperator,
+    SlidingAverageOperator,
+    TopKOperator,
+)
+from repro.streams.tuples import StreamTuple
+
+
+def tup(seq, t, **values):
+    return StreamTuple(
+        stream_id="s", seq=seq, created_at=t, values=values, size=32.0
+    )
+
+
+# ----------------------------------------------------------------------
+# TopKOperator
+# ----------------------------------------------------------------------
+def test_topk_emits_largest_on_rollover():
+    op = TopKOperator("t", "volume", k=2, window=10.0)
+    for i, volume in enumerate([5.0, 30.0, 10.0, 20.0]):
+        assert op.apply(tup(i, 1.0 + i, volume=volume), 1.0 + i) == []
+    out = op.apply(tup(9, 11.0, volume=1.0), 11.0)
+    assert [t.value("volume") for t in out] == [30.0, 20.0]
+
+
+def test_topk_fewer_than_k():
+    op = TopKOperator("t", "volume", k=5, window=10.0)
+    op.apply(tup(0, 1.0, volume=7.0), 1.0)
+    out = op.apply(tup(1, 11.0, volume=1.0), 11.0)
+    assert len(out) == 1
+
+
+def test_topk_ties_broken_by_arrival():
+    op = TopKOperator("t", "volume", k=1, window=10.0)
+    op.apply(tup(0, 1.0, volume=5.0), 1.0)
+    op.apply(tup(1, 2.0, volume=5.0), 2.0)
+    out = op.apply(tup(2, 11.0, volume=0.0), 11.0)
+    assert out[0].seq == 0
+
+
+def test_topk_validation():
+    with pytest.raises(ValueError):
+        TopKOperator("t", "x", k=0)
+    with pytest.raises(ValueError):
+        TopKOperator("t", "x", window=0.0)
+
+
+def test_topk_missing_attribute_passthrough():
+    op = TopKOperator("t", "volume", k=2)
+    other = tup(0, 1.0, price=2.0)
+    assert op.apply(other, 1.0) == [other]
+
+
+def test_topk_reset_state():
+    op = TopKOperator("t", "volume", k=2, window=10.0)
+    op.apply(tup(0, 1.0, volume=9.0), 1.0)
+    op.reset_state()
+    assert op.apply(tup(1, 11.0, volume=1.0), 11.0) == []
+
+
+# ----------------------------------------------------------------------
+# DistinctOperator
+# ----------------------------------------------------------------------
+def test_distinct_suppresses_duplicates_in_window():
+    op = DistinctOperator("d", "symbol", window=10.0)
+    assert len(op.apply(tup(0, 1.0, symbol=7.0), 1.0)) == 1
+    assert op.apply(tup(1, 2.0, symbol=7.0), 2.0) == []
+    assert len(op.apply(tup(2, 3.0, symbol=8.0), 3.0)) == 1
+
+
+def test_distinct_allows_value_after_expiry():
+    op = DistinctOperator("d", "symbol", window=5.0)
+    op.apply(tup(0, 1.0, symbol=7.0), 1.0)
+    out = op.apply(tup(1, 7.0, symbol=7.0), 7.0)
+    assert len(out) == 1
+
+
+def test_distinct_duplicate_refreshes_window():
+    op = DistinctOperator("d", "symbol", window=5.0)
+    op.apply(tup(0, 1.0, symbol=7.0), 1.0)
+    op.apply(tup(1, 4.0, symbol=7.0), 4.0)  # suppressed, refreshes
+    # at t=7 the value was last seen at t=4, still within 5s
+    assert op.apply(tup(2, 7.0, symbol=7.0), 7.0) == []
+
+
+def test_distinct_validation():
+    with pytest.raises(ValueError):
+        DistinctOperator("d", "x", window=0.0)
+
+
+def test_distinct_reset():
+    op = DistinctOperator("d", "symbol", window=10.0)
+    op.apply(tup(0, 1.0, symbol=7.0), 1.0)
+    op.reset_state()
+    assert len(op.apply(tup(1, 2.0, symbol=7.0), 2.0)) == 1
+
+
+# ----------------------------------------------------------------------
+# SampleOperator
+# ----------------------------------------------------------------------
+def test_sample_rate_approximates_probability():
+    op = SampleOperator("s", 0.25)
+    kept = sum(
+        1 for i in range(4000) if op.apply(tup(i, 0.0, x=1.0), 0.0)
+    )
+    assert abs(kept / 4000 - 0.25) < 0.03
+
+
+def test_sample_zero_and_one():
+    keep_all = SampleOperator("s", 1.0)
+    drop_all = SampleOperator("s", 0.0)
+    for i in range(50):
+        assert keep_all.apply(tup(i, 0.0, x=1.0), 0.0)
+        assert drop_all.apply(tup(i, 0.0, x=1.0), 0.0) == []
+
+
+def test_sample_deterministic():
+    a = SampleOperator("s", 0.5)
+    b = SampleOperator("s", 0.5)
+    decisions_a = [bool(a.process(tup(i, 0.0, x=1.0), 0.0)) for i in range(100)]
+    decisions_b = [bool(b.process(tup(i, 0.0, x=1.0), 0.0)) for i in range(100)]
+    assert decisions_a == decisions_b
+
+
+def test_sample_validation():
+    with pytest.raises(ValueError):
+        SampleOperator("s", 1.5)
+
+
+# ----------------------------------------------------------------------
+# SlidingAverageOperator
+# ----------------------------------------------------------------------
+def test_sliding_average_annotates():
+    op = SlidingAverageOperator("m", "price", window=10.0)
+    out1 = op.apply(tup(0, 1.0, price=10.0), 1.0)
+    assert out1[0].value("price_avg") == pytest.approx(10.0)
+    out2 = op.apply(tup(1, 2.0, price=20.0), 2.0)
+    assert out2[0].value("price_avg") == pytest.approx(15.0)
+
+
+def test_sliding_average_expires_old_entries():
+    op = SlidingAverageOperator("m", "price", window=5.0)
+    op.apply(tup(0, 1.0, price=100.0), 1.0)
+    out = op.apply(tup(1, 10.0, price=10.0), 10.0)
+    assert out[0].value("price_avg") == pytest.approx(10.0)
+
+
+def test_sliding_average_selectivity_is_one():
+    op = SlidingAverageOperator("m", "price")
+    for i in range(10):
+        op.apply(tup(i, float(i), price=1.0), float(i))
+    assert op.stats.tuples_out == 10
+
+
+def test_sliding_average_reset():
+    op = SlidingAverageOperator("m", "price", window=10.0)
+    op.apply(tup(0, 1.0, price=100.0), 1.0)
+    op.reset_state()
+    out = op.apply(tup(1, 2.0, price=10.0), 2.0)
+    assert out[0].value("price_avg") == pytest.approx(10.0)
+
+
+def test_sliding_average_validation():
+    with pytest.raises(ValueError):
+        SlidingAverageOperator("m", "x", window=-1.0)

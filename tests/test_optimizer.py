@@ -1,0 +1,145 @@
+"""Tests for compile-time operator ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.operators import (
+    FilterOperator,
+    MapOperator,
+    SampleOperator,
+    WindowAggregateOperator,
+)
+from repro.engine.optimizer import (
+    expected_cost_improvement,
+    is_commutative,
+    optimize_plan,
+    rank,
+)
+from repro.engine.plan import QueryPlan
+from repro.interest.predicates import StreamInterest
+
+
+def make_filter(name, selectivity, cost=1e-4):
+    return FilterOperator(
+        name,
+        StreamInterest.on("s", x=(0, 1)),
+        cost_per_tuple=cost,
+        estimated_selectivity=selectivity,
+    )
+
+
+def test_commutativity_classification():
+    assert is_commutative(make_filter("f", 0.5))
+    assert is_commutative(SampleOperator("s1", 0.5))
+    assert not is_commutative(MapOperator("m", lambda t: t))
+    assert not is_commutative(WindowAggregateOperator("a", "x"))
+
+
+def test_rank_prefers_selective_and_cheap():
+    selective = make_filter("a", 0.1)
+    permissive = make_filter("b", 0.9)
+    assert rank(selective) < rank(permissive)
+    cheap = make_filter("c", 0.5, cost=1e-5)
+    pricey = make_filter("d", 0.5, cost=1e-3)
+    assert rank(cheap) < rank(pricey)
+
+
+def test_optimize_sorts_filters_by_rank():
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [make_filter("permissive", 0.9), make_filter("selective", 0.1)],
+    )
+    optimized = optimize_plan(plan)
+    assert [op.name for op in optimized.operators] == [
+        "selective",
+        "permissive",
+    ]
+
+
+def test_optimize_never_increases_cost():
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [
+            make_filter("a", 0.9, cost=5e-4),
+            make_filter("b", 0.2, cost=1e-4),
+            make_filter("c", 0.5, cost=2e-4),
+        ],
+    )
+    optimized = optimize_plan(plan)
+    assert optimized.cost_per_input_tuple() <= plan.cost_per_input_tuple()
+    assert expected_cost_improvement(plan, optimized) > 0
+
+
+def test_barriers_are_respected():
+    agg = WindowAggregateOperator("agg", "x")
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [
+            make_filter("late", 0.9),
+            agg,
+            make_filter("early", 0.1),
+        ],
+    )
+    optimized = optimize_plan(plan)
+    names = [op.name for op in optimized.operators]
+    # the selective filter must NOT jump over the aggregate
+    assert names == ["late", "agg", "early"]
+
+
+def test_runs_between_barriers_sort_independently():
+    agg = WindowAggregateOperator("agg", "x")
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [
+            make_filter("b1", 0.9),
+            make_filter("a1", 0.1),
+            agg,
+            make_filter("b2", 0.8),
+            make_filter("a2", 0.2),
+        ],
+    )
+    names = [op.name for op in optimize_plan(plan).operators]
+    assert names == ["a1", "b1", "agg", "a2", "b2"]
+
+
+def test_output_selectivity_preserved():
+    plan = QueryPlan(
+        "q",
+        ["s"],
+        [make_filter("a", 0.3), make_filter("b", 0.6)],
+    )
+    optimized = optimize_plan(plan)
+    assert optimized.output_selectivity() == pytest.approx(
+        plan.output_selectivity()
+    )
+
+
+@given(
+    sels=st.lists(
+        st.floats(min_value=0.01, max_value=0.99), min_size=2, max_size=6
+    ),
+    costs=st.lists(
+        st.floats(min_value=1e-6, max_value=1e-3), min_size=6, max_size=6
+    ),
+)
+def test_optimized_order_is_cost_minimal_property(sels, costs):
+    """Rank ordering is optimal for independent commutative selections."""
+    import itertools
+
+    ops = [
+        make_filter(f"f{i}", sel, cost=cost)
+        for i, (sel, cost) in enumerate(zip(sels, costs))
+    ]
+    plan = QueryPlan("q", ["s"], ops)
+    optimized = optimize_plan(plan)
+    best = min(
+        QueryPlan("q", ["s"], list(perm)).cost_per_input_tuple()
+        for perm in itertools.permutations(ops)
+    )
+    assert optimized.cost_per_input_tuple() == pytest.approx(best, rel=1e-9)

@@ -1,0 +1,82 @@
+"""Tests for ordering policies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ordering.policies import AdaptivePolicy, RandomPolicy, StaticPolicy
+from repro.ordering.statistics import CandidateStats
+
+
+def candidate(fragment_id, proc="p", wait=0.0, selectivity=0.5, cost=1e-4):
+    stats = CandidateStats(fragment_id=fragment_id, proc_id=proc)
+    stats.refresh(0.0, queue_wait=wait, selectivity=selectivity, cost=cost)
+    return stats
+
+
+RNG = random.Random(0)
+
+
+def test_static_policy_follows_fragment_id_order():
+    cands = [candidate("b"), candidate("a"), candidate("c")]
+    assert StaticPolicy().choose(cands, RNG).fragment_id == "a"
+
+
+def test_random_policy_is_uniformish():
+    cands = [candidate("a"), candidate("b")]
+    rng = random.Random(1)
+    picks = {RandomPolicy().choose(cands, rng).fragment_id for __ in range(50)}
+    assert picks == {"a", "b"}
+
+
+def test_adaptive_prefers_selective_fragment():
+    selective = candidate("sel", selectivity=0.1)
+    permissive = candidate("perm", selectivity=0.9)
+    chosen = AdaptivePolicy().choose([permissive, selective], RNG)
+    assert chosen.fragment_id == "sel"
+
+
+def test_adaptive_prefers_cheap_fragment():
+    cheap = candidate("cheap", cost=1e-5)
+    pricey = candidate("pricey", cost=1e-2)
+    chosen = AdaptivePolicy().choose([pricey, cheap], RNG)
+    assert chosen.fragment_id == "cheap"
+
+
+def test_adaptive_avoids_loaded_processor():
+    idle = candidate("idle", wait=0.0)
+    busy = candidate("busy", wait=5.0)
+    chosen = AdaptivePolicy().choose([busy, idle], RNG)
+    assert chosen.fragment_id == "idle"
+
+
+def test_adaptive_rank_formula():
+    policy = AdaptivePolicy(wait_weight=1.0, epsilon=0.05)
+    c = candidate("x", wait=0.1, selectivity=0.5, cost=0.01)
+    assert policy.rank(c) == pytest.approx((0.1 + 0.01) / 0.5)
+
+
+def test_adaptive_rank_epsilon_floor():
+    policy = AdaptivePolicy(epsilon=0.05)
+    c = candidate("x", selectivity=1.0, cost=0.01)  # drop prob 0
+    assert policy.rank(c) == pytest.approx(0.01 / 0.05)
+
+
+def test_adaptive_epsilon_validation():
+    with pytest.raises(ValueError):
+        AdaptivePolicy(epsilon=0.0)
+
+
+def test_adaptive_wait_weight_zero_ignores_load():
+    policy = AdaptivePolicy(wait_weight=0.0)
+    busy_selective = candidate("a", wait=100.0, selectivity=0.1)
+    idle_permissive = candidate("b", wait=0.0, selectivity=0.9)
+    assert policy.choose([busy_selective, idle_permissive], RNG).fragment_id == "a"
+
+
+def test_adaptive_tie_breaks_deterministically():
+    a = candidate("a")
+    b = candidate("b")
+    assert AdaptivePolicy().choose([b, a], RNG).fragment_id == "a"

@@ -1,0 +1,74 @@
+"""Tests for EWMA estimators and candidate statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ordering.statistics import CandidateStats, EwmaEstimator
+
+
+def test_ewma_first_sample_sets_value():
+    est = EwmaEstimator(alpha=0.5)
+    assert est.value is None
+    est.update(10.0)
+    assert est.value == 10.0
+
+
+def test_ewma_smooths():
+    est = EwmaEstimator(alpha=0.5, initial=0.0)
+    est.update(10.0)
+    assert est.value == pytest.approx(5.0)
+    est.update(10.0)
+    assert est.value == pytest.approx(7.5)
+
+
+def test_ewma_alpha_one_tracks_last_sample():
+    est = EwmaEstimator(alpha=1.0)
+    est.update(3.0)
+    est.update(9.0)
+    assert est.value == 9.0
+
+
+def test_ewma_invalid_alpha():
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=1.5)
+
+
+def test_ewma_value_or_default():
+    est = EwmaEstimator()
+    assert est.value_or(42.0) == 42.0
+    est.update(1.0)
+    assert est.value_or(42.0) == 1.0
+
+
+def test_ewma_counts_samples():
+    est = EwmaEstimator()
+    for i in range(5):
+        est.update(float(i))
+    assert est.samples == 5
+
+
+def test_candidate_refresh_updates_all_estimators():
+    stats = CandidateStats(fragment_id="f", proc_id="p")
+    stats.refresh(5.0, queue_wait=0.1, selectivity=0.4, cost=1e-4)
+    assert stats.queue_wait.value == pytest.approx(0.1)
+    assert stats.selectivity.value == pytest.approx(0.4)
+    assert stats.cost.value == pytest.approx(1e-4)
+    assert stats.last_refresh == 5.0
+
+
+def test_candidate_staleness():
+    stats = CandidateStats(fragment_id="f", proc_id="p")
+    stats.refresh(2.0, queue_wait=0.0, selectivity=0.5, cost=1e-4)
+    assert stats.staleness(7.0) == pytest.approx(5.0)
+
+
+def test_candidate_drift_tracking():
+    stats = CandidateStats(fragment_id="f", proc_id="p")
+    for __ in range(30):
+        stats.refresh(0.0, queue_wait=0.0, selectivity=0.9, cost=1e-4)
+    for __ in range(30):
+        stats.refresh(0.0, queue_wait=0.0, selectivity=0.1, cost=1e-4)
+    assert stats.selectivity.value == pytest.approx(0.1, abs=0.05)

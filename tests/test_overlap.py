@@ -1,0 +1,107 @@
+"""Tests for analytic interest selectivity / overlap rates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.interest.overlap import (
+    interest_rate,
+    interest_selectivity,
+    overlap_rate,
+    overlap_selectivity,
+)
+from repro.interest.predicates import StreamInterest
+from repro.streams.schema import Attribute, StreamSchema
+
+
+@pytest.fixture
+def schema():
+    return StreamSchema(
+        stream_id="s",
+        attributes=(
+            Attribute("price", 0.0, 100.0),
+            Attribute("volume", 0.0, 10.0),
+        ),
+        tuple_size=100.0,
+        rate=10.0,
+    )
+
+
+def test_selectivity_single_attribute(schema):
+    interest = StreamInterest.on("s", price=(0, 25))
+    assert interest_selectivity(interest, schema) == pytest.approx(0.25)
+
+
+def test_selectivity_conjunction_multiplies(schema):
+    interest = StreamInterest.on("s", price=(0, 50), volume=(0, 5))
+    assert interest_selectivity(interest, schema) == pytest.approx(0.25)
+
+
+def test_selectivity_unconstrained_is_one(schema):
+    assert interest_selectivity(StreamInterest("s", {}), schema) == 1.0
+
+
+def test_selectivity_wrong_stream_raises(schema):
+    with pytest.raises(ValueError):
+        interest_selectivity(StreamInterest.on("other", price=(0, 1)), schema)
+
+
+def test_interest_rate_scales_by_volume(schema):
+    interest = StreamInterest.on("s", price=(0, 50))
+    assert interest_rate(interest, schema) == pytest.approx(
+        0.5 * schema.bytes_per_second
+    )
+
+
+def test_overlap_rate_uses_intersection(schema):
+    a = StreamInterest.on("s", price=(0, 60))
+    b = StreamInterest.on("s", price=(40, 100))
+    # intersection [40, 60] = 20% of domain
+    assert overlap_selectivity(a, b, schema) == pytest.approx(0.2)
+    assert overlap_rate(a, b, schema) == pytest.approx(
+        0.2 * schema.bytes_per_second
+    )
+
+
+def test_overlap_disjoint_is_zero(schema):
+    a = StreamInterest.on("s", price=(0, 10))
+    b = StreamInterest.on("s", price=(50, 60))
+    assert overlap_rate(a, b, schema) == 0.0
+
+
+def test_overlap_cross_stream_is_zero(schema):
+    a = StreamInterest.on("s", price=(0, 100))
+    b = StreamInterest.on("t", price=(0, 100))
+    assert overlap_rate(a, b, schema) == 0.0
+
+
+def test_overlap_symmetry(schema):
+    a = StreamInterest.on("s", price=(10, 70), volume=(0, 8))
+    b = StreamInterest.on("s", price=(30, 90))
+    assert overlap_rate(a, b, schema) == pytest.approx(
+        overlap_rate(b, a, schema)
+    )
+
+
+def test_overlap_bounded_by_each_interest(schema):
+    a = StreamInterest.on("s", price=(10, 70))
+    b = StreamInterest.on("s", price=(30, 90), volume=(0, 5))
+    overlap = overlap_rate(a, b, schema)
+    assert overlap <= interest_rate(a, schema) + 1e-9
+    assert overlap <= interest_rate(b, schema) + 1e-9
+
+
+def test_analytic_selectivity_matches_empirical(schema):
+    """The closed-form selectivity should match observed match rates."""
+    interest = StreamInterest.on("s", price=(20, 60), volume=(2, 8))
+    rng = random.Random(7)
+    hits = 0
+    trials = 4000
+    for __ in range(trials):
+        values = {a.name: a.draw(rng) for a in schema.attributes}
+        if interest.matches_values(values):
+            hits += 1
+    expected = interest_selectivity(interest, schema)
+    assert abs(hits / trials - expected) < 0.03

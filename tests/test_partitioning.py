@@ -1,0 +1,122 @@
+"""Tests for the multilevel partitioner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.partitioning import MultilevelPartitioner
+from repro.allocation.query_graph import QueryGraph, figure2_graph
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.allocation.query_graph import build_query_graph
+
+
+def random_graph(n=60, parts_of=4, seed=0, inter_weight=0.1):
+    """Planted-partition graph: heavy intra-group, light inter-group."""
+    rng = random.Random(seed)
+    g = QueryGraph()
+    for i in range(n):
+        g.add_vertex(f"v{i}", rng.uniform(0.5, 1.5))
+    for i in range(n):
+        for j in range(i + 1, n):
+            same = (i % parts_of) == (j % parts_of)
+            if same and rng.random() < 0.5:
+                g.add_edge(f"v{i}", f"v{j}", rng.uniform(5.0, 10.0))
+            elif not same and rng.random() < 0.1:
+                g.add_edge(f"v{i}", f"v{j}", inter_weight)
+    return g
+
+
+def test_partition_assigns_every_vertex():
+    g = random_graph()
+    result = MultilevelPartitioner(seed=1).partition(g, 4)
+    assert sorted(result.assignment) == sorted(g.vertices())
+    assert set(result.assignment.values()) <= set(range(4))
+
+
+def test_partition_single_part():
+    g = random_graph(n=10)
+    result = MultilevelPartitioner().partition(g, 1)
+    assert set(result.assignment.values()) == {0}
+    assert result.cut == 0.0
+
+
+def test_partition_invalid_parts():
+    with pytest.raises(ValueError):
+        MultilevelPartitioner().partition(random_graph(n=5), 0)
+
+
+def test_partition_respects_balance():
+    g = random_graph(seed=2)
+    result = MultilevelPartitioner(max_imbalance=1.10, seed=2).partition(g, 4)
+    assert result.imbalance <= 1.35  # greedy fallback may exceed slightly
+
+
+def test_partition_finds_planted_structure():
+    g = random_graph(n=80, parts_of=4, seed=3)
+    result = MultilevelPartitioner(seed=3).partition(g, 4)
+    worst = g.total_edge_weight()
+    assert result.cut < 0.5 * worst
+
+
+def test_figure2_partition_is_optimal():
+    g = figure2_graph()
+    result = MultilevelPartitioner(
+        max_imbalance=1.01, coarsen_limit=2, seed=0
+    ).partition(g, 2)
+    assert result.cut == pytest.approx(3.0)
+    assert result.imbalance == pytest.approx(1.0)
+
+
+def test_deterministic_per_seed():
+    g = random_graph(seed=4)
+    a = MultilevelPartitioner(seed=7).partition(g, 4)
+    b = MultilevelPartitioner(seed=7).partition(g, 4)
+    assert a.assignment == b.assignment
+
+
+def test_coarsening_engages_on_large_graphs():
+    g = random_graph(n=150, seed=5)
+    result = MultilevelPartitioner(coarsen_limit=30, seed=5).partition(g, 4)
+    assert result.levels >= 1
+
+
+def test_refinement_ablation_never_better():
+    g = random_graph(n=100, seed=6)
+    full = MultilevelPartitioner(seed=6).partition(g, 4)
+    no_refine = MultilevelPartitioner(seed=6, use_refinement=False).partition(
+        g, 4
+    )
+    assert full.cut <= no_refine.cut + 1e-9
+
+
+def test_beats_load_only_on_overlapping_workload(stocks):
+    from repro.allocation.assigners import LoadOnlyAssigner
+
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=150, hot_fraction=0.8), seed=7
+    )
+    graph = build_query_graph(workload.queries, stocks)
+    ml = MultilevelPartitioner(seed=7).partition(graph, 8)
+    load_only = LoadOnlyAssigner(8).assign_all(graph)
+    assert ml.cut < graph.edge_cut(load_only)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(min_value=2, max_value=40),
+    parts=st.integers(min_value=1, max_value=6),
+)
+def test_partition_total_and_validity_properties(seed, n, parts):
+    g = random_graph(n=n, seed=seed)
+    result = MultilevelPartitioner(seed=seed).partition(g, parts)
+    # every vertex assigned to a valid part; cut consistent with metric
+    assert sorted(result.assignment) == sorted(g.vertices())
+    assert all(0 <= p < parts for p in result.assignment.values())
+    assert result.cut == pytest.approx(g.edge_cut(result.assignment))
+    assert sum(g.part_loads(result.assignment, parts)) == pytest.approx(
+        g.total_vertex_weight()
+    )

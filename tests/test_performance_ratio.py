@@ -1,0 +1,82 @@
+"""Tests for the Performance Ratio tracker (§4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.performance_ratio import PerformanceTracker
+
+
+def test_pr_is_delay_over_complexity():
+    tracker = PerformanceTracker()
+    tracker.set_complexity("q1", 0.01)
+    tracker.record_result("q1", 0.5)
+    assert tracker.pr("q1") == pytest.approx(50.0)
+
+
+def test_pr_uses_mean_delay():
+    tracker = PerformanceTracker()
+    tracker.set_complexity("q1", 0.1)
+    tracker.record_result("q1", 0.2)
+    tracker.record_result("q1", 0.4)
+    assert tracker.mean_delay("q1") == pytest.approx(0.3)
+    assert tracker.pr("q1") == pytest.approx(3.0)
+
+
+def test_pr_none_without_results():
+    tracker = PerformanceTracker()
+    tracker.set_complexity("q1", 0.1)
+    assert tracker.pr("q1") is None
+
+
+def test_pr_none_without_complexity():
+    tracker = PerformanceTracker()
+    tracker.record_result("q1", 0.2)
+    assert tracker.pr("q1") is None
+
+
+def test_complexity_must_be_positive():
+    tracker = PerformanceTracker()
+    with pytest.raises(ValueError):
+        tracker.set_complexity("q1", 0.0)
+
+
+def test_pr_max_and_mean():
+    tracker = PerformanceTracker()
+    tracker.set_complexity("fast", 0.1)
+    tracker.set_complexity("slow", 1.0)
+    tracker.record_result("fast", 0.5)  # PR 5
+    tracker.record_result("slow", 1.0)  # PR 1
+    assert tracker.pr_max() == pytest.approx(5.0)
+    assert tracker.pr_mean() == pytest.approx(3.0)
+
+
+def test_pr_normalises_inherent_complexity():
+    """The paper's motivation: a slow query with a long delay can still
+    have a better PR than a fast query with a moderate delay."""
+    tracker = PerformanceTracker()
+    tracker.set_complexity("heavy", 2.0)
+    tracker.set_complexity("light", 0.001)
+    tracker.record_result("heavy", 4.0)  # PR 2 despite 4s delay
+    tracker.record_result("light", 0.1)  # PR 100 despite 100ms delay
+    assert tracker.pr("light") > tracker.pr("heavy")
+
+
+def test_empty_tracker_stats():
+    tracker = PerformanceTracker()
+    assert tracker.pr_max() == 0.0
+    assert tracker.pr_mean() == 0.0
+    assert tracker.queries_measured == 0
+    assert tracker.total_results == 0
+    assert tracker.overall_mean_delay() == 0.0
+
+
+def test_overall_mean_delay():
+    tracker = PerformanceTracker()
+    tracker.set_complexity("a", 0.1)
+    tracker.record_result("a", 0.2)
+    tracker.record_result("a", 0.4)
+    tracker.record_result("b", 0.6)
+    assert tracker.overall_mean_delay() == pytest.approx(0.4)
+    assert tracker.total_results == 3
+    assert tracker.queries_measured == 2

@@ -1,0 +1,98 @@
+"""Tests for placement baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.baselines import (
+    LoadOnlyPlacer,
+    RandomPlacer,
+    RoundRobinPlacer,
+    SingleNodePlacer,
+)
+from repro.placement.factory import make_placer
+from tests.test_placer import PROCS, make_job
+
+
+@pytest.mark.parametrize(
+    "placer_factory",
+    [
+        lambda: RandomPlacer(PROCS, seed=1),
+        lambda: RoundRobinPlacer(PROCS),
+        lambda: LoadOnlyPlacer(PROCS),
+        lambda: SingleNodePlacer(PROCS),
+    ],
+)
+def test_all_fragments_assigned(placer_factory):
+    jobs = [make_job(f"q{i}", op_costs=(1e-4,) * 3, limit=3) for i in range(6)]
+    plan = placer_factory().place(jobs)
+    for job in jobs:
+        for fragment in job.fragments:
+            assert plan.assignment[fragment.fragment_id] in PROCS
+
+
+@pytest.mark.parametrize(
+    "cls", [RandomPlacer, RoundRobinPlacer, LoadOnlyPlacer, SingleNodePlacer]
+)
+def test_empty_processors_rejected(cls):
+    with pytest.raises(ValueError):
+        cls({})
+
+
+def test_single_node_keeps_whole_query_together():
+    jobs = [make_job(f"q{i}", op_costs=(1e-4,) * 4, limit=4) for i in range(8)]
+    plan = SingleNodePlacer(PROCS).place(jobs)
+    for job in jobs:
+        assert len(plan.processors_of(job)) == 1
+
+
+def test_single_node_balances_queries():
+    jobs = [make_job(f"q{i}", limit=1) for i in range(16)]
+    plan = SingleNodePlacer(PROCS).place(jobs)
+    assert plan.load_imbalance() < 1.3
+
+
+def test_round_robin_ignores_limits():
+    import dataclasses
+
+    # four fragments but a distribution limit of one
+    job = dataclasses.replace(
+        make_job("q0", op_costs=(1e-4,) * 4, limit=4), distribution_limit=1
+    )
+    plan = RoundRobinPlacer(PROCS).place([job])
+    # round-robin is the partitioning-style baseline: it spreads a
+    # limit-1 query over many processors
+    assert len(plan.processors_of(job)) == 4
+
+
+def test_load_only_balances_better_than_random():
+    def imbalance(placer):
+        jobs = [
+            make_job(f"q{i}", op_costs=(1e-3 * ((i % 5) + 1),), limit=1)
+            for i in range(40)
+        ]
+        return placer.place(jobs).load_imbalance()
+
+    assert imbalance(LoadOnlyPlacer(PROCS)) <= imbalance(
+        RandomPlacer(PROCS, seed=3)
+    )
+
+
+def test_random_deterministic_per_seed():
+    jobs = [make_job(f"q{i}") for i in range(10)]
+    a = RandomPlacer(PROCS, seed=5).place(jobs)
+    jobs2 = [make_job(f"q{i}") for i in range(10)]
+    b = RandomPlacer(PROCS, seed=5).place(jobs2)
+    assert list(a.assignment.values()) == list(b.assignment.values())
+
+
+def test_factory_builds_every_known_placer():
+    for name in ("pr", "load", "random", "rr", "single"):
+        placer = make_placer(name, PROCS, seed=0)
+        plan = placer.place([make_job("q0")])
+        assert plan.assignment
+
+
+def test_factory_unknown_name():
+    with pytest.raises(ValueError):
+        make_placer("ghost", PROCS)

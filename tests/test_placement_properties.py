@@ -1,0 +1,135 @@
+"""Property-based tests for fragmentation and placement invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.operators import MapOperator
+from repro.engine.plan import QueryPlan
+from repro.placement.fragments import fragment_plan
+from repro.placement.placer import PlacementJob, PRPlacer, _fragment_rates
+
+
+def build_plan(costs, sels):
+    ops = []
+    for i, (cost, sel) in enumerate(zip(costs, sels)):
+        op = MapOperator(f"op{i}", lambda t: t, cost_per_tuple=cost)
+        op.estimated_selectivity = sel
+        ops.append(op)
+    return QueryPlan("q", ["s"], ops)
+
+
+op_costs = st.lists(
+    st.floats(min_value=1e-6, max_value=1e-2), min_size=1, max_size=6
+)
+op_sels = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=6, max_size=6
+)
+
+
+@given(costs=op_costs, sels=op_sels, limit=st.integers(1, 6))
+def test_fragmentation_preserves_operators(costs, sels, limit):
+    """Fragments always cover all operators, in order, within the limit."""
+    plan = build_plan(costs, sels[: len(costs)])
+    fragments = fragment_plan(plan, limit)
+    assert 1 <= len(fragments) <= min(limit, len(costs))
+    names = [op.name for f in fragments for op in f.operators]
+    assert names == [op.name for op in plan.operators]
+
+
+@given(costs=op_costs, sels=op_sels, limit=st.integers(1, 6))
+def test_fragmentation_preserves_cost_model(costs, sels, limit):
+    """Composed fragment costs equal the whole-plan pipelined cost."""
+    plan = build_plan(costs, sels[: len(costs)])
+    fragments = fragment_plan(plan, limit)
+    composed = 0.0
+    carried = 1.0
+    for fragment in fragments:
+        composed += carried * fragment.cost_per_input_tuple()
+        carried *= fragment.selectivity()
+    assert composed == pytest.approx(plan.cost_per_input_tuple(), rel=1e-9)
+    assert carried == pytest.approx(plan.output_selectivity(), rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    job_count=st.integers(1, 12),
+    proc_count=st.integers(1, 6),
+    limit=st.integers(1, 4),
+    seed=st.integers(0, 100),
+)
+def test_placer_respects_distribution_limit(job_count, proc_count, limit, seed):
+    """The PR placer never spreads a query over more than its limit."""
+    import random
+
+    rng = random.Random(seed)
+    processors = {f"p{i}": 1.0 for i in range(proc_count)}
+    jobs = []
+    for j in range(job_count):
+        n_ops = rng.randint(1, 5)
+        plan = build_plan(
+            [rng.uniform(1e-5, 1e-3) for __ in range(n_ops)],
+            [rng.uniform(0.1, 1.0) for __ in range(n_ops)],
+        )
+        # unique ids per job
+        for op in plan.operators:
+            op.name = f"q{j}.{op.name}"
+        plan.query_id = f"q{j}"
+        fragments = fragment_plan(plan, limit)
+        for index, fragment in enumerate(fragments):
+            fragment.fragment_id = f"q{j}#f{index}"
+            fragment.query_id = f"q{j}"
+        jobs.append(
+            PlacementJob(
+                query_id=f"q{j}",
+                fragments=fragments,
+                input_rate=rng.uniform(1.0, 200.0),
+                input_byte_rate=rng.uniform(64.0, 12800.0),
+                delegate_proc=rng.choice(sorted(processors)),
+                distribution_limit=limit,
+            )
+        )
+    plan_out = PRPlacer(processors).place(jobs)
+    for job in jobs:
+        assert len(plan_out.processors_of(job)) <= limit
+        for fragment in job.fragments:
+            assert plan_out.assignment[fragment.fragment_id] in processors
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_placer_predicted_load_consistent(seed):
+    """Predicted per-processor loads sum to the total fragment load."""
+    import random
+
+    rng = random.Random(seed)
+    processors = {f"p{i}": 1.0 for i in range(4)}
+    jobs = []
+    for j in range(6):
+        plan = build_plan(
+            [rng.uniform(1e-5, 1e-3) for __ in range(3)],
+            [rng.uniform(0.1, 1.0) for __ in range(3)],
+        )
+        for op in plan.operators:
+            op.name = f"q{j}.{op.name}"
+        plan.query_id = f"q{j}"
+        fragments = fragment_plan(plan, 2)
+        for index, fragment in enumerate(fragments):
+            fragment.fragment_id = f"q{j}#f{index}"
+        jobs.append(
+            PlacementJob(
+                query_id=f"q{j}",
+                fragments=fragments,
+                input_rate=100.0,
+                input_byte_rate=6400.0,
+                delegate_proc="p0",
+                distribution_limit=2,
+            )
+        )
+    plan_out = PRPlacer(processors).place(jobs)
+    expected = 0.0
+    for job in jobs:
+        for fragment, (rate, __) in zip(job.fragments, _fragment_rates(job)):
+            expected += fragment.estimated_load(rate)
+    assert sum(plan_out.predicted_load.values()) == pytest.approx(expected)

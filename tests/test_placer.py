@@ -1,0 +1,126 @@
+"""Tests for the PR-aware placer and its three heuristics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import MapOperator
+from repro.engine.plan import QueryPlan
+from repro.placement.fragments import fragment_plan
+from repro.placement.placer import PlacementJob, PRPlacer
+
+
+def make_job(
+    query="q",
+    op_costs=(1e-4, 1e-4),
+    rate=100.0,
+    limit=2,
+    delegate="p0",
+):
+    ops = [
+        MapOperator(f"{query}.op{i}", lambda t: t, cost_per_tuple=c)
+        for i, c in enumerate(op_costs)
+    ]
+    plan = QueryPlan(query, ["s"], ops)
+    fragments = fragment_plan(plan, limit)
+    return PlacementJob(
+        query_id=query,
+        fragments=fragments,
+        input_rate=rate,
+        input_byte_rate=rate * 64.0,
+        delegate_proc=delegate,
+        distribution_limit=limit,
+    )
+
+
+PROCS = {"p0": 1.0, "p1": 1.0, "p2": 1.0, "p3": 1.0}
+
+
+def test_requires_processors():
+    with pytest.raises(ValueError):
+        PRPlacer({})
+
+
+def test_every_fragment_assigned():
+    placer = PRPlacer(PROCS)
+    jobs = [make_job(f"q{i}") for i in range(10)]
+    plan = placer.place(jobs)
+    for job in jobs:
+        for fragment in job.fragments:
+            assert fragment.fragment_id in plan.assignment
+            assert plan.assignment[fragment.fragment_id] in PROCS
+
+
+def test_distribution_limit_enforced():
+    placer = PRPlacer(PROCS)
+    jobs = [
+        make_job(f"q{i}", op_costs=(1e-4,) * 6, limit=2) for i in range(8)
+    ]
+    plan = placer.place(jobs)
+    for job in jobs:
+        assert len(plan.processors_of(job)) <= 2
+
+
+def test_limit_one_keeps_query_on_one_processor():
+    placer = PRPlacer(PROCS)
+    jobs = [make_job(f"q{i}", op_costs=(1e-4,) * 4, limit=1) for i in range(9)]
+    plan = placer.place(jobs)
+    for job in jobs:
+        assert len(plan.processors_of(job)) == 1
+
+
+def test_load_balanced_across_processors():
+    placer = PRPlacer(PROCS)
+    jobs = [make_job(f"q{i}", rate=100.0) for i in range(24)]
+    plan = placer.place(jobs)
+    assert plan.load_imbalance() < 1.4
+
+
+def test_heterogeneous_speeds_bias_loads():
+    placer = PRPlacer({"slow": 1.0, "fast": 4.0})
+    jobs = [make_job(f"q{i}", limit=1, delegate="slow") for i in range(20)]
+    plan = placer.place(jobs)
+    assert plan.predicted_load["fast"] > plan.predicted_load["slow"]
+
+
+def test_traffic_prefers_delegate_when_balanced():
+    """With high traffic weight, the head fragment sticks to the delegate."""
+    placer = PRPlacer(PROCS, traffic_weight=1.0)
+    job = make_job("q0", delegate="p2")
+    plan = placer.place([job])
+    head = job.fragments[0]
+    assert plan.assignment[head.fragment_id] == "p2"
+
+
+def test_traffic_weight_zero_ignores_delegate():
+    placer = PRPlacer(PROCS, traffic_weight=0.0)
+    jobs = [make_job(f"q{i}", delegate="p3", limit=1) for i in range(8)]
+    plan = placer.place(jobs)
+    used = {plan.assignment[j.fragments[0].fragment_id] for j in jobs}
+    assert len(used) > 1  # spread out, not pinned to the delegate
+
+
+def test_predicted_traffic_reported():
+    placer = PRPlacer(PROCS, traffic_weight=0.0)
+    jobs = [make_job(f"q{i}", op_costs=(1e-4,) * 4, limit=4) for i in range(4)]
+    plan = placer.place(jobs)
+    assert plan.predicted_traffic >= 0.0
+
+
+def test_colocated_chain_has_no_traffic():
+    placer = PRPlacer({"p0": 1.0}, traffic_weight=1e-6)
+    job = make_job("q0", op_costs=(1e-4,) * 4, limit=1, delegate="p0")
+    plan = placer.place([job])
+    assert plan.predicted_traffic == 0.0
+
+
+def test_local_search_improves_or_keeps_balance():
+    no_search = PRPlacer(PROCS, local_search_passes=0)
+    search = PRPlacer(PROCS, local_search_passes=3)
+    jobs = [
+        make_job(f"q{i}", op_costs=(1e-3 * (i + 1),), limit=1)
+        for i in range(13)
+    ]
+    a = no_search.place([make_job(f"q{i}", op_costs=(1e-3 * (i + 1),), limit=1) for i in range(13)])
+    b = search.place(jobs)
+    assert max(b.predicted_load.values()) <= max(a.predicted_load.values()) + 1e-12

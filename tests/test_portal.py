@@ -1,0 +1,80 @@
+"""Tests for the portal's allocation strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.allocation.query_graph import build_query_graph
+from repro.core.portal import ALLOCATION_NAMES, Portal
+from repro.query.generator import WorkloadConfig, generate_workload
+
+
+@pytest.fixture
+def portal(stocks):
+    rng = random.Random(1)
+    entity_ids = [f"e{i}" for i in range(8)]
+    positions = {e: (rng.random(), rng.random()) for e in entity_ids}
+    return Portal(entity_ids, positions, stocks, k=3)
+
+
+@pytest.fixture
+def queries(stocks):
+    return generate_workload(
+        stocks, WorkloadConfig(query_count=80, hot_fraction=0.8), seed=2
+    ).queries
+
+
+def test_portal_requires_entities(stocks):
+    with pytest.raises(ValueError):
+        Portal([], {}, stocks)
+
+
+def test_unknown_strategy_rejected(portal, queries):
+    with pytest.raises(ValueError):
+        portal.allocate(queries, strategy="ghost")
+
+
+@pytest.mark.parametrize("strategy", ALLOCATION_NAMES)
+def test_every_strategy_assigns_all_queries(portal, queries, strategy):
+    result = portal.allocate(queries, strategy=strategy)
+    assert sorted(result.assignment) == sorted(q.query_id for q in queries)
+    assert set(result.assignment.values()) <= set(portal.entity_ids)
+
+
+def test_partition_beats_load_only_on_cut(portal, queries):
+    partition = portal.allocate(queries, strategy="partition")
+    load = portal.allocate(queries, strategy="load")
+    assert partition.cut < load.cut
+
+
+def test_partition_beats_similarity_on_balance(portal, queries):
+    partition = portal.allocate(queries, strategy="partition")
+    similarity = portal.allocate(queries, strategy="similarity")
+    assert partition.imbalance <= similarity.imbalance + 1e-9
+
+
+def test_router_counts_messages(portal, queries):
+    result = portal.allocate(queries, strategy="router")
+    assert result.routing_messages > 0
+    # level-by-level routing costs at most depth+1 messages per query
+    assert result.routing_messages <= len(queries) * (portal.tree.depth + 1)
+
+
+def test_router_respects_tree_membership(portal, queries):
+    result = portal.allocate(queries, strategy="router")
+    assert set(result.assignment.values()) <= set(portal.tree.member_ids())
+
+
+def test_allocation_metrics_consistent(portal, queries, stocks):
+    result = portal.allocate(queries, strategy="partition")
+    graph = build_query_graph(queries, stocks)
+    part_index = {e: i for i, e in enumerate(portal.entity_ids)}
+    parts = {q: part_index[e] for q, e in result.assignment.items()}
+    assert result.cut == pytest.approx(graph.edge_cut(parts))
+
+
+def test_coordinator_tree_healthy_after_build(portal):
+    assert portal.tree.check_invariants() == []
+    assert portal.tree.depth >= 1

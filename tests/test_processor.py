@@ -1,0 +1,124 @@
+"""Tests for the FIFO CPU queue model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.processor import SimProcessor
+
+
+def test_single_item_completes_after_service_time(sim):
+    proc = SimProcessor(sim, "p0")
+    done = []
+    proc.submit(2.0, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_fifo_ordering(sim):
+    proc = SimProcessor(sim, "p0")
+    done = []
+    proc.submit(1.0, on_done=lambda: done.append("a"))
+    proc.submit(1.0, on_done=lambda: done.append("b"))
+    proc.submit(1.0, on_done=lambda: done.append("c"))
+    sim.run()
+    assert done == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_waiting_time_measured(sim):
+    proc = SimProcessor(sim, "p0")
+    proc.submit(2.0)
+    proc.submit(1.0)  # waits 2.0
+    sim.run()
+    assert proc.stats.completed == 2
+    assert proc.stats.total_wait_time == pytest.approx(2.0)
+    assert proc.stats.mean_wait == pytest.approx(1.0)
+
+
+def test_speed_scales_service(sim):
+    fast = SimProcessor(sim, "fast", speed=2.0)
+    done = []
+    fast.submit(2.0, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [1.0]
+
+
+def test_speed_must_be_positive(sim):
+    with pytest.raises(ValueError):
+        SimProcessor(sim, "p0", speed=0.0)
+
+
+def test_backlog_reflects_queued_work(sim):
+    proc = SimProcessor(sim, "p0")
+    proc.submit(1.0)
+    proc.submit(2.0)
+    proc.submit(3.0)
+    # one item in service, two queued
+    assert proc.queue_length == 2
+    assert proc.backlog_seconds == pytest.approx(5.0)
+    assert proc.expected_wait() == pytest.approx(5.0)
+
+
+def test_idle_processor_has_zero_backlog(sim):
+    proc = SimProcessor(sim, "p0")
+    assert proc.backlog_seconds == 0.0
+    assert not proc.busy
+
+
+def test_utilization(sim):
+    proc = SimProcessor(sim, "p0")
+    proc.submit(2.0)
+    sim.run(until=4.0)
+    assert proc.stats.utilization(4.0) == pytest.approx(0.5)
+
+
+def test_utilization_zero_elapsed(sim):
+    proc = SimProcessor(sim, "p0")
+    assert proc.stats.utilization(0.0) == 0.0
+
+
+def test_fail_drops_queue_and_rejects_work(sim):
+    proc = SimProcessor(sim, "p0")
+    done = []
+    proc.submit(1.0, on_done=lambda: done.append("a"))
+    proc.fail()
+    proc.submit(1.0, on_done=lambda: done.append("b"))
+    sim.run()
+    assert done in ([], ["a"])  # queued item dropped; in-service may finish
+    assert "b" not in done
+
+
+def test_recover_accepts_work_again(sim):
+    proc = SimProcessor(sim, "p0")
+    proc.fail()
+    proc.recover()
+    done = []
+    proc.submit(1.0, on_done=lambda: done.append(sim.now))
+    sim.run()
+    assert len(done) == 1
+
+
+def test_interleaved_submissions_during_run(sim):
+    proc = SimProcessor(sim, "p0")
+    done = []
+
+    def submit_more():
+        proc.submit(0.5, on_done=lambda: done.append(sim.now))
+
+    proc.submit(1.0, on_done=lambda: done.append(sim.now))
+    sim.schedule(0.2, submit_more)
+    sim.run()
+    assert done == [1.0, 1.5]
+
+
+def test_busy_period_depends_on_load(sim):
+    """Paper §4.1: waiting time grows with imposed workload."""
+    light = SimProcessor(sim, "light")
+    heavy = SimProcessor(sim, "heavy")
+    for __ in range(2):
+        light.submit(0.5)
+    for __ in range(10):
+        heavy.submit(0.5)
+    sim.run()
+    assert heavy.stats.mean_wait > light.stats.mean_wait

@@ -1,0 +1,74 @@
+"""Regression tests: the CPU queue must never serve two items at once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.processor import SimProcessor
+from repro.simulation.simulator import Simulator
+
+
+def test_on_done_resubmission_does_not_double_dispatch():
+    """A completion that submits new work (co-located downstream
+    fragment) must queue that work, not run it concurrently."""
+    sim = Simulator(seed=0)
+    proc = SimProcessor(sim, "p0")
+    done = []
+
+    def chain():
+        proc.submit(1.0, on_done=lambda: done.append(("chained", sim.now)))
+
+    proc.submit(1.0, on_done=chain)
+    proc.submit(1.0, on_done=lambda: done.append(("second", sim.now)))
+    sim.run()
+    # serialised: first at 1.0, second at 2.0, chained at 3.0
+    assert done == [("second", 2.0), ("chained", 3.0)]
+
+
+def test_busy_time_never_exceeds_elapsed():
+    """Saturating a processor with self-feeding work keeps busy_time
+    within wall-clock — the definition of a single-server queue."""
+    sim = Simulator(seed=1)
+    proc = SimProcessor(sim, "p0")
+
+    def feed() -> None:
+        # every completion enqueues two more (exponential offered load)
+        if sim.now < 10.0:
+            proc.submit(0.3, on_done=feed)
+            proc.submit(0.3)
+
+    proc.submit(0.3, on_done=feed)
+    sim.run(until=50.0)
+    assert proc.stats.busy_time <= 50.0 + 1e-9
+    # the queue was genuinely saturated, not parallelised
+    assert proc.stats.completed <= 50.0 / 0.3 + 1
+
+
+def test_overloaded_processor_accumulates_backlog():
+    """Offered load > capacity must grow the queue, not vanish."""
+    sim = Simulator(seed=2)
+    proc = SimProcessor(sim, "p0")
+    # 2x overload: one 0.02s item every 0.01s
+    for i in range(1000):
+        sim.schedule_at(i * 0.01, lambda: proc.submit(0.02))
+    sim.run(until=10.0)
+    # after 10s: ~1000 arrivals, capacity 500
+    assert proc.stats.completed <= 501
+    assert proc.queue_length >= 400
+
+
+def test_wait_times_grow_under_overload():
+    sim = Simulator(seed=3)
+    proc = SimProcessor(sim, "p0")
+    waits = []
+    for i in range(200):
+        sim.schedule_at(
+            i * 0.01,
+            lambda: proc.submit(
+                0.02, on_done=lambda t=sim.now: waits.append(sim.now)
+            ),
+        )
+    sim.run(until=60.0)
+    gaps = [b - a for a, b in zip(waits, waits[1:])]
+    # completions are spaced by the service time, not the arrival gap
+    assert all(g >= 0.02 - 1e-9 for g in gaps[5:])

@@ -1,0 +1,112 @@
+"""Tests for the synthetic query workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.query_graph import build_query_graph
+from repro.query.generator import WorkloadConfig, generate_workload
+
+
+def test_generates_requested_count(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=37), seed=1
+    )
+    assert len(workload.queries) == 37
+    assert len(workload.arrival_times) == 37
+
+
+def test_query_ids_unique(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=50), seed=2
+    )
+    ids = [q.query_id for q in workload.queries]
+    assert len(ids) == len(set(ids))
+
+
+def test_deterministic_per_seed(stocks):
+    a = generate_workload(stocks, WorkloadConfig(query_count=20), seed=3)
+    b = generate_workload(stocks, WorkloadConfig(query_count=20), seed=3)
+    assert [q.interests for q in a.queries] == [q.interests for q in b.queries]
+    assert a.arrival_times == b.arrival_times
+
+
+def test_different_seeds_differ(stocks):
+    a = generate_workload(stocks, WorkloadConfig(query_count=20), seed=3)
+    b = generate_workload(stocks, WorkloadConfig(query_count=20), seed=4)
+    assert [q.interests for q in a.queries] != [q.interests for q in b.queries]
+
+
+def test_interests_within_domains(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=60), seed=5
+    )
+    for query in workload.queries:
+        for interest in query.interests:
+            schema = stocks.schema(interest.stream_id)
+            for name, ivs in interest.constraints.items():
+                attr = schema.attribute(name)
+                for iv in ivs.intervals:
+                    assert iv.lo >= attr.lo - 1e-9
+                    assert iv.hi <= attr.hi + 1e-9
+
+
+def test_join_fraction_produces_joins(stocks):
+    workload = generate_workload(
+        stocks,
+        WorkloadConfig(query_count=100, join_fraction=0.5),
+        seed=6,
+    )
+    joins = sum(1 for q in workload.queries if q.join is not None)
+    assert 20 <= joins <= 80
+
+
+def test_zero_join_fraction(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=50, join_fraction=0.0), seed=7
+    )
+    assert all(q.join is None for q in workload.queries)
+
+
+def test_hot_fraction_increases_overlap(stocks):
+    hot = generate_workload(
+        stocks,
+        WorkloadConfig(query_count=80, hot_fraction=0.95, hot_regions=2),
+        seed=8,
+    )
+    cold = generate_workload(
+        stocks,
+        WorkloadConfig(query_count=80, hot_fraction=0.0),
+        seed=8,
+    )
+    hot_graph = build_query_graph(hot.queries, stocks)
+    cold_graph = build_query_graph(cold.queries, stocks)
+    assert hot_graph.total_edge_weight() > cold_graph.total_edge_weight()
+
+
+def test_arrival_times_increasing(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=40), seed=9
+    )
+    times = workload.arrival_times
+    assert all(a < b for a, b in zip(times, times[1:]))
+
+
+def test_timed_returns_sorted_pairs(stocks):
+    workload = generate_workload(
+        stocks, WorkloadConfig(query_count=10), seed=10
+    )
+    timed = workload.timed()
+    assert [t for t, __ in timed] == sorted(t for t, __ in timed)
+    assert len(timed) == 10
+
+
+def test_all_specs_compile(stocks):
+    workload = generate_workload(
+        stocks,
+        WorkloadConfig(query_count=60, join_fraction=0.3, aggregate_fraction=0.5),
+        seed=11,
+    )
+    for query in workload.queries:
+        plan = query.build_plan(stocks)
+        assert plan.cost_per_input_tuple() > 0

@@ -1,0 +1,203 @@
+"""Tests for the query graph, including the exact Figure 2 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.query_graph import (
+    FIGURE2_PLAN_A,
+    FIGURE2_PLAN_B,
+    QueryGraph,
+    build_query_graph,
+    figure2_graph,
+)
+from repro.interest.predicates import StreamInterest
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.query.spec import QuerySpec
+
+
+# ----------------------------------------------------------------------
+# Graph basics
+# ----------------------------------------------------------------------
+def test_add_vertex_and_edge():
+    g = QueryGraph()
+    g.add_vertex("a", 1.0)
+    g.add_vertex("b", 2.0)
+    g.add_edge("a", "b", 5.0)
+    assert g.weight("a", "b") == 5.0
+    assert g.weight("b", "a") == 5.0
+    assert g.vertex_count == 2
+    assert g.edge_count == 1
+
+
+def test_self_loop_rejected():
+    g = QueryGraph()
+    g.add_vertex("a", 1.0)
+    with pytest.raises(ValueError):
+        g.add_edge("a", "a", 1.0)
+
+
+def test_edge_requires_vertices():
+    g = QueryGraph()
+    g.add_vertex("a", 1.0)
+    with pytest.raises(KeyError):
+        g.add_edge("a", "ghost", 1.0)
+
+
+def test_zero_weight_edge_ignored():
+    g = QueryGraph()
+    g.add_vertex("a", 1.0)
+    g.add_vertex("b", 1.0)
+    g.add_edge("a", "b", 0.0)
+    assert g.edge_count == 0
+
+
+def test_negative_vertex_weight_rejected():
+    g = QueryGraph()
+    with pytest.raises(ValueError):
+        g.add_vertex("a", -1.0)
+
+
+def test_remove_vertex_drops_incident_edges():
+    g = figure2_graph()
+    g.remove_vertex("Q1")
+    assert "Q1" not in g.vertex_weights
+    assert g.weight("Q1", "Q2") == 0.0
+    assert g.weight("Q3", "Q4") == 2.0
+
+
+def test_neighbors():
+    g = figure2_graph()
+    assert g.neighbors("Q1") == {"Q2": 10.0, "Q4": 8.0}
+
+
+def test_adjacency_symmetric():
+    g = figure2_graph()
+    adj = g.adjacency()
+    for a, nbrs in adj.items():
+        for b, w in nbrs.items():
+            assert adj[b][a] == w
+
+
+def test_edge_cut_and_balance():
+    g = QueryGraph()
+    for v, w in (("a", 1.0), ("b", 1.0), ("c", 2.0)):
+        g.add_vertex(v, w)
+    g.add_edge("a", "b", 3.0)
+    g.add_edge("b", "c", 4.0)
+    assignment = {"a": 0, "b": 0, "c": 1}
+    assert g.edge_cut(assignment) == 4.0
+    assert g.part_loads(assignment, 2) == [2.0, 2.0]
+    assert g.imbalance(assignment, 2) == pytest.approx(1.0)
+
+
+def test_imbalance_empty_graph():
+    assert QueryGraph().imbalance({}, 4) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Figure 2: the paper's worked example, exactly
+# ----------------------------------------------------------------------
+def test_figure2_both_plans_balanced():
+    g = figure2_graph()
+    assert g.imbalance(FIGURE2_PLAN_A, 2) == pytest.approx(1.0)
+    assert g.imbalance(FIGURE2_PLAN_B, 2) == pytest.approx(1.0)
+
+
+def test_figure2_duplicate_traffic_8_vs_3():
+    """Paper: plan (a) duplicates 8 bytes/s, plan (b) only 3."""
+    g = figure2_graph()
+    assert g.edge_cut(FIGURE2_PLAN_A) == pytest.approx(8.0)
+    assert g.edge_cut(FIGURE2_PLAN_B) == pytest.approx(3.0)
+
+
+def test_figure2_q3_q5_not_similar_yet_together():
+    """Paper: Q3 and Q5 share no interest but plan (b) co-locates them."""
+    g = figure2_graph()
+    assert g.weight("Q3", "Q5") == 0.0
+    assert FIGURE2_PLAN_B["Q3"] == FIGURE2_PLAN_B["Q5"]
+
+
+def test_figure2_plan_b_is_optimal_balanced_bipartition():
+    """Exhaustive check: no balanced 2-partition beats cut = 3."""
+    import itertools
+
+    g = figure2_graph()
+    vertices = g.vertices()
+    best = None
+    for mask in itertools.product((0, 1), repeat=len(vertices)):
+        assignment = dict(zip(vertices, mask))
+        if len(set(mask)) < 2:
+            continue
+        if g.imbalance(assignment, 2) <= 1.0 + 1e-9:
+            cut = g.edge_cut(assignment)
+            best = cut if best is None else min(best, cut)
+    assert best == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# Graph construction from workloads
+# ----------------------------------------------------------------------
+def test_build_graph_vertices_match_queries(stocks):
+    workload = generate_workload(stocks, WorkloadConfig(query_count=30), seed=1)
+    graph = build_query_graph(workload.queries, stocks)
+    assert sorted(graph.vertices()) == sorted(
+        q.query_id for q in workload.queries
+    )
+    assert all(w > 0 for w in graph.vertex_weights.values())
+
+
+def test_overlapping_queries_get_edges(stocks):
+    stream = stocks.stream_ids()[0]
+    q1 = QuerySpec(
+        "q1", (StreamInterest.on(stream, price=(0, 600)),)
+    )
+    q2 = QuerySpec(
+        "q2", (StreamInterest.on(stream, price=(400, 1000)),)
+    )
+    q3 = QuerySpec(
+        "q3", (StreamInterest.on(stream, price=(900, 1000)),)
+    )
+    graph = build_query_graph([q1, q2, q3], stocks)
+    assert graph.weight("q1", "q2") > 0
+    assert graph.weight("q1", "q3") == 0.0
+    assert graph.weight("q2", "q3") > 0
+
+
+def test_cross_stream_queries_share_no_edge(stocks):
+    s0, s1 = stocks.stream_ids()
+    q1 = QuerySpec("q1", (StreamInterest.on(s0, price=(0, 1000)),))
+    q2 = QuerySpec("q2", (StreamInterest.on(s1, price=(0, 1000)),))
+    graph = build_query_graph([q1, q2], stocks)
+    assert graph.edge_count == 0
+
+
+def test_edge_weight_accumulates_over_shared_streams(stocks):
+    s0, s1 = stocks.stream_ids()
+    q1 = QuerySpec(
+        "q1",
+        (
+            StreamInterest.on(s0, price=(0, 1000)),
+            StreamInterest.on(s1, price=(0, 1000)),
+        ),
+    )
+    q2 = QuerySpec(
+        "q2",
+        (
+            StreamInterest.on(s0, price=(0, 1000)),
+            StreamInterest.on(s1, price=(0, 1000)),
+        ),
+    )
+    graph = build_query_graph([q1, q2], stocks)
+    both = stocks.schema(s0).bytes_per_second + stocks.schema(s1).bytes_per_second
+    assert graph.weight("q1", "q2") == pytest.approx(both, rel=1e-3)
+
+
+def test_min_edge_weight_prunes(stocks):
+    stream = stocks.stream_ids()[0]
+    q1 = QuerySpec("q1", (StreamInterest.on(stream, price=(0, 2)),))
+    q2 = QuerySpec("q2", (StreamInterest.on(stream, price=(1, 3)),))
+    dense = build_query_graph([q1, q2], stocks)
+    pruned = build_query_graph([q1, q2], stocks, min_edge_weight=1e9)
+    assert dense.edge_count == 1
+    assert pruned.edge_count == 0

@@ -1,0 +1,106 @@
+"""Tests for level-by-level query routing on the coordinator tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coordination.routing import QueryRouter, RoutingPolicy
+from repro.coordination.tree import CoordinatorTree, Member
+
+
+def build_tree(n=30, k=3, seed=0):
+    rng = random.Random(seed)
+    tree = CoordinatorTree(k=k)
+    for i in range(n):
+        tree.join(Member(f"m{i:02d}", rng.random(), rng.random()))
+    return tree
+
+
+def test_route_on_empty_tree_raises():
+    router = QueryRouter(CoordinatorTree(k=3))
+    with pytest.raises(RuntimeError):
+        router.route("q0", 1.0)
+
+
+def test_route_assigns_to_member():
+    tree = build_tree()
+    router = QueryRouter(tree)
+    entity = router.route("q0", 1.0, (0.5, 0.5))
+    assert entity in tree.members
+    assert router.assignments["q0"] == entity
+    assert router.load_of(entity) == 1.0
+
+
+def test_single_member_tree_routes_to_it():
+    tree = CoordinatorTree(k=3)
+    tree.join(Member("only", 0.1, 0.1))
+    router = QueryRouter(tree)
+    assert router.route("q0", 2.0) == "only"
+
+
+def test_routing_messages_bounded_by_depth():
+    tree = build_tree(n=100)
+    router = QueryRouter(tree)
+    router.route("q0", 1.0)
+    assert router.routing_messages <= tree.depth + 1
+
+
+def test_load_balancing_spreads_queries():
+    tree = build_tree(n=20, seed=1)
+    router = QueryRouter(
+        tree, RoutingPolicy(load_weight=1.0, distance_weight=0.0)
+    )
+    for i in range(200):
+        router.route(f"q{i}", 1.0, (0.5, 0.5))
+    assert router.imbalance() < 1.5
+
+
+def test_pure_distance_policy_clusters_near_client():
+    tree = build_tree(n=20, seed=2)
+    router = QueryRouter(
+        tree, RoutingPolicy(load_weight=0.0, distance_weight=1.0)
+    )
+    client = (0.1, 0.1)
+    entity = router.route("q0", 1.0, client)
+    # the chosen entity should be closer to the client than most members
+    from repro.coordination.geometry import distance
+
+    chosen_d = distance(tree.members[entity].point, client)
+    all_d = sorted(
+        distance(m.point, client) for m in tree.members.values()
+    )
+    assert chosen_d <= all_d[len(all_d) // 2]
+
+
+def test_release_returns_load():
+    tree = build_tree(n=10, seed=3)
+    router = QueryRouter(tree)
+    entity = router.route("q0", 5.0)
+    router.release("q0", 5.0)
+    assert router.load_of(entity) == 0.0
+    assert "q0" not in router.assignments
+
+
+def test_release_unknown_query_is_noop():
+    tree = build_tree(n=10, seed=3)
+    router = QueryRouter(tree)
+    router.release("ghost", 1.0)
+
+
+def test_rehome_orphans_after_entity_failure():
+    tree = build_tree(n=10, seed=4)
+    router = QueryRouter(
+        tree, RoutingPolicy(load_weight=0.0, distance_weight=1.0)
+    )
+    target = router.route("q0", 1.0, (0.2, 0.2))
+    router.route("q1", 1.0, (0.9, 0.9))
+    orphans = router.rehome_orphans(target)
+    assert "q0" in orphans
+    assert "q0" not in router.assignments
+
+
+def test_imbalance_on_empty_router():
+    tree = build_tree(n=5)
+    assert QueryRouter(tree).imbalance() == 1.0

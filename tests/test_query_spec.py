@@ -1,0 +1,177 @@
+"""Tests for query specs and plan compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.operators import (
+    FilterOperator,
+    ProjectOperator,
+    UnionOperator,
+    WindowAggregateOperator,
+    WindowJoinOperator,
+)
+from repro.interest.predicates import StreamInterest
+from repro.query.spec import AggregateSpec, JoinSpec, QuerySpec
+
+
+def single_stream_spec(stocks, **kwargs):
+    stream = stocks.stream_ids()[0]
+    return QuerySpec(
+        query_id="q1",
+        interests=(StreamInterest.on(stream, price=(0, 500)),),
+        **kwargs,
+    )
+
+
+def test_spec_requires_interests():
+    with pytest.raises(ValueError):
+        QuerySpec(query_id="q", interests=())
+
+
+def test_spec_rejects_duplicate_streams(stocks):
+    stream = stocks.stream_ids()[0]
+    interest = StreamInterest.on(stream, price=(0, 1))
+    with pytest.raises(ValueError):
+        QuerySpec(query_id="q", interests=(interest, interest))
+
+
+def test_join_requires_two_streams(stocks):
+    stream = stocks.stream_ids()[0]
+    with pytest.raises(ValueError):
+        QuerySpec(
+            query_id="q",
+            interests=(StreamInterest.on(stream, price=(0, 1)),),
+            join=JoinSpec(attribute="symbol"),
+        )
+
+
+def test_cost_multiplier_positive(stocks):
+    stream = stocks.stream_ids()[0]
+    with pytest.raises(ValueError):
+        QuerySpec(
+            query_id="q",
+            interests=(StreamInterest.on(stream, price=(0, 1)),),
+            cost_multiplier=0.0,
+        )
+
+
+def test_simple_plan_is_filter_only(stocks):
+    plan = single_stream_spec(stocks).build_plan(stocks)
+    assert len(plan.operators) == 1
+    assert isinstance(plan.operators[0], FilterOperator)
+
+
+def test_aggregate_plan_shape(stocks):
+    spec = single_stream_spec(
+        stocks, aggregate=AggregateSpec(attribute="price", fn="avg")
+    )
+    plan = spec.build_plan(stocks)
+    assert isinstance(plan.operators[-1], WindowAggregateOperator)
+
+
+def test_projection_is_last(stocks):
+    spec = single_stream_spec(stocks, project=("price",))
+    plan = spec.build_plan(stocks)
+    assert isinstance(plan.operators[-1], ProjectOperator)
+
+
+def test_join_plan_shape(stocks):
+    s0, s1 = stocks.stream_ids()
+    spec = QuerySpec(
+        query_id="qj",
+        interests=(
+            StreamInterest.on(s0, price=(0, 500)),
+            StreamInterest.on(s1, price=(0, 500)),
+        ),
+        join=JoinSpec(attribute="symbol", window=5.0),
+    )
+    plan = spec.build_plan(stocks)
+    kinds = [type(op) for op in plan.operators]
+    assert kinds == [FilterOperator, FilterOperator, WindowJoinOperator]
+    assert plan.input_streams == [s0, s1]
+
+
+def test_multistream_without_join_gets_union(stocks):
+    s0, s1 = stocks.stream_ids()
+    spec = QuerySpec(
+        query_id="qu",
+        interests=(
+            StreamInterest.on(s0, price=(0, 500)),
+            StreamInterest.on(s1, price=(0, 500)),
+        ),
+    )
+    plan = spec.build_plan(stocks)
+    assert any(isinstance(op, UnionOperator) for op in plan.operators)
+
+
+def test_filter_selectivity_is_analytic(stocks):
+    spec = single_stream_spec(stocks)  # price in [0, 500] of [1, 1000]
+    plan = spec.build_plan(stocks)
+    assert plan.operators[0].estimated_selectivity == pytest.approx(
+        0.4995, abs=1e-3
+    )
+
+
+def test_multistream_filter_selectivity_mixes_passthrough(stocks):
+    s0, s1 = stocks.stream_ids()
+    spec = QuerySpec(
+        query_id="q",
+        interests=(
+            StreamInterest.on(s0, price=(1, 1000)),  # sel 1.0 on own stream
+            StreamInterest.on(s1, price=(0, 500)),
+        ),
+    )
+    plan = spec.build_plan(stocks)
+    # each filter passes the other stream entirely, so its effective
+    # selectivity over the merged head input is > its own-stream one
+    assert plan.operators[1].estimated_selectivity > 0.49
+
+
+def test_input_rate_sums_streams(stocks):
+    s0, s1 = stocks.stream_ids()
+    spec = QuerySpec(
+        query_id="q",
+        interests=(
+            StreamInterest.on(s0, price=(0, 1)),
+            StreamInterest.on(s1, price=(0, 1)),
+        ),
+    )
+    assert spec.input_rate(stocks) == pytest.approx(
+        stocks.schema(s0).rate + stocks.schema(s1).rate
+    )
+
+
+def test_required_rate_uses_interest_selectivity(stocks):
+    spec = single_stream_spec(stocks)
+    schema = stocks.schema(spec.input_streams[0])
+    assert 0 < spec.required_rate(stocks) < schema.bytes_per_second
+
+
+def test_estimated_load_positive_and_scales(stocks):
+    light = single_stream_spec(stocks)
+    heavy = QuerySpec(
+        query_id="q2",
+        interests=light.interests,
+        cost_multiplier=10.0,
+    )
+    assert heavy.estimated_load(stocks) > light.estimated_load(stocks) > 0
+
+
+def test_interest_for(stocks):
+    spec = single_stream_spec(stocks)
+    stream = spec.input_streams[0]
+    assert spec.interest_for(stream) is spec.interests[0]
+    assert spec.interest_for("ghost") is None
+
+
+def test_cost_multiplier_scales_operator_costs(stocks):
+    cheap = single_stream_spec(stocks).build_plan(stocks)
+    expensive = QuerySpec(
+        query_id="qx",
+        interests=cheap and single_stream_spec(stocks).interests,
+        cost_multiplier=4.0,
+    ).build_plan(stocks)
+    assert expensive.operators[0].cost_per_tuple == pytest.approx(
+        4.0 * cheap.operators[0].cost_per_tuple
+    )

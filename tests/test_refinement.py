@@ -1,0 +1,84 @@
+"""Tests for KL/FM boundary refinement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.query_graph import QueryGraph, figure2_graph
+from repro.allocation.refinement import refine_partition
+
+
+def chain_graph(n=6, w=1.0):
+    g = QueryGraph()
+    for i in range(n):
+        g.add_vertex(f"v{i}", 1.0)
+    for i in range(n - 1):
+        g.add_edge(f"v{i}", f"v{i+1}", w)
+    return g
+
+
+def test_refinement_reduces_cut_on_alternating_assignment():
+    g = chain_graph(6)
+    bad = {f"v{i}": i % 2 for i in range(6)}  # cut = 5
+    refined, moves = refine_partition(g, bad, 2, max_imbalance=1.01)
+    assert g.edge_cut(refined) < g.edge_cut(bad)
+    assert moves > 0
+
+
+def test_refinement_respects_balance():
+    g = chain_graph(6)
+    bad = {f"v{i}": i % 2 for i in range(6)}
+    refined, __ = refine_partition(g, bad, 2, max_imbalance=1.01)
+    assert g.imbalance(refined, 2) <= 1.01 + 1e-9
+
+
+def test_refinement_never_worsens_cut():
+    g = figure2_graph()
+    from repro.allocation.query_graph import FIGURE2_PLAN_B
+
+    refined, __ = refine_partition(g, dict(FIGURE2_PLAN_B), 2)
+    assert g.edge_cut(refined) <= 3.0
+
+
+def test_refinement_finds_figure2_optimum_from_plan_a():
+    g = figure2_graph()
+    from repro.allocation.query_graph import FIGURE2_PLAN_A
+
+    refined, __ = refine_partition(
+        g, dict(FIGURE2_PLAN_A), 2, max_imbalance=1.25
+    )
+    assert g.edge_cut(refined) <= 3.0
+
+
+def test_movable_restriction_is_respected():
+    g = chain_graph(6)
+    bad = {f"v{i}": i % 2 for i in range(6)}
+    refined, __ = refine_partition(
+        g, bad, 2, movable={"v0"}, max_imbalance=2.0
+    )
+    for v, part in refined.items():
+        if v != "v0":
+            assert part == bad[v]
+
+
+def test_move_budget_caps_moves():
+    g = chain_graph(10)
+    bad = {f"v{i}": i % 2 for i in range(10)}
+    __, moves = refine_partition(g, bad, 2, move_budget=2, max_imbalance=2.0)
+    assert moves <= 2
+
+
+def test_input_assignment_not_mutated():
+    g = chain_graph(6)
+    bad = {f"v{i}": i % 2 for i in range(6)}
+    snapshot = dict(bad)
+    refine_partition(g, bad, 2)
+    assert bad == snapshot
+
+
+def test_refinement_on_already_optimal_is_stable():
+    g = chain_graph(6)
+    good = {f"v{i}": 0 if i < 3 else 1 for i in range(6)}  # cut = 1
+    refined, moves = refine_partition(g, good, 2, max_imbalance=1.01)
+    assert g.edge_cut(refined) == pytest.approx(1.0)
+    assert moves == 0

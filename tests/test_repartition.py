@@ -1,0 +1,140 @@
+"""Tests for the adaptive repartitioning spectrum (§3.2.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.allocation.partitioning import MultilevelPartitioner
+from repro.allocation.query_graph import QueryGraph
+from repro.allocation.repartition import (
+    CutRepartitioner,
+    HybridRepartitioner,
+    ScratchRepartitioner,
+)
+
+
+def clustered_graph(n=60, groups=4, seed=0):
+    rng = random.Random(seed)
+    g = QueryGraph()
+    for i in range(n):
+        g.add_vertex(f"v{i}", rng.uniform(0.5, 1.5))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if (i % groups) == (j % groups) and rng.random() < 0.6:
+                g.add_edge(f"v{i}", f"v{j}", rng.uniform(3.0, 8.0))
+    return g
+
+
+def drifted(graph, seed=1, factor=6.0, fraction=0.3):
+    """Scale a fraction of vertex weights to create overload."""
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertex_weights)
+    chosen = rng.sample(vertices, int(len(vertices) * fraction))
+    for v in chosen:
+        graph.vertex_weights[v] *= factor
+    return graph
+
+
+@pytest.fixture
+def scenario():
+    graph = clustered_graph(seed=2)
+    base = MultilevelPartitioner(seed=2).partition(graph, 4)
+    drifted(graph, seed=3)
+    return graph, base.assignment
+
+
+def test_scratch_restores_balance(scenario):
+    graph, current = scenario
+    out = ScratchRepartitioner(seed=4).repartition(graph, current, 4)
+    assert out.imbalance <= 1.30
+    assert sorted(out.assignment) == sorted(graph.vertices())
+
+
+def test_cut_restores_balance_cheaply(scenario):
+    graph, current = scenario
+    out = CutRepartitioner().repartition(graph, current, 4)
+    assert out.imbalance <= 1.30
+
+
+def test_hybrid_restores_balance(scenario):
+    graph, current = scenario
+    out = HybridRepartitioner().repartition(graph, current, 4)
+    assert out.imbalance <= 1.30
+
+
+def test_tradeoff_cut_quality(scenario):
+    """Paper: overlap-aware strategies beat the overlap-blind cut mover."""
+    graph, current = scenario
+    scratch = ScratchRepartitioner(seed=4).repartition(graph, current, 4)
+    cut_only = CutRepartitioner().repartition(graph, current, 4)
+    hybrid = HybridRepartitioner().repartition(graph, current, 4)
+    assert hybrid.cut <= cut_only.cut
+    assert scratch.cut <= cut_only.cut
+
+
+def test_hybrid_migrations_are_bounded(scenario):
+    """The hybrid honours its migration budget plus the repair moves."""
+    graph, current = scenario
+    hybrid = HybridRepartitioner(move_budget_fraction=0.15)
+    out = hybrid.repartition(graph, current, 4)
+    n = graph.vertex_count
+    # repair moves are bounded by overloaded vertices; refinement by budget
+    assert out.migrations <= int(0.15 * n) + n // 2
+
+
+def test_new_arrivals_are_placed_not_migrated():
+    graph = clustered_graph(n=20, seed=5)
+    current = MultilevelPartitioner(seed=5).partition(graph, 2).assignment
+    graph.add_vertex("newbie", 1.0)
+    out = CutRepartitioner().repartition(graph, current, 2)
+    assert "newbie" in out.assignment
+    # a placement of a new vertex is not a migration
+    balanced_before = graph.imbalance(current | {"newbie": 0}, 2)
+    if balanced_before <= 1.10:
+        assert out.migrations == 0
+
+
+def test_departures_are_dropped():
+    graph = clustered_graph(n=20, seed=6)
+    current = MultilevelPartitioner(seed=6).partition(graph, 2).assignment
+    graph.remove_vertex("v0")
+    out = HybridRepartitioner().repartition(graph, current, 2)
+    assert "v0" not in out.assignment
+
+
+def test_already_balanced_needs_no_migration():
+    graph = clustered_graph(n=40, seed=7)
+    current = MultilevelPartitioner(seed=7).partition(graph, 4).assignment
+    if graph.imbalance(current, 4) <= 1.10:
+        out = CutRepartitioner().repartition(graph, current, 4)
+        assert out.migrations == 0
+
+
+def test_label_matching_avoids_phantom_migrations():
+    """A scratch re-run on an unchanged graph should keep most queries put."""
+    graph = clustered_graph(n=60, seed=8)
+    current = MultilevelPartitioner(seed=8).partition(graph, 4).assignment
+    out = ScratchRepartitioner(seed=8).repartition(graph, current, 4)
+    assert out.migrations <= len(graph.vertices()) * 0.5
+
+
+def test_decision_time_recorded(scenario):
+    graph, current = scenario
+    out = CutRepartitioner().repartition(graph, current, 4)
+    assert out.decision_seconds >= 0.0
+
+
+def test_outcomes_report_consistent_metrics(scenario):
+    graph, current = scenario
+    for rep in (
+        ScratchRepartitioner(seed=1),
+        CutRepartitioner(),
+        HybridRepartitioner(),
+    ):
+        out = rep.repartition(graph, current, 4)
+        assert out.cut == pytest.approx(graph.edge_cut(out.assignment))
+        assert out.imbalance == pytest.approx(
+            graph.imbalance(out.assignment, 4)
+        )

@@ -1,0 +1,77 @@
+"""Tests for the event queue primitives."""
+
+from __future__ import annotations
+
+from repro.simulation.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append("c"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(2.0, lambda: fired.append("b"))
+    while (event := q.pop()) is not None:
+        event.callback()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    q = EventQueue()
+    fired = []
+    for label in "abcde":
+        q.push(1.0, lambda label=label: fired.append(label))
+    while (event := q.pop()) is not None:
+        event.callback()
+    assert fired == list("abcde")
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    event.cancel()
+    popped = q.pop()
+    assert popped is not None
+    assert popped.time == 2.0
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    first.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_returns_none():
+    q = EventQueue()
+    assert q.peek_time() is None
+    event = q.push(1.0, lambda: None)
+    event.cancel()
+    assert q.peek_time() is None
+
+
+def test_len_counts_pending_events():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert q.pop() is None
+
+
+def test_event_ordering_dataclass():
+    a = Event(time=1.0, seq=0, callback=lambda: None)
+    b = Event(time=1.0, seq=1, callback=lambda: None)
+    c = Event(time=0.5, seq=2, callback=lambda: None)
+    assert c < a < b

@@ -1,0 +1,138 @@
+"""Tests for the simulator clock and scheduling semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_advances_clock(sim):
+    times = []
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.5]
+    assert sim.now == 2.5
+
+
+def test_schedule_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_event_at_exact_until_fires(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=5.0)
+    assert fired == [5]
+
+
+def test_nested_scheduling(sim):
+    fired = []
+
+    def outer():
+        fired.append(("outer", sim.now))
+        sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_max_events_limit(sim):
+    for __ in range(100):
+        sim.schedule(1.0, lambda: None)
+    sim.run(max_events=10)
+    assert sim.events_fired == 10
+
+
+def test_step_fires_single_event(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_rng_is_deterministic_per_seed():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b
+    assert a != c
+
+
+def test_every_fires_periodically(sim):
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_every_stop_cancels(sim):
+    ticks = []
+    stop = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.schedule(2.5, stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+
+
+def test_every_with_start_after(sim):
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), start_after=0.5)
+    sim.run(until=3.0)
+    assert ticks == [0.5, 1.5, 2.5]
+
+
+def test_every_rejects_nonpositive_interval(sim):
+    with pytest.raises(SimulationError):
+        sim.every(0.0, lambda: None)
+
+
+def test_every_with_jitter_stays_deterministic():
+    def ticks_for(seed):
+        sim = Simulator(seed=seed)
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), jitter=0.5)
+        sim.run(until=10.0)
+        return ticks
+
+    assert ticks_for(7) == ticks_for(7)
+
+
+def test_pending_events_counts(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2

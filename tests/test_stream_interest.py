@@ -1,0 +1,102 @@
+"""Tests for StreamInterest semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interest.predicates import Interval, IntervalSet, StreamInterest
+
+
+def test_on_builder_and_matching():
+    interest = StreamInterest.on("s", price=(10, 50), volume=(0, 100))
+    assert interest.matches_values({"price": 30, "volume": 50})
+    assert not interest.matches_values({"price": 60, "volume": 50})
+    assert not interest.matches_values({"price": 30, "volume": 200})
+
+
+def test_unconstrained_attributes_always_match():
+    interest = StreamInterest.on("s", price=(10, 50))
+    assert interest.matches_values({"price": 20, "other": 1e9})
+
+
+def test_missing_attribute_does_not_filter():
+    # A tuple lacking the constrained attribute passes (projection upstream).
+    interest = StreamInterest.on("s", price=(10, 50))
+    assert interest.matches_values({"volume": 5})
+
+
+def test_intersect_narrows():
+    a = StreamInterest.on("s", price=(0, 50))
+    b = StreamInterest.on("s", price=(30, 100), volume=(0, 10))
+    c = a.intersect(b)
+    assert c.matches_values({"price": 40, "volume": 5})
+    assert not c.matches_values({"price": 20, "volume": 5})
+    assert not c.matches_values({"price": 40, "volume": 50})
+
+
+def test_intersect_cross_stream_raises():
+    a = StreamInterest.on("s1", price=(0, 1))
+    b = StreamInterest.on("s2", price=(0, 1))
+    with pytest.raises(ValueError):
+        a.intersect(b)
+
+
+def test_is_empty_after_disjoint_intersection():
+    a = StreamInterest.on("s", price=(0, 10))
+    b = StreamInterest.on("s", price=(20, 30))
+    assert a.intersect(b).is_empty
+
+
+def test_covers_wider_interest():
+    wide = StreamInterest.on("s", price=(0, 100))
+    narrow = StreamInterest.on("s", price=(10, 20))
+    assert wide.covers(narrow)
+    assert not narrow.covers(wide)
+
+
+def test_covers_unconstrained_self_attribute():
+    unconstrained = StreamInterest("s", {})
+    narrow = StreamInterest.on("s", price=(10, 20))
+    assert unconstrained.covers(narrow)
+
+
+def test_constrained_does_not_cover_unconstrained():
+    narrow = StreamInterest.on("s", price=(10, 20))
+    unconstrained = StreamInterest("s", {})
+    assert not narrow.covers(unconstrained)
+
+
+def test_covers_cross_stream_false():
+    a = StreamInterest.on("s1", price=(0, 100))
+    b = StreamInterest.on("s2", price=(10, 20))
+    assert not a.covers(b)
+
+
+def test_constraint_type_checked():
+    with pytest.raises(TypeError):
+        StreamInterest("s", {"price": (0, 1)})  # type: ignore[dict-item]
+
+
+@given(
+    lo=st.floats(0, 50, allow_nan=False),
+    width=st.floats(0, 50, allow_nan=False),
+    value=st.floats(-10, 110, allow_nan=False),
+)
+def test_single_range_matching_property(lo, width, value):
+    interest = StreamInterest.on("s", x=(lo, lo + width))
+    assert interest.matches_values({"x": value}) == (lo <= value <= lo + width)
+
+
+@given(
+    a_lo=st.floats(0, 50, allow_nan=False),
+    a_w=st.floats(0, 50, allow_nan=False),
+    b_lo=st.floats(0, 50, allow_nan=False),
+    b_w=st.floats(0, 50, allow_nan=False),
+    value=st.floats(-10, 110, allow_nan=False),
+)
+def test_intersection_matches_iff_both_match(a_lo, a_w, b_lo, b_w, value):
+    a = StreamInterest.on("s", x=(a_lo, a_lo + a_w))
+    b = StreamInterest.on("s", x=(b_lo, b_lo + b_w))
+    both = a.matches_values({"x": value}) and b.matches_values({"x": value})
+    assert a.intersect(b).matches_values({"x": value}) == both

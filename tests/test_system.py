@@ -1,0 +1,187 @@
+"""Integration tests for the full federated system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import FederatedSystem, SystemConfig, build_demo_system
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.streams.catalog import stock_catalog
+
+
+def small_system(**overrides):
+    defaults = dict(
+        entity_count=4,
+        processors_per_entity=2,
+        seed=1,
+    )
+    defaults.update(overrides)
+    catalog = stock_catalog(exchanges=2, rate=60.0)
+    system = FederatedSystem(catalog, SystemConfig(**defaults))
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(query_count=24, join_fraction=0.0, aggregate_fraction=0.1),
+        seed=1,
+    )
+    system.submit(workload.queries)
+    return system
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_invalid_dissemination_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(dissemination="carrier-pigeon")
+
+
+def test_invalid_allocation_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(allocation="vibes")
+
+
+def test_invalid_placement_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(placement="vibes")
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(entity_count=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end behaviour
+# ----------------------------------------------------------------------
+def test_submit_requires_queries():
+    catalog = stock_catalog(exchanges=1)
+    system = FederatedSystem(catalog, SystemConfig(entity_count=2))
+    with pytest.raises(ValueError):
+        system.submit([])
+
+
+def test_run_produces_results():
+    system = small_system()
+    report = system.run(4.0)
+    assert report.results > 0
+    assert report.queries_answered > 0
+    assert report.mean_result_latency > 0
+    assert report.events > 0
+
+
+def test_run_rejects_nonpositive_duration():
+    system = small_system()
+    with pytest.raises(ValueError):
+        system.run(0.0)
+
+
+def test_all_queries_allocated():
+    system = small_system()
+    assert len(system.allocation_result.assignment) == 24
+
+
+def test_network_traffic_accounted():
+    system = small_system()
+    report = system.run(3.0)
+    assert report.wan_bytes > 0
+    assert report.lan_bytes > 0
+    assert report.source_egress_bytes > 0
+
+
+def test_deterministic_given_seed():
+    a = small_system().run(3.0)
+    b = small_system().run(3.0)
+    assert a.results == b.results
+    assert a.wan_bytes == pytest.approx(b.wan_bytes)
+    assert a.pr_max == pytest.approx(b.pr_max)
+
+
+def test_different_seeds_differ():
+    a = small_system(seed=1).run(3.0)
+    b = small_system(seed=2).run(3.0)
+    assert a.wan_bytes != b.wan_bytes
+
+
+def test_direct_dissemination_loads_source_more():
+    direct = small_system(dissemination="direct").run(3.0)
+    coop = small_system(dissemination="closest", max_fanout=2).run(3.0)
+    # the cooperative tree bounds source egress
+    assert coop.source_egress_bytes <= direct.source_egress_bytes
+
+
+def test_early_filtering_saves_wan_bytes():
+    """Narrow price-band queries let ancestors prune most of the stream.
+
+    (Early filtering only bites when every query at an entity constrains
+    a common attribute — the safe aggregate must drop any attribute some
+    query leaves unconstrained.)
+    """
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import QuerySpec
+
+    def run(early):
+        catalog = stock_catalog(exchanges=1, rate=100.0)
+        stream = catalog.stream_ids()[0]
+        config = SystemConfig(
+            entity_count=4,
+            processors_per_entity=2,
+            seed=3,
+            early_filtering=early,
+        )
+        system = FederatedSystem(catalog, config)
+        queries = [
+            QuerySpec(
+                query_id=f"q{i}",
+                interests=(
+                    StreamInterest.on(
+                        stream, price=(i * 40.0, i * 40.0 + 20.0)
+                    ),
+                ),
+            )
+            for i in range(12)
+        ]
+        system.submit(queries)
+        return system.run(3.0)
+
+    on = run(True)
+    off = run(False)
+    assert on.wan_bytes < off.wan_bytes
+
+
+@pytest.mark.parametrize("allocation", ["partition", "router", "load", "rr"])
+def test_allocation_strategies_all_run(allocation):
+    report = small_system(allocation=allocation).run(2.0)
+    assert report.results >= 0
+    assert report.queries_total == 24
+
+
+@pytest.mark.parametrize("placement", ["pr", "load", "single", "rr"])
+def test_placement_strategies_all_run(placement):
+    report = small_system(placement=placement).run(2.0)
+    assert report.queries_total == 24
+
+
+def test_report_summary_lines():
+    report = small_system().run(2.0)
+    lines = report.summary_lines()
+    assert any("queries answered" in line for line in lines)
+    assert any("PR_max" in line for line in lines)
+
+
+def test_answered_fraction():
+    report = small_system().run(4.0)
+    assert 0.0 < report.answered_fraction <= 1.0
+
+
+def test_build_demo_system_runs():
+    system, queries = build_demo_system(seed=5, entity_count=4, query_count=20)
+    report = system.run(2.0)
+    assert report.queries_total == 20
+    assert report.events > 0
+
+
+def test_utilization_reported_per_entity():
+    system = small_system()
+    report = system.run(3.0)
+    assert len(report.entity_utilization) == 4
+    assert all(0.0 <= u <= 1.0 for u in report.entity_utilization.values())

@@ -1,0 +1,104 @@
+"""Integration tests: monitoring and tree maintenance inside the system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import FederatedSystem, SystemConfig
+from repro.interest.predicates import StreamInterest
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.query.spec import QuerySpec
+from repro.streams.catalog import stock_catalog
+
+
+def build(monitoring=2.0, maintenance=None, entity_count=4, seed=6):
+    catalog = stock_catalog(exchanges=2, rate=60.0)
+    system = FederatedSystem(
+        catalog,
+        SystemConfig(
+            entity_count=entity_count,
+            processors_per_entity=2,
+            seed=seed,
+            monitoring_interval=monitoring,
+            tree_maintenance_interval=maintenance,
+        ),
+    )
+    return catalog, system
+
+
+def test_monitoring_service_created_when_configured():
+    __, system = build(monitoring=1.0)
+    assert system.monitoring is not None
+    __, plain = build(monitoring=None)
+    assert plain.monitoring is None
+
+
+def test_monitoring_collects_during_run():
+    catalog, system = build(monitoring=1.0)
+    workload = generate_workload(
+        catalog, WorkloadConfig(query_count=12, join_fraction=0.0), seed=6
+    )
+    system.submit(workload.queries)
+    system.run(4.0)
+    assert system.monitoring.rounds >= 3
+    root = system.monitoring.root_view()
+    assert root is not None
+    assert root.entity_count == 4
+    assert root.total_queries == 12
+
+
+def test_router_uses_measured_load():
+    """An entity made hot by measured load attracts fewer new queries."""
+    catalog, system = build(monitoring=0.5)
+    stream = catalog.stream_ids()[0]
+    # saturate whichever entity the first query lands on
+    hot_entity = system.submit_one(
+        QuerySpec(
+            query_id="hog",
+            interests=(StreamInterest.on(stream, price=(1, 1000)),),
+            cost_multiplier=400.0,
+            client_x=0.5,
+            client_y=0.5,
+        )
+    )
+    system.run(4.0)
+    assert system.monitoring.load_of(hot_entity) > 0.2
+    # a colocated client would naively route to the same entity again;
+    # measured load must push it elsewhere
+    other = system.submit_one(
+        QuerySpec(
+            query_id="light",
+            interests=(StreamInterest.on(stream, price=(1, 1000)),),
+            client_x=0.5,
+            client_y=0.5,
+        )
+    )
+    assert other != hot_entity
+
+
+def test_monitoring_follows_entity_churn():
+    catalog, system = build(monitoring=1.0, entity_count=5)
+    workload = generate_workload(
+        catalog, WorkloadConfig(query_count=10, join_fraction=0.0), seed=6
+    )
+    system.submit(workload.queries)
+    system.run(2.0)
+    victim = next(iter(system.entities))
+    system.remove_entity(victim)
+    new_id = system.add_entity()
+    system.run(2.0)
+    assert system.monitoring.entity_report(victim) is None
+    assert system.monitoring.entity_report(new_id) is not None
+
+
+def test_tree_maintenance_runs_inside_system():
+    catalog, system = build(monitoring=None, maintenance=2.0, entity_count=6)
+    workload = generate_workload(
+        catalog, WorkloadConfig(query_count=16, join_fraction=0.0), seed=6
+    )
+    system.submit(workload.queries)
+    assert system._maintainers
+    system.run(7.0)
+    assert all(m.rounds >= 3 for m in system._maintainers.values())
+    report = system.run(2.0)
+    assert report.results > 0

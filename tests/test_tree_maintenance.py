@@ -1,0 +1,93 @@
+"""Tests for periodic dissemination-tree maintenance."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.dissemination.builders import build_balanced_tree
+from repro.dissemination.maintenance import TreeMaintainer
+from repro.dissemination.tree import SOURCE
+from repro.simulation.simulator import Simulator
+
+SOURCE_POS = (0.5, 0.5)
+
+
+def total_edge_length(tree, positions):
+    pts = {SOURCE: SOURCE_POS, **positions}
+    return sum(
+        math.dist(pts[e], pts[tree.parent_of(e)]) for e in tree.entities
+    )
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(4)
+    positions = {f"e{i}": (rng.random(), rng.random()) for i in range(16)}
+    # a deliberately poor starting tree: k-ary by distance rank
+    tree = build_balanced_tree("s", SOURCE_POS, positions, max_fanout=3)
+    sim = Simulator(seed=4)
+    maintainer = TreeMaintainer(
+        sim, tree, SOURCE_POS, lambda: positions, interval=2.0
+    )
+    return sim, tree, positions, maintainer
+
+
+def test_rounds_improve_edge_length(world):
+    sim, tree, positions, maintainer = world
+    before = total_edge_length(tree, positions)
+    maintainer.start()
+    sim.run(until=10.0)
+    after = total_edge_length(tree, positions)
+    assert maintainer.rounds == 5
+    assert after <= before
+
+
+def test_maintenance_converges(world):
+    sim, tree, positions, maintainer = world
+    for __ in range(10):
+        maintainer.run_round()
+    assert maintainer.run_round() == 0  # fixpoint reached
+
+
+def test_tree_stays_valid(world):
+    sim, tree, positions, maintainer = world
+    maintainer.start()
+    sim.run(until=20.0)
+    assert sorted(tree.entities) == sorted(positions)
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= tree.max_fanout
+        tree.depth_of(entity)  # raises on cycles
+
+
+def test_repairs_fanout_after_departure(world):
+    sim, tree, positions, maintainer = world
+    inner = next(e for e in tree.entities if tree.children_of(e))
+    tree.detach(inner)
+    del positions[inner]
+    maintainer.run_round()
+    for entity in tree.entities:
+        assert tree.fanout(entity) <= tree.max_fanout
+    assert tree.fanout(SOURCE) <= tree.max_fanout
+
+
+def test_stop_halts_rounds(world):
+    sim, tree, positions, maintainer = world
+    maintainer.start()
+    sim.run(until=4.5)
+    rounds = maintainer.rounds
+    maintainer.stop()
+    sim.run(until=20.0)
+    assert maintainer.rounds == rounds
+
+
+def test_invalid_interval():
+    sim = Simulator(seed=0)
+    from repro.dissemination.tree import DisseminationTree
+
+    with pytest.raises(ValueError):
+        TreeMaintainer(
+            sim, DisseminationTree("s"), SOURCE_POS, dict, interval=0.0
+        )

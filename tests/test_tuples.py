@@ -1,0 +1,56 @@
+"""Tests for the immutable stream tuple."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.tuples import StreamTuple
+
+
+def make(values=None, size=64.0):
+    return StreamTuple(
+        stream_id="s",
+        seq=0,
+        created_at=1.0,
+        values=values or {"a": 1.0, "b": 2.0},
+        size=size,
+    )
+
+
+def test_value_accessor():
+    tup = make()
+    assert tup.value("a") == 1.0
+
+
+def test_value_missing_raises_with_context():
+    tup = make()
+    with pytest.raises(KeyError, match="no attribute 'z'"):
+        tup.value("z")
+
+
+def test_project_keeps_subset_and_shrinks():
+    tup = make(size=80.0)
+    projected = tup.project(["a"])
+    assert projected.values == {"a": 1.0}
+    assert projected.size == pytest.approx(40.0)
+    # original untouched
+    assert tup.values == {"a": 1.0, "b": 2.0}
+
+
+def test_project_with_explicit_size():
+    tup = make()
+    projected = tup.project(["b"], size=8.0)
+    assert projected.size == 8.0
+
+
+def test_with_values_merges():
+    tup = make()
+    updated = tup.with_values(c=3.0, a=9.0)
+    assert updated.values == {"a": 9.0, "b": 2.0, "c": 3.0}
+    assert tup.values["a"] == 1.0
+
+
+def test_tuples_are_frozen():
+    tup = make()
+    with pytest.raises(AttributeError):
+        tup.seq = 5  # type: ignore[misc]

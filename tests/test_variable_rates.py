@@ -1,0 +1,76 @@
+"""Tests for time-varying source rates and rate profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.source import StreamSource
+from repro.workloads.rates import constant_rate, diurnal, ramp, square_burst
+
+
+def count_emissions(sim, schema, rate_fn, until, poisson=False):
+    source = StreamSource(sim, schema, poisson=poisson, rate_fn=rate_fn)
+    got = []
+    source.subscribe(got.append)
+    source.start()
+    sim.run(until=until)
+    source.stop()
+    return got
+
+
+def test_constant_profile_matches_static(sim, simple_schema):
+    got = count_emissions(sim, simple_schema, constant_rate(50.0), 2.0)
+    assert 98 <= len(got) <= 100
+
+
+def test_zero_rate_pauses_emission(sim, simple_schema):
+    got = count_emissions(sim, simple_schema, constant_rate(0.0), 5.0)
+    assert got == []
+
+
+def test_square_burst_concentrates_tuples(sim, simple_schema):
+    profile = square_burst(10.0, 200.0, period=10.0, duty=0.2)
+    got = count_emissions(sim, simple_schema, profile, 10.0)
+    in_burst = sum(1 for t in got if (t.created_at % 10.0) < 2.0)
+    assert in_burst > len(got) * 0.7
+
+
+def test_pause_and_resume(sim, simple_schema):
+    # silent for the first 2 seconds, then 50/s
+    profile = lambda now: 0.0 if now < 2.0 else 50.0
+    got = count_emissions(sim, simple_schema, profile, 4.0)
+    assert got
+    assert all(t.created_at >= 2.0 for t in got)
+    assert len(got) > 60
+
+
+def test_ramp_rate_increases_density(sim, simple_schema):
+    got = count_emissions(sim, simple_schema, ramp(10.0, 200.0, duration=10.0), 10.0)
+    first_half = sum(1 for t in got if t.created_at < 5.0)
+    second_half = len(got) - first_half
+    assert second_half > first_half * 1.5
+
+
+def test_diurnal_profile_bounds():
+    profile = diurnal(100.0, amplitude=0.5, period=60.0)
+    values = [profile(t / 10.0) for t in range(1200)]
+    assert min(values) >= 49.0
+    assert max(values) <= 151.0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        square_burst(1.0, 2.0, period=0.0)
+    with pytest.raises(ValueError):
+        square_burst(1.0, 2.0, duty=1.5)
+    with pytest.raises(ValueError):
+        diurnal(1.0, amplitude=2.0)
+    with pytest.raises(ValueError):
+        ramp(1.0, 2.0, duration=0.0)
+
+
+def test_poisson_variable_rate_roughly_tracks(sim, simple_schema):
+    profile = square_burst(20.0, 400.0, period=10.0, duty=0.1)
+    got = count_emissions(sim, simple_schema, profile, 20.0, poisson=True)
+    # expected: 2 bursts (1s x 400) + 18s x 20 = 1160
+    assert 800 <= len(got) <= 1500
