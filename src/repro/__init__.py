@@ -27,6 +27,9 @@ __all__ = [
     "QuerySpec",
     "Interval",
     "StreamInterest",
+    "LiveRuntime",
+    "LiveSettings",
+    "LiveReport",
 ]
 
 _LAZY = {
@@ -36,6 +39,9 @@ _LAZY = {
     "QuerySpec": ("repro.query.spec", "QuerySpec"),
     "Interval": ("repro.interest.predicates", "Interval"),
     "StreamInterest": ("repro.interest.predicates", "StreamInterest"),
+    "LiveRuntime": ("repro.live.runtime", "LiveRuntime"),
+    "LiveSettings": ("repro.live.runtime", "LiveSettings"),
+    "LiveReport": ("repro.live.metrics", "LiveReport"),
 }
 
 

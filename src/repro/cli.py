@@ -3,6 +3,8 @@
 Commands:
 
 * ``demo``  — build and run the demo federation, print the run report;
+* ``live``  — run a federation on the live asyncio runtime and print
+  throughput, per-entity queue depths, and retry/drop counts;
 * ``query`` — compile one query-language string against a built-in
   catalog, run it on a small federation, and report its results;
 * ``experiments`` — list the paper-reproduction experiment index;
@@ -34,6 +36,7 @@ EXPERIMENTS = [
     ("E12", "end-to-end composition", "bench_end_to_end.py"),
     ("E13", "entity churn resilience", "bench_entity_churn.py"),
     ("E14", "monitored routing signal", "bench_monitored_routing.py"),
+    ("E15", "live asyncio federation throughput", "bench_live_throughput.py"),
 ]
 
 
@@ -46,6 +49,50 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     report = system.run(duration=args.duration)
     print(f"demo federation: {args.entities} entities, {len(queries)} queries")
     for line in report.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.core.system import SystemConfig
+    from repro.live import LiveRuntime, LiveSettings
+    from repro.query.generator import WorkloadConfig, generate_workload
+    from repro.streams.catalog import stock_catalog
+
+    catalog = stock_catalog(exchanges=2, rate=args.rate)
+    config = SystemConfig(
+        entity_count=args.entities,
+        processors_per_entity=args.processors,
+        seed=args.seed,
+    )
+    try:
+        settings = LiveSettings(
+            duration=args.duration,
+            time_scale=args.time_scale,
+            batch_size=args.batch_size,
+            channel_capacity=args.capacity,
+        )
+    except ValueError as exc:
+        print(f"invalid live settings: {exc}", file=sys.stderr)
+        return 2
+    runtime = LiveRuntime(catalog, config, settings)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=args.queries, join_fraction=0.0, aggregate_fraction=0.2
+        ),
+        seed=args.seed,
+    )
+    runtime.submit(workload.queries)
+    report = runtime.run()
+    print(
+        f"live federation: {args.entities} entities x {args.processors} "
+        f"processors, {args.queries} queries, batch size {args.batch_size}"
+    )
+    for line in report.summary_lines():
+        print(f"  {line}")
+    print("per-entity queues:")
+    for line in report.queue_lines():
         print(f"  {line}")
     return 0
 
@@ -118,6 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--queries", type=int, default=60)
     demo.add_argument("--duration", type=float, default=10.0)
     demo.set_defaults(handler=_cmd_demo)
+
+    live = sub.add_parser(
+        "live", help="run a federation on the live asyncio runtime"
+    )
+    live.add_argument("--seed", type=int, default=7)
+    live.add_argument("--entities", type=int, default=6)
+    live.add_argument("--processors", type=int, default=3)
+    live.add_argument("--queries", type=int, default=48)
+    live.add_argument("--duration", type=float, default=5.0)
+    live.add_argument("--rate", type=float, default=100.0)
+    live.add_argument("--batch-size", type=int, default=8)
+    live.add_argument("--capacity", type=int, default=256)
+    live.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="wall seconds per virtual second (0 = as fast as possible)",
+    )
+    live.set_defaults(handler=_cmd_live)
 
     query = sub.add_parser("query", help="compile and run one query")
     query.add_argument("text", help="query text (see repro.lang)")

@@ -1,0 +1,44 @@
+"""Live asyncio execution of a planned federation.
+
+The bridge from reproduction to runnable system: planning (allocation,
+delegation, placement, dissemination trees, early filtering) stays in
+``core``/``allocation``/``placement`` exactly as the simulator uses it;
+this package moves only *execution* onto concurrent asyncio tasks wired
+by bounded channels with batching, backpressure, and retrying sends.
+
+Entry point: :class:`LiveRuntime` — same catalog/config/workload inputs
+as :class:`~repro.core.system.FederatedSystem`, live output through
+:class:`LiveReport`.
+"""
+
+from repro.live.channels import Batcher, ChannelClosed, LiveChannel
+from repro.live.entity_task import (
+    LiveClock,
+    LiveGateway,
+    LiveProcessor,
+    LiveSourceFeed,
+    ResultCollector,
+    TreeForwarder,
+)
+from repro.live.metrics import LiveMetrics, LiveReport, TransportStats
+from repro.live.runtime import LiveRuntime, LiveSettings
+from repro.live.transport import LiveTransport, WorkTracker
+
+__all__ = [
+    "Batcher",
+    "ChannelClosed",
+    "LiveChannel",
+    "LiveClock",
+    "LiveGateway",
+    "LiveMetrics",
+    "LiveProcessor",
+    "LiveReport",
+    "LiveRuntime",
+    "LiveSettings",
+    "LiveSourceFeed",
+    "LiveTransport",
+    "ResultCollector",
+    "TransportStats",
+    "TreeForwarder",
+    "WorkTracker",
+]

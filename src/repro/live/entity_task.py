@@ -1,0 +1,385 @@
+"""The concurrent tasks of a live federation.
+
+One coroutine per moving part, mirroring the paper's Figure 1/Figure 3
+roles exactly:
+
+* :class:`LiveSourceFeed` — replays one stream's tuple trace at the
+  source and forwards into the dissemination tree's first hops;
+* :class:`LiveGateway` — one per entity: receives tuples on the entity
+  inbox, relays to tree children (applying the §3.1 early filtering and
+  optional transforming *via the planner's own tree*), and hands local
+  intake to the stream's delegation processor (§4, Figure 3);
+* :class:`LiveProcessor` — one per LAN processor: routes delegate
+  intake to the head fragments of the hosted queries and pushes tuples
+  through the engine's :class:`~repro.engine.plan.Fragment` chains,
+  hopping LAN channels between fragments placed on different
+  processors;
+* :class:`ResultCollector` — drains the result channel and accounts
+  per-query results.
+
+All planning artefacts — trees, filters, delegation, fragments,
+placements — are reused from the discrete-event planner unchanged; only
+the execution substrate differs (asyncio channels instead of simulated
+network sends).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.dissemination.tree import SOURCE, DisseminationTree
+from repro.engine.plan import Fragment
+from repro.live.channels import Batcher, ChannelClosed, LiveChannel
+from repro.live.metrics import LiveMetrics
+from repro.live.transport import LiveTransport, WorkTracker
+from repro.placement.delegation import DelegationScheme
+from repro.streams.tuples import StreamTuple
+
+# Downstream descriptors for fragment outputs.
+TO_PROC = "proc"      # ("proc", proc_id, next_fragment_id)
+TO_RESULT = "result"  # ("result", query_id)
+
+
+class LiveClock:
+    """The run's virtual clock, advanced by the source feeds.
+
+    ``time_scale`` is wall seconds per virtual second: ``1.0`` replays
+    in real time, ``0.0`` replays as fast as the hardware allows.
+    """
+
+    def __init__(self, time_scale: float = 0.0) -> None:
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.time_scale = time_scale
+        self._virtual = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (max over all source feeds)."""
+        return self._virtual
+
+    async def pace(self, t: float) -> None:
+        """Sleep until virtual time ``t`` (no-op when unscaled)."""
+        if t > self._virtual:
+            if self.time_scale > 0.0:
+                await asyncio.sleep((t - self._virtual) * self.time_scale)
+            self._virtual = max(self._virtual, t)
+
+
+class TreeForwarder:
+    """Forwards tuples across one node's dissemination-tree edges.
+
+    Shared by the source feeds (``node = SOURCE``) and the gateways
+    (``node = entity_id``): per child, apply the subtree's aggregate
+    filter (early filtering), optionally project down to the subtree's
+    declared attributes (transforming), batch, and send.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        trees: dict[str, DisseminationTree],
+        channels: dict[str, LiveChannel],
+        transport: LiveTransport,
+        metrics: LiveMetrics,
+        *,
+        batch_size: int = 8,
+        early_filtering: bool = True,
+        transform: bool = False,
+        bytes_per_attribute: float = 8.0,
+    ) -> None:
+        self.node = node
+        self.trees = trees
+        self.channels = channels
+        self.transport = transport
+        self.metrics = metrics
+        self.batch_size = batch_size
+        self.early_filtering = early_filtering
+        self.transform = transform
+        self.bytes_per_attribute = bytes_per_attribute
+        self._batchers: dict[str, Batcher] = {}
+
+    def _batcher(self, child: str) -> Batcher:
+        batcher = self._batchers.get(child)
+        if batcher is None:
+            batcher = self._batchers[child] = Batcher(self.batch_size)
+        return batcher
+
+    async def forward(self, tup: StreamTuple) -> None:
+        """Relay one tuple towards every interested child subtree."""
+        tree = self.trees.get(tup.stream_id)
+        if tree is None:
+            return
+        if self.node != SOURCE and not tree.contains(self.node):
+            return
+        for child in tree.children_of(self.node):
+            if self.early_filtering and not tree.needs_tuple(
+                child, tup.values
+            ):
+                self.metrics.filtered_edges += 1
+                continue
+            payload = tup
+            if self.transform:
+                payload = self._project_for(tree, child, tup)
+            self.metrics.forwarded_edges += 1
+            full = self._batcher(child).add(payload)
+            if full is not None:
+                await self.transport.send(self.channels[child], full)
+
+    def _project_for(
+        self, tree: DisseminationTree, child: str, tup: StreamTuple
+    ) -> StreamTuple:
+        """§3.1 "transforming": shrink to the subtree's attribute need."""
+        needed = tree.subtree_attributes(child)
+        if needed is None:
+            return tup
+        kept = [name for name in tup.values if name in needed]
+        if len(kept) == len(tup.values) or not kept:
+            return tup
+        return tup.project(kept, size=self.bytes_per_attribute * len(kept))
+
+    async def flush(self) -> None:
+        """Send every partial batch."""
+        for child, batcher in self._batchers.items():
+            batch = batcher.take()
+            if batch is not None:
+                await self.transport.send(self.channels[child], batch)
+
+
+class LiveSourceFeed:
+    """Replays one stream's pre-recorded trace into the federation."""
+
+    def __init__(
+        self,
+        stream_id: str,
+        trace: list[tuple[float, StreamTuple]],
+        forwarder: TreeForwarder,
+        clock: LiveClock,
+        metrics: LiveMetrics,
+        *,
+        batch_linger: float = 0.05,
+    ) -> None:
+        self.stream_id = stream_id
+        self.trace = trace
+        self.forwarder = forwarder
+        self.clock = clock
+        self.metrics = metrics
+        self.batch_linger = batch_linger
+
+    async def run(self) -> None:
+        """Pace through the trace; flush lingering batches; finish."""
+        pending_since: float | None = None
+        for index, (t, tup) in enumerate(self.trace):
+            await self.clock.pace(t)
+            self.metrics.record_ingest()
+            await self.forwarder.forward(tup)
+            if pending_since is None:
+                pending_since = t
+            # In scaled (wall-paced) runs a partial batch must not sit
+            # for ever waiting to fill: flush once the gap to the next
+            # emission would exceed the linger bound.
+            if self.clock.time_scale > 0.0 and index + 1 < len(self.trace):
+                next_t = self.trace[index + 1][0]
+                if next_t - pending_since >= self.batch_linger:
+                    await self.forwarder.flush()
+                    pending_since = None
+        await self.forwarder.flush()
+
+
+class LiveGateway:
+    """One entity's gateway task: relay downstream, delegate inward."""
+
+    def __init__(
+        self,
+        entity_id: str,
+        inbox: LiveChannel,
+        forwarder: TreeForwarder,
+        delegation: DelegationScheme,
+        proc_channels: dict[str, LiveChannel],
+        transport: LiveTransport,
+        tracker: WorkTracker,
+        metrics: LiveMetrics,
+        clock: LiveClock,
+        *,
+        batch_size: int = 8,
+        service_wall: float = 0.0,
+    ) -> None:
+        self.entity_id = entity_id
+        self.inbox = inbox
+        self.forwarder = forwarder
+        self.delegation = delegation
+        self.proc_channels = proc_channels
+        self.transport = transport
+        self.tracker = tracker
+        self.metrics = metrics
+        self.clock = clock
+        self.service_wall = service_wall
+        self._proc_batchers = {
+            proc: Batcher(batch_size) for proc in proc_channels
+        }
+
+    async def run(self) -> None:
+        """Consume the inbox until the runtime closes it."""
+        while True:
+            try:
+                batch = await self.inbox.get()
+            except ChannelClosed:
+                break
+            for tup in batch:
+                await self._handle(tup)
+            await self.forwarder.flush()
+            await self._flush_procs()
+            self.tracker.done(len(batch))
+
+    async def _handle(self, tup: StreamTuple) -> None:
+        self.metrics.record_delivery(self.entity_id, tup, self.clock.now)
+        if self.service_wall > 0.0:
+            await asyncio.sleep(self.service_wall)
+        # relay to child entities first (the paper's cooperative duty),
+        # then hand the tuple to the local delegation processor
+        await self.forwarder.forward(tup)
+        delegate = self.delegation.delegate_of(tup.stream_id)
+        if delegate is None or delegate not in self.proc_channels:
+            return
+        full = self._proc_batchers[delegate].add((None, tup))
+        if full is not None:
+            await self.transport.send(self.proc_channels[delegate], full)
+
+    async def _flush_procs(self) -> None:
+        for proc, batcher in self._proc_batchers.items():
+            batch = batcher.take()
+            if batch is not None:
+                await self.transport.send(self.proc_channels[proc], batch)
+
+
+class LiveProcessor:
+    """One LAN processor: delegate routing plus fragment execution.
+
+    Inbox items are ``(fragment_id, tuple)`` pairs; ``fragment_id is
+    None`` marks raw delegate intake that must fan out to the head
+    fragment of every hosted query consuming the tuple's stream — the
+    same two-step route the simulator's entity performs.
+    """
+
+    def __init__(
+        self,
+        entity_id: str,
+        proc_id: str,
+        inbox: LiveChannel,
+        fragments: dict[str, Fragment],
+        downstream: dict[str, tuple],
+        head_routes: dict[str, list[tuple[str, str]]],
+        proc_channels: dict[str, LiveChannel],
+        result_channel: LiveChannel,
+        transport: LiveTransport,
+        tracker: WorkTracker,
+        metrics: LiveMetrics,
+        clock: LiveClock,
+        *,
+        batch_size: int = 8,
+    ) -> None:
+        self.entity_id = entity_id
+        self.proc_id = proc_id
+        self.inbox = inbox
+        self.fragments = fragments
+        self.downstream = downstream
+        self.head_routes = head_routes
+        self.proc_channels = proc_channels
+        self.result_channel = result_channel
+        self.transport = transport
+        self.tracker = tracker
+        self.metrics = metrics
+        self.clock = clock
+        self._proc_batchers = {
+            proc: Batcher(batch_size)
+            for proc in proc_channels
+            if proc != proc_id
+        }
+        self._result_batcher = Batcher(batch_size)
+
+    async def run(self) -> None:
+        """Consume the processor inbox until the runtime closes it."""
+        while True:
+            try:
+                batch = await self.inbox.get()
+            except ChannelClosed:
+                break
+            for fragment_id, tup in batch:
+                if fragment_id is None:
+                    await self._intake(tup)
+                else:
+                    await self._run_fragment(fragment_id, tup)
+            await self._flush()
+            self.tracker.done(len(batch))
+
+    async def _intake(self, tup: StreamTuple) -> None:
+        """Delegate routing: raw stream tuple to every head fragment."""
+        for fragment_id, proc in self.head_routes.get(tup.stream_id, []):
+            if proc == self.proc_id:
+                await self._run_fragment(fragment_id, tup)
+            else:
+                full = self._proc_batchers[proc].add((fragment_id, tup))
+                if full is not None:
+                    await self.transport.send(self.proc_channels[proc], full)
+
+    async def _run_fragment(self, fragment_id: str, tup: StreamTuple) -> None:
+        fragment = self.fragments.get(fragment_id)
+        if fragment is None:
+            return
+        self.metrics.record_busy(self.entity_id, fragment.cost_for(tup))
+        outputs = fragment.run(tup, self.clock.now)
+        if not outputs:
+            return
+        kind, *rest = self.downstream[fragment_id]
+        if kind == TO_RESULT:
+            (query_id,) = rest
+            for out in outputs:
+                full = self._result_batcher.add((query_id, out))
+                if full is not None:
+                    await self.transport.send(self.result_channel, full)
+            return
+        proc_id, next_fragment_id = rest
+        if proc_id == self.proc_id:
+            for out in outputs:
+                await self._run_fragment(next_fragment_id, out)
+            return
+        for out in outputs:
+            full = self._proc_batchers[proc_id].add((next_fragment_id, out))
+            if full is not None:
+                await self.transport.send(self.proc_channels[proc_id], full)
+
+    async def _flush(self) -> None:
+        for proc, batcher in self._proc_batchers.items():
+            batch = batcher.take()
+            if batch is not None:
+                await self.transport.send(self.proc_channels[proc], batch)
+        batch = self._result_batcher.take()
+        if batch is not None:
+            await self.transport.send(self.result_channel, batch)
+
+
+class ResultCollector:
+    """Drains the shared result channel into the metrics."""
+
+    def __init__(
+        self,
+        channel: LiveChannel,
+        tracker: WorkTracker,
+        metrics: LiveMetrics,
+        clock: LiveClock,
+    ) -> None:
+        self.channel = channel
+        self.tracker = tracker
+        self.metrics = metrics
+        self.clock = clock
+
+    async def run(self) -> None:
+        """Consume results until the runtime closes the channel."""
+        while True:
+            try:
+                batch = await self.channel.get()
+            except ChannelClosed:
+                break
+            for query_id, tup in batch:
+                self.metrics.record_result(query_id, tup, self.clock.now)
+            self.tracker.done(len(batch))

@@ -1,0 +1,406 @@
+"""The live asyncio federation runtime.
+
+:class:`LiveRuntime` takes the exact same inputs as the discrete-event
+:class:`~repro.core.system.FederatedSystem` — a stream catalog, a
+:class:`~repro.core.system.SystemConfig`, and a query workload — and
+*executes* the planned federation concurrently instead of simulating
+it.  Planning is not reimplemented: the runtime instantiates a
+``FederatedSystem`` as its planner, lets it run allocation, delegation,
+fragmentation, placement, and dissemination-tree construction exactly
+as every experiment does, then lifts the resulting plans onto asyncio
+tasks connected by bounded channels:
+
+* one :class:`~repro.live.entity_task.LiveSourceFeed` per stream,
+  replaying a seeded tuple trace (recorded from the planner's own
+  sources, so a live run sees the same traffic as a simulated run with
+  the same config and seed);
+* one :class:`~repro.live.entity_task.LiveGateway` per entity;
+* one :class:`~repro.live.entity_task.LiveProcessor` per LAN processor
+  (the delegated stream processors of §4);
+* a single result collector.
+
+Flow control is structural: channels are bounded (backpressure), sends
+are batched, and every send runs through the retry-with-timeout/backoff
+transport, so overload degrades into measured drops instead of
+unbounded queues or crashes.  The run finishes when every source trace
+has been replayed and the dataflow is quiescent, then reports through
+:class:`~repro.live.metrics.LiveReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+from repro.core.system import FederatedSystem, SystemConfig
+from repro.dissemination.tree import SOURCE
+from repro.live.channels import LAN, WAN, LiveChannel
+from repro.live.entity_task import (
+    TO_PROC,
+    TO_RESULT,
+    LiveClock,
+    LiveGateway,
+    LiveProcessor,
+    LiveSourceFeed,
+    ResultCollector,
+    TreeForwarder,
+)
+from repro.live.metrics import LiveMetrics, LiveReport, TransportStats
+from repro.live.transport import FaultInjector, LiveTransport, WorkTracker
+from repro.query.spec import QuerySpec
+from repro.streams.catalog import StreamCatalog
+from repro.streams.tuples import StreamTuple
+
+
+@dataclass(frozen=True)
+class LiveSettings:
+    """Execution knobs of the live runtime (planning knobs stay in
+    :class:`~repro.core.system.SystemConfig`).
+
+    Attributes:
+        duration: Virtual seconds of source traffic to replay.
+        time_scale: Wall seconds per virtual second (``0`` = replay as
+            fast as possible; ``1`` = real time).
+        channel_capacity: Bound on queued batches per entity/processor
+            channel — the backpressure knob.
+        batch_size: Tuples per transport batch.
+        batch_linger: In scaled runs, the longest a partial source
+            batch may wait before being flushed (virtual seconds).
+        wan_latency / lan_latency: Modeled per-hop delivery latency in
+            virtual seconds (scaled by ``time_scale`` into wall time;
+            defaults match the simulated network's tier constants).
+        send_timeout: Wall seconds one send attempt may block on a full
+            channel before it counts as failed.
+        max_retries: Retry budget per send; an exhausted budget drops
+            the batch (surfaced as metrics, never an exception).
+        backoff_base / backoff_factor / backoff_max: Exponential
+            retry backoff schedule (wall seconds, seeded jitter).
+        gateway_service_wall: Wall seconds of gateway work per tuple —
+            models slow entities (used to exercise backpressure).
+        result_capacity: Bound on the shared result channel.
+        fault_injector: Optional hook failing chosen send attempts
+            (``f(channel_name, attempt) -> bool``), for tests.
+    """
+
+    duration: float = 5.0
+    time_scale: float = 0.0
+    channel_capacity: int = 256
+    batch_size: int = 8
+    batch_linger: float = 0.05
+    wan_latency: float = 0.010
+    lan_latency: float = 0.0005
+    send_timeout: float = 0.25
+    max_retries: int = 3
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.25
+    gateway_service_wall: float = 0.0
+    result_capacity: int = 1024
+    fault_injector: FaultInjector | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.channel_capacity < 1 or self.result_capacity < 1:
+            raise ValueError("channel capacities must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+class LiveRuntime:
+    """Plan with the simulator's machinery, execute with asyncio."""
+
+    def __init__(
+        self,
+        catalog: StreamCatalog,
+        config: SystemConfig,
+        settings: LiveSettings | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config
+        self.settings = settings or LiveSettings()
+        # The planner is a full FederatedSystem; submit() runs the real
+        # allocation/delegation/placement/dissemination planning.  Its
+        # simulator is used once, to record the seeded source trace.
+        self.planner = FederatedSystem(catalog, config)
+        self.metrics = LiveMetrics()
+        self.report: LiveReport | None = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def submit(self, queries: list[QuerySpec]) -> None:
+        """Allocate and place a workload (delegates to the planner)."""
+        self.planner.submit(queries)
+
+    @property
+    def results(self) -> dict[str, list[StreamTuple]]:
+        """Collected result tuples per query (after :meth:`run`)."""
+        return self.metrics.results_by_query
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float | None = None) -> LiveReport:
+        """Replay ``duration`` virtual seconds of traffic live.
+
+        Blocking façade over the async execution; a runtime instance is
+        single-use (operator state and the trace position are consumed).
+        """
+        if self._ran:
+            raise RuntimeError("a LiveRuntime instance is single-use")
+        if self.planner.allocation_result is None:
+            raise RuntimeError("submit() a workload before run()")
+        self._ran = True
+        span = self.settings.duration if duration is None else duration
+        traces = self._record_trace(span)
+        self.report = asyncio.run(self._execute(traces, span))
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _record_trace(
+        self, duration: float
+    ) -> dict[str, list[tuple[float, StreamTuple]]]:
+        """Record each source's seeded emission trace.
+
+        The planner's dissemination runtimes are detached first so the
+        recording run fires *only* source events; since nothing else in
+        the federation consumes the simulator's RNG at runtime, the
+        recorded trace is tuple-for-tuple identical to the traffic a
+        full simulated run of the same config and seed would see.
+        """
+        planner = self.planner
+        for runtime in planner.dissemination.values():
+            runtime.detach_source()
+        traces: dict[str, list[tuple[float, StreamTuple]]] = {
+            stream_id: [] for stream_id in planner.sources
+        }
+        unsubscribes = []
+        for stream_id, source in planner.sources.items():
+            def record(tup, _trace=traces[stream_id]):
+                _trace.append((planner.sim.now, tup))
+
+            unsubscribes.append(source.subscribe(record))
+            source.start()
+        planner.sim.run(until=planner.sim.now + duration)
+        for source in planner.sources.values():
+            source.stop()
+        for unsubscribe in unsubscribes:
+            unsubscribe()
+        return traces
+
+    # ------------------------------------------------------------------
+    async def _execute(
+        self,
+        traces: dict[str, list[tuple[float, StreamTuple]]],
+        duration: float,
+    ) -> LiveReport:
+        settings = self.settings
+        planner = self.planner
+        config = self.config
+
+        clock = LiveClock(settings.time_scale)
+        tracker = WorkTracker()
+        tstats = TransportStats()
+        transport = LiveTransport(
+            stats=tstats,
+            tracker=tracker,
+            rng=random.Random(config.seed ^ 0x11FE),
+            send_timeout=settings.send_timeout,
+            max_retries=settings.max_retries,
+            backoff_base=settings.backoff_base,
+            backoff_factor=settings.backoff_factor,
+            backoff_max=settings.backoff_max,
+            fault_injector=settings.fault_injector,
+        )
+
+        wan_wall = settings.wan_latency * settings.time_scale
+        lan_wall = settings.lan_latency * settings.time_scale
+
+        # --- channel graph -------------------------------------------
+        inboxes = {
+            entity_id: LiveChannel(
+                f"inbox/{entity_id}",
+                capacity=settings.channel_capacity,
+                tier=WAN,
+                latency=wan_wall,
+            )
+            for entity_id in planner.entities
+        }
+        proc_channels: dict[str, dict[str, LiveChannel]] = {}
+        for entity_id, entity in planner.entities.items():
+            proc_channels[entity_id] = {
+                proc_id: LiveChannel(
+                    f"proc/{proc_id}",
+                    capacity=settings.channel_capacity,
+                    tier=LAN,
+                    latency=lan_wall,
+                )
+                for proc_id in entity.processors
+            }
+        result_channel = LiveChannel(
+            "results",
+            capacity=settings.result_capacity,
+            tier=LAN,
+            latency=0.0,
+        )
+
+        trees = {
+            stream_id: runtime.tree
+            for stream_id, runtime in planner.dissemination.items()
+        }
+
+        # --- per-processor execution tables --------------------------
+        # (fragments, downstream wiring, and delegate head routes are
+        # read straight off the planner's deployed entities)
+        tasks: list[asyncio.Task] = []
+        gateways: list[LiveGateway] = []
+        processors: list[LiveProcessor] = []
+        for entity_id, entity in planner.entities.items():
+            fragments: dict[str, dict] = {
+                proc_id: {} for proc_id in entity.processors
+            }
+            downstream: dict[str, dict[str, tuple]] = {
+                proc_id: {} for proc_id in entity.processors
+            }
+            head_routes: dict[str, list[tuple[str, str]]] = {}
+            for hosted in entity.hosted.values():
+                chain = list(zip(hosted.fragments, hosted.chain_procs))
+                for index, (fragment, proc_id) in enumerate(chain):
+                    fragment.reset_state()
+                    fragments[proc_id][fragment.fragment_id] = fragment
+                    if index + 1 < len(chain):
+                        next_fragment, next_proc = chain[index + 1]
+                        downstream[proc_id][fragment.fragment_id] = (
+                            TO_PROC,
+                            next_proc,
+                            next_fragment.fragment_id,
+                        )
+                    else:
+                        downstream[proc_id][fragment.fragment_id] = (
+                            TO_RESULT,
+                            hosted.spec.query_id,
+                        )
+                head_fragment, head_proc = chain[0]
+                for stream_id in hosted.spec.input_streams:
+                    head_routes.setdefault(stream_id, []).append(
+                        (head_fragment.fragment_id, head_proc)
+                    )
+
+            forwarder = TreeForwarder(
+                entity_id,
+                trees,
+                inboxes,
+                transport,
+                self.metrics,
+                batch_size=settings.batch_size,
+                early_filtering=config.early_filtering,
+                transform=config.transform_at_ancestors,
+            )
+            gateway = LiveGateway(
+                entity_id,
+                inboxes[entity_id],
+                forwarder,
+                entity.delegation,
+                proc_channels[entity_id],
+                transport,
+                tracker,
+                self.metrics,
+                clock,
+                batch_size=settings.batch_size,
+                service_wall=settings.gateway_service_wall,
+            )
+            gateways.append(gateway)
+            for proc_id in entity.processors:
+                processors.append(
+                    LiveProcessor(
+                        entity_id,
+                        proc_id,
+                        proc_channels[entity_id][proc_id],
+                        fragments[proc_id],
+                        downstream[proc_id],
+                        head_routes,
+                        proc_channels[entity_id],
+                        result_channel,
+                        transport,
+                        tracker,
+                        self.metrics,
+                        clock,
+                        batch_size=settings.batch_size,
+                    )
+                )
+
+        collector = ResultCollector(
+            result_channel, tracker, self.metrics, clock
+        )
+        feeds = [
+            LiveSourceFeed(
+                stream_id,
+                trace,
+                TreeForwarder(
+                    SOURCE,
+                    {stream_id: trees[stream_id]},
+                    inboxes,
+                    transport,
+                    self.metrics,
+                    batch_size=settings.batch_size,
+                    early_filtering=config.early_filtering,
+                    transform=config.transform_at_ancestors,
+                ),
+                clock,
+                self.metrics,
+                batch_linger=settings.batch_linger,
+            )
+            for stream_id, trace in traces.items()
+            if stream_id in trees
+        ]
+
+        # --- run to quiescence ---------------------------------------
+        self.metrics.start_clock()
+        consumer_tasks = [
+            asyncio.create_task(worker.run(), name=f"live:{kind}")
+            for kind, worker in (
+                [("gateway", g) for g in gateways]
+                + [("proc", p) for p in processors]
+                + [("results", collector)]
+            )
+        ]
+        feed_tasks = [
+            asyncio.create_task(feed.run(), name=f"live:src/{feed.stream_id}")
+            for feed in feeds
+        ]
+        try:
+            await asyncio.gather(*feed_tasks)
+            await tracker.wait_quiescent()
+        finally:
+            all_channels = (
+                list(inboxes.values())
+                + [
+                    ch
+                    for per_entity in proc_channels.values()
+                    for ch in per_entity.values()
+                ]
+                + [result_channel]
+            )
+            for channel in all_channels:
+                await channel.close()
+            await asyncio.gather(*consumer_tasks)
+        self.metrics.stop_clock()
+
+        return self.metrics.build_report(
+            duration=duration,
+            transport=tstats,
+            entity_queue_depth={
+                entity_id: channel.depth
+                for entity_id, channel in inboxes.items()
+            },
+            entity_queue_high_water={
+                entity_id: channel.high_water
+                for entity_id, channel in inboxes.items()
+            },
+            blocked_puts=sum(ch.blocked_puts for ch in all_channels),
+            entity_query_count={
+                entity_id: entity.query_count
+                for entity_id, entity in planner.entities.items()
+            },
+        )

@@ -1,0 +1,141 @@
+"""Inter-task sends with timeout, retry/backoff, and drop accounting.
+
+Real inter-entity links fail and stall; the live runtime therefore never
+performs a bare ``channel.put``.  :class:`LiveTransport.send` attempts
+the put under a timeout; a timed-out (or fault-injected) attempt backs
+off exponentially — with seeded jitter so runs are reproducible — and
+retries up to a budget.  A send that exhausts its budget *drops the
+batch and returns*: drops surface as metrics on the run report, never as
+exceptions in the dataflow.  Because a put blocked on a full channel
+eventually times out, the retry path doubles as deadlock insurance for
+cyclic processor topologies under extreme backpressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable
+
+from repro.live.channels import ChannelClosed, LiveChannel
+from repro.live.metrics import TransportStats
+
+# fault_injector(channel_name, attempt_index) -> True forces the attempt
+# to fail (test hook for exercising the retry/backoff/drop path).
+FaultInjector = Callable[[str, int], bool]
+
+
+class WorkTracker:
+    """Counts in-flight items so the runtime can detect quiescence.
+
+    Every successful channel send ``add``s its tuples *before* the
+    consumer could possibly ``done`` them, so the count reaching zero
+    after all sources finish means the whole dataflow has drained.
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._zero = asyncio.Event()
+        self._zero.set()
+
+    @property
+    def in_flight(self) -> int:
+        """Items currently enqueued or being processed."""
+        return self._count
+
+    def add(self, n: int = 1) -> None:
+        """Account ``n`` items entering the dataflow."""
+        self._count += n
+        if self._count > 0:
+            self._zero.clear()
+
+    def done(self, n: int = 1) -> None:
+        """Account ``n`` items fully processed (downstream sends done)."""
+        self._count -= n
+        if self._count <= 0:
+            self._zero.set()
+
+    async def wait_quiescent(self) -> None:
+        """Block until no items are in flight."""
+        await self._zero.wait()
+
+
+class LiveTransport:
+    """Shared send policy for every edge of one live run.
+
+    Args:
+        stats: Mutable counters surfaced on the run report.
+        tracker: Quiescence tracker (items added on send, removed by
+            consumers — or by the transport itself when it drops).
+        rng: Seeded generator for backoff jitter (reproducible runs).
+        send_timeout: Wall seconds one put attempt may block.
+        max_retries: Re-attempts after the first failed put.
+        backoff_base / backoff_factor / backoff_max: Exponential
+            backoff schedule in wall seconds.
+        fault_injector: Optional test hook failing chosen attempts.
+    """
+
+    def __init__(
+        self,
+        *,
+        stats: TransportStats,
+        tracker: WorkTracker,
+        rng: random.Random | None = None,
+        send_timeout: float = 0.25,
+        max_retries: int = 3,
+        backoff_base: float = 0.005,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 0.25,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self.stats = stats
+        self.tracker = tracker
+        self.rng = rng or random.Random(0)
+        self.send_timeout = send_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        self.fault_injector = fault_injector
+
+    # ------------------------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (jittered, capped)."""
+        base = self.backoff_base * (self.backoff_factor ** attempt)
+        jitter = 1.0 + self.rng.uniform(0.0, 0.5)
+        return min(self.backoff_max, base * jitter)
+
+    async def send(self, channel: LiveChannel, batch: list) -> bool:
+        """Deliver one batch, retrying on timeout; drop when exhausted.
+
+        Returns ``True`` on delivery, ``False`` on drop.  The batch's
+        tuples are registered with the work tracker up front; a drop
+        (or a closed receiver) immediately un-registers them so the
+        runtime's quiescence detection stays exact.
+        """
+        count = len(batch)
+        self.tracker.add(count)
+        for attempt in range(self.max_retries + 1):
+            failed = (
+                self.fault_injector is not None
+                and self.fault_injector(channel.name, attempt)
+            )
+            if not failed:
+                try:
+                    await asyncio.wait_for(
+                        channel.put(batch), timeout=self.send_timeout
+                    )
+                    self.stats.batches_sent += 1
+                    self.stats.tuples_sent += count
+                    return True
+                except asyncio.TimeoutError:
+                    pass
+                except ChannelClosed:
+                    break  # receiver is gone: no point retrying
+            if attempt < self.max_retries:
+                self.stats.retries += 1
+                await asyncio.sleep(self.backoff_delay(attempt))
+        self.stats.dropped_batches += 1
+        self.stats.dropped_tuples += count
+        self.tracker.done(count)
+        return False

@@ -1,0 +1,153 @@
+"""Tests for the live runtime's bounded channels and batching."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.channels import Batcher, ChannelClosed, LiveChannel
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# LiveChannel basics
+# ----------------------------------------------------------------------
+def test_channel_fifo_order():
+    async def main():
+        ch = LiveChannel("t", capacity=8)
+        for i in range(5):
+            await ch.put([i])
+        return [await ch.get() for __ in range(5)]
+
+    assert run(main()) == [[0], [1], [2], [3], [4]]
+
+
+def test_channel_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        LiveChannel("t", capacity=0)
+
+
+def test_put_blocks_at_capacity_and_resumes():
+    """Backpressure: a full channel blocks the producer until the
+    consumer drains, and the queue never exceeds its bound."""
+
+    async def main():
+        ch = LiveChannel("t", capacity=2)
+        received = []
+
+        async def producer():
+            for i in range(10):
+                await ch.put(i)
+
+        async def consumer():
+            for __ in range(10):
+                await asyncio.sleep(0.001)  # slow consumer
+                received.append(await ch.get())
+
+        await asyncio.gather(producer(), consumer())
+        return ch, received
+
+    ch, received = run(main())
+    assert received == list(range(10))
+    assert ch.high_water <= 2
+    assert ch.blocked_puts > 0
+
+
+def test_close_wakes_blocked_consumer():
+    async def main():
+        ch = LiveChannel("t", capacity=2)
+
+        async def consumer():
+            with pytest.raises(ChannelClosed):
+                await ch.get()
+
+        task = asyncio.create_task(consumer())
+        await asyncio.sleep(0.001)
+        await ch.close()
+        await task
+
+    run(main())
+
+
+def test_close_does_not_discard_queued_items():
+    async def main():
+        ch = LiveChannel("t", capacity=4)
+        await ch.put("a")
+        await ch.put("b")
+        await ch.close()
+        got = [await ch.get(), await ch.get()]
+        with pytest.raises(ChannelClosed):
+            await ch.get()
+        return got
+
+    assert run(main()) == ["a", "b"]
+
+
+def test_put_after_close_raises():
+    async def main():
+        ch = LiveChannel("t", capacity=2)
+        await ch.close()
+        with pytest.raises(ChannelClosed):
+            await ch.put("x")
+
+    run(main())
+
+
+def test_timed_out_put_never_enqueues():
+    """A cancelled put (the transport's timeout path) must not leave a
+    half-delivered item in the channel."""
+
+    async def main():
+        ch = LiveChannel("t", capacity=1)
+        await ch.put("occupies")
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(ch.put("late"), timeout=0.01)
+        assert await ch.get() == "occupies"
+        await ch.put("next")
+        return await ch.get()
+
+    assert run(main()) == "next"
+
+
+def test_latency_is_applied_on_delivery():
+    async def main():
+        ch = LiveChannel("t", capacity=2, latency=0.02)
+        await ch.put("x")
+        start = asyncio.get_running_loop().time()
+        await ch.get()
+        return asyncio.get_running_loop().time() - start
+
+    assert run(main()) >= 0.015
+
+
+# ----------------------------------------------------------------------
+# Batcher
+# ----------------------------------------------------------------------
+def test_batcher_emits_full_batches():
+    batcher = Batcher(3)
+    assert batcher.add(1) is None
+    assert batcher.add(2) is None
+    assert batcher.add(3) == [1, 2, 3]
+    assert batcher.pending == 0
+
+
+def test_batcher_take_flushes_partial():
+    batcher = Batcher(4)
+    batcher.add("a")
+    batcher.add("b")
+    assert batcher.take() == ["a", "b"]
+    assert batcher.take() is None
+
+
+def test_batcher_size_one_passes_through():
+    batcher = Batcher(1)
+    assert batcher.add("x") == ["x"]
+
+
+def test_batcher_rejects_bad_size():
+    with pytest.raises(ValueError):
+        Batcher(0)

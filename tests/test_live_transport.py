@@ -1,0 +1,161 @@
+"""Tests for the retry/backoff/drop send policy and quiescence tracking."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.live.channels import LiveChannel
+from repro.live.metrics import TransportStats
+from repro.live.transport import LiveTransport, WorkTracker
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_transport(**overrides):
+    defaults = dict(
+        stats=TransportStats(),
+        tracker=WorkTracker(),
+        rng=random.Random(1),
+        send_timeout=0.01,
+        max_retries=2,
+        backoff_base=0.001,
+        backoff_factor=2.0,
+        backoff_max=0.01,
+    )
+    defaults.update(overrides)
+    return LiveTransport(**defaults)
+
+
+def test_send_delivers_and_counts():
+    async def main():
+        transport = make_transport()
+        ch = LiveChannel("t", capacity=4)
+        ok = await transport.send(ch, [1, 2, 3])
+        return transport, ch, ok
+
+    transport, ch, ok = run(main())
+    assert ok
+    assert ch.depth == 1
+    assert transport.stats.batches_sent == 1
+    assert transport.stats.tuples_sent == 3
+    assert transport.stats.retries == 0
+    assert transport.tracker.in_flight == 3  # consumer has not drained
+
+
+def test_full_channel_retries_then_drops():
+    """A send that can never be accepted exhausts its retry budget and
+    drops — surfaced as metrics, never an exception."""
+
+    async def main():
+        transport = make_transport()
+        ch = LiveChannel("t", capacity=1)
+        await ch.put(["occupies"])  # nobody will ever drain this
+        ok = await transport.send(ch, ["a", "b"])
+        return transport, ok
+
+    transport, ok = run(main())
+    assert not ok
+    assert transport.stats.retries == 2  # max_retries
+    assert transport.stats.dropped_batches == 1
+    assert transport.stats.dropped_tuples == 2
+    assert transport.tracker.in_flight == 0  # drop un-registers the work
+
+
+def test_retry_succeeds_once_consumer_drains():
+    async def main():
+        transport = make_transport(send_timeout=0.005, max_retries=5)
+        ch = LiveChannel("t", capacity=1)
+        await ch.put(["occupies"])
+
+        async def late_consumer():
+            await asyncio.sleep(0.02)
+            await ch.get()
+
+        consumer = asyncio.create_task(late_consumer())
+        ok = await transport.send(ch, ["payload"])
+        await consumer
+        return transport, ok
+
+    transport, ok = run(main())
+    assert ok
+    assert transport.stats.retries > 0
+    assert transport.stats.dropped_batches == 0
+
+
+def test_fault_injector_forces_retries():
+    """Injected send failures are retried with backoff and recover."""
+    attempts = []
+
+    def fail_first_two(channel_name, attempt):
+        attempts.append((channel_name, attempt))
+        return attempt < 2
+
+    async def main():
+        transport = make_transport(
+            max_retries=4, fault_injector=fail_first_two
+        )
+        ch = LiveChannel("wan/x", capacity=4)
+        return await transport.send(ch, ["t"])
+
+    assert run(main())
+    assert [a for __, a in attempts] == [0, 1, 2]
+
+
+def test_fault_injector_permanent_failure_drops():
+    async def main():
+        transport = make_transport(
+            max_retries=3, fault_injector=lambda name, attempt: True
+        )
+        ch = LiveChannel("t", capacity=4)
+        ok = await transport.send(ch, ["a"])
+        return transport, ch, ok
+
+    transport, ch, ok = run(main())
+    assert not ok
+    assert ch.depth == 0
+    assert transport.stats.retries == 3
+    assert transport.stats.dropped_tuples == 1
+
+
+def test_send_to_closed_channel_drops_without_retry_storm():
+    async def main():
+        transport = make_transport(max_retries=5)
+        ch = LiveChannel("t", capacity=4)
+        await ch.close()
+        ok = await transport.send(ch, ["a", "b"])
+        return transport, ok
+
+    transport, ok = run(main())
+    assert not ok
+    assert transport.stats.dropped_tuples == 2
+    assert transport.stats.retries == 0  # closed receiver: no point
+
+
+def test_backoff_schedule_is_capped_and_grows():
+    transport = make_transport(
+        backoff_base=0.01, backoff_factor=2.0, backoff_max=0.05
+    )
+    delays = [transport.backoff_delay(a) for a in range(6)]
+    assert all(d <= 0.05 for d in delays)
+    assert delays[1] > delays[0]  # grows before the cap bites
+
+
+def test_work_tracker_quiescence():
+    async def main():
+        tracker = WorkTracker()
+        tracker.add(3)
+
+        async def finish():
+            await asyncio.sleep(0.005)
+            tracker.done(2)
+            tracker.done(1)
+
+        task = asyncio.create_task(finish())
+        await asyncio.wait_for(tracker.wait_quiescent(), timeout=1.0)
+        await task
+        return tracker.in_flight
+
+    assert run(main()) == 0
