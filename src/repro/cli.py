@@ -5,6 +5,9 @@ Commands:
 * ``demo``  — build and run the demo federation, print the run report;
 * ``live``  — run a federation on the live asyncio runtime and print
   throughput, per-entity queue depths, and retry/drop counts;
+* ``chaos`` — run the live runtime under a deterministic fault script
+  (crashes, partitions, latency spikes, stalls) and print the recovery
+  report alongside the usual run summary;
 * ``query`` — compile one query-language string against a built-in
   catalog, run it on a small federation, and report its results;
 * ``experiments`` — list the paper-reproduction experiment index;
@@ -37,6 +40,7 @@ EXPERIMENTS = [
     ("E13", "entity churn resilience", "bench_entity_churn.py"),
     ("E14", "monitored routing signal", "bench_monitored_routing.py"),
     ("E15", "live asyncio federation throughput", "bench_live_throughput.py"),
+    ("E16", "failure recovery under chaos", "bench_chaos_recovery.py"),
 ]
 
 
@@ -93,6 +97,81 @@ def _cmd_live(args: argparse.Namespace) -> int:
         print(f"  {line}")
     print("per-entity queues:")
     for line in report.queue_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.system import SystemConfig
+    from repro.live import (
+        ChaosRuntime,
+        ChaosSettings,
+        LiveSettings,
+        format_script,
+        parse_script,
+        random_script,
+    )
+    from repro.query.generator import WorkloadConfig, generate_workload
+    from repro.streams.catalog import stock_catalog
+
+    catalog = stock_catalog(exchanges=2, rate=args.rate)
+    config = SystemConfig(
+        entity_count=args.entities,
+        processors_per_entity=args.processors,
+        seed=args.seed,
+    )
+    try:
+        settings = LiveSettings(
+            duration=args.duration,
+            batch_size=args.batch_size,
+            channel_capacity=args.capacity,
+        )
+        chaos = ChaosSettings(
+            heartbeat_interval=args.heartbeat,
+            recovery=not args.no_recovery,
+            replay_buffer=args.replay_buffer,
+        )
+    except ValueError as exc:
+        print(f"invalid chaos settings: {exc}", file=sys.stderr)
+        return 2
+    runtime = ChaosRuntime(catalog, config, settings, chaos=chaos)
+    if args.script is not None:
+        try:
+            with open(args.script, encoding="utf-8") as handle:
+                script = parse_script(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"cannot load chaos script: {exc}", file=sys.stderr)
+            return 2
+    else:
+        entities = sorted(runtime.planner.entities)
+        processors = sorted(
+            proc
+            for entity in runtime.planner.entities.values()
+            for proc in entity.processors
+        )
+        script = random_script(
+            args.seed, entities, processors, args.duration, count=args.faults
+        )
+    runtime.script = sorted(script)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=args.queries, join_fraction=0.0, aggregate_fraction=0.2
+        ),
+        seed=args.seed,
+    )
+    runtime.submit(workload.queries)
+    report = runtime.run()
+    print(
+        f"chaos run: {args.entities} entities x {args.processors} "
+        f"processors, {args.queries} queries, "
+        f"{len(runtime.script)} scripted faults, "
+        f"recovery {'off' if args.no_recovery else 'on'}"
+    )
+    print("fault script:")
+    for line in format_script(runtime.script).splitlines():
+        print(f"  {line}")
+    for line in report.summary_lines():
         print(f"  {line}")
     return 0
 
@@ -184,6 +263,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall seconds per virtual second (0 = as fast as possible)",
     )
     live.set_defaults(handler=_cmd_live)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the live runtime under a deterministic fault script",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--entities", type=int, default=4)
+    chaos.add_argument("--processors", type=int, default=2)
+    chaos.add_argument("--queries", type=int, default=24)
+    chaos.add_argument("--duration", type=float, default=5.0)
+    chaos.add_argument("--rate", type=float, default=100.0)
+    chaos.add_argument("--batch-size", type=int, default=8)
+    chaos.add_argument("--capacity", type=int, default=256)
+    chaos.add_argument(
+        "--faults",
+        type=int,
+        default=5,
+        help="number of seeded random faults (ignored with --script)",
+    )
+    chaos.add_argument(
+        "--script",
+        default=None,
+        help="chaos script file (at=.. kind=.. target=.. per line)",
+    )
+    chaos.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.05,
+        help="heartbeat interval in virtual seconds",
+    )
+    chaos.add_argument(
+        "--replay-buffer",
+        type=int,
+        default=64,
+        help="per-stream delegate replay depth (0 disables replay)",
+    )
+    chaos.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="detect failures but do not repair (baseline)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     query = sub.add_parser("query", help="compile and run one query")
     query.add_argument("text", help="query text (see repro.lang)")

@@ -12,7 +12,7 @@ decide on coarser (subtree-aggregated) information.
 """
 
 from repro.coordination.geometry import centre_member, cluster_radius
-from repro.coordination.membership import MembershipRuntime
+from repro.coordination.membership import MembershipRepair, MembershipRuntime
 from repro.coordination.routing import QueryRouter, RoutingPolicy
 from repro.coordination.tree import Cluster, CoordinatorTree, Member, TreeStats
 
@@ -21,6 +21,7 @@ __all__ = [
     "Cluster",
     "CoordinatorTree",
     "TreeStats",
+    "MembershipRepair",
     "MembershipRuntime",
     "QueryRouter",
     "RoutingPolicy",

@@ -15,6 +15,41 @@ from repro.coordination.tree import CoordinatorTree, Member
 from repro.simulation.simulator import Simulator
 
 
+class MembershipRepair:
+    """Clock-free coordinator-cluster repair around one tree.
+
+    The repair itself (rule 2: remove the silent member, re-elect
+    centres, merge/split as needed) has nothing to do with *how* the
+    failure was detected, so it lives here — shared by the
+    simulator-bound :class:`MembershipRuntime` (which detects via
+    scheduled heartbeat silence) and the live runtime's heartbeat
+    monitor (which detects on the asyncio clock).  Counts repairs and
+    the protocol messages each one cost, and verifies the tree's
+    invariants after every repair.
+    """
+
+    def __init__(self, tree: CoordinatorTree) -> None:
+        self.tree = tree
+        self.repairs = 0
+        self.messages = 0
+
+    def repair(self, member_id: str) -> bool:
+        """Repair after a detected crash; ``False`` if not a member."""
+        if member_id not in self.tree.members:
+            return False
+        before = self.tree.stats.messages
+        self.tree.crash(member_id)
+        self.repairs += 1
+        self.messages += self.tree.stats.messages - before
+        violations = self.tree.check_invariants()
+        if violations:
+            raise RuntimeError(
+                f"coordinator repair of {member_id} broke invariants: "
+                + "; ".join(violations)
+            )
+        return True
+
+
 class MembershipRuntime:
     """Drives heartbeats, crash detection, and re-centering.
 
@@ -43,6 +78,7 @@ class MembershipRuntime:
         self.detection_multiplier = detection_multiplier
         self.heartbeat_messages = 0
         self.detected_crashes = 0
+        self.repairer = MembershipRepair(tree)
         self._crashed: set[str] = set()
         self._stops: list[Callable[[], None]] = []
         self.on_crash_detected: Callable[[str], None] | None = None
@@ -84,7 +120,7 @@ class MembershipRuntime:
                 return
             self._crashed.discard(member_id)
             self.detected_crashes += 1
-            self.tree.crash(member_id)
+            self.repairer.repair(member_id)
             if self.on_crash_detected is not None:
                 self.on_crash_detected(member_id)
 

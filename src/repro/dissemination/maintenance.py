@@ -20,6 +20,37 @@ from repro.simulation.simulator import Simulator
 Point = tuple[float, float]
 
 
+def repair_after_crash(
+    tree: DisseminationTree,
+    dead_entity: str,
+    source_pos: Point,
+    positions: dict[str, Point],
+    *,
+    max_rounds: int = 2,
+) -> int:
+    """Re-parent a crashed entity's orphaned subtrees.
+
+    Detaching splices the orphans onto the dead node's parent, which may
+    exceed that parent's fanout bound; a local reattachment pass then
+    repairs the bound and moves orphans to closer feasible parents.
+    Clock-free so both the simulator and the live recovery layer can
+    call it the moment a failure is detected.  Returns the number of
+    direct children that were orphaned (0 when the entity was not in
+    the tree).
+    """
+    if not tree.contains(dead_entity):
+        return 0
+    orphans = tree.children_of(dead_entity)
+    tree.detach(dead_entity)
+    live_positions = {
+        entity: pos
+        for entity, pos in positions.items()
+        if tree.contains(entity)
+    }
+    improve_tree(tree, source_pos, live_positions, max_rounds=max_rounds)
+    return len(orphans)
+
+
 class TreeMaintainer:
     """Periodic local reorganisation of one dissemination tree.
 

@@ -12,23 +12,43 @@ as :class:`~repro.core.system.FederatedSystem`, live output through
 """
 
 from repro.live.channels import Batcher, ChannelClosed, LiveChannel
+from repro.live.chaos import (
+    ChaosController,
+    ChaosEvent,
+    ChaosPolicy,
+    ChaosRuntime,
+    ChaosSettings,
+    VirtualClockLoop,
+    format_script,
+    parse_script,
+    random_script,
+)
 from repro.live.entity_task import (
     LiveClock,
     LiveGateway,
     LiveProcessor,
     LiveSourceFeed,
     ResultCollector,
+    TaskControl,
     TreeForwarder,
 )
 from repro.live.metrics import LiveMetrics, LiveReport, TransportStats
-from repro.live.runtime import LiveRuntime, LiveSettings
-from repro.live.transport import LiveTransport, WorkTracker
+from repro.live.recovery import HeartbeatMonitor, RecoveryManager
+from repro.live.runtime import LiveDataflow, LiveRuntime, LiveSettings
+from repro.live.transport import LiveTransport, TransportChaos, WorkTracker
 
 __all__ = [
     "Batcher",
     "ChannelClosed",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosPolicy",
+    "ChaosRuntime",
+    "ChaosSettings",
+    "HeartbeatMonitor",
     "LiveChannel",
     "LiveClock",
+    "LiveDataflow",
     "LiveGateway",
     "LiveMetrics",
     "LiveProcessor",
@@ -37,8 +57,15 @@ __all__ = [
     "LiveSettings",
     "LiveSourceFeed",
     "LiveTransport",
+    "RecoveryManager",
     "ResultCollector",
+    "TaskControl",
+    "TransportChaos",
     "TransportStats",
     "TreeForwarder",
+    "VirtualClockLoop",
     "WorkTracker",
+    "format_script",
+    "parse_script",
+    "random_script",
 ]

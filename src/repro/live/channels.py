@@ -123,6 +123,23 @@ class LiveChannel:
             self._closed = True
             self._cond.notify_all()
 
+    async def fail(self) -> list[Any]:
+        """Close the channel *and* discard its queued batches.
+
+        Models the consumer's host crashing: unlike :meth:`close` (a
+        graceful shutdown that lets queued batches drain), a failed
+        channel loses everything still queued.  Returns the discarded
+        batches so the caller can account the lost tuples — the chaos
+        layer feeds them to the work tracker, keeping quiescence
+        detection exact even mid-crash.
+        """
+        async with self._cond:
+            self._closed = True
+            lost = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+        return lost
+
 
 class Batcher:
     """Accumulates items into fixed-size batches for one destination."""

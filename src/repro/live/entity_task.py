@@ -26,6 +26,7 @@ network sends).
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 
 from repro.dissemination.tree import SOURCE, DisseminationTree
 from repro.engine.plan import Fragment
@@ -64,6 +65,51 @@ class LiveClock:
             if self.time_scale > 0.0:
                 await asyncio.sleep((t - self._virtual) * self.time_scale)
             self._virtual = max(self._virtual, t)
+
+
+class TaskControl:
+    """Chaos hook on one live task: crash it, or stall and resume it.
+
+    Every gateway and processor owns one and polls :meth:`checkpoint`
+    between batches.  A *stall* models a slow consumer — the task stops
+    draining its inbox, so backpressure propagates upstream — and is
+    reversible; a *crash* is final.  A crashed task's inbox is failed
+    separately (see :meth:`LiveChannel.fail`) so blocked peers wake.
+    """
+
+    def __init__(self) -> None:
+        self._crashed = False
+        self._resume = asyncio.Event()
+        self._resume.set()
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the task has been killed."""
+        return self._crashed
+
+    @property
+    def stalled(self) -> bool:
+        """Whether the task is currently paused."""
+        return not self._resume.is_set()
+
+    def crash(self) -> None:
+        """Kill the task (also releases a concurrent stall)."""
+        self._crashed = True
+        self._resume.set()
+
+    def stall(self) -> None:
+        """Pause the task at its next checkpoint."""
+        if not self._crashed:
+            self._resume.clear()
+
+    def resume(self) -> None:
+        """Release a stall."""
+        self._resume.set()
+
+    async def checkpoint(self) -> bool:
+        """Wait out any stall; return ``True`` when the task must die."""
+        await self._resume.wait()
+        return self._crashed
 
 
 class TreeForwarder:
@@ -214,13 +260,31 @@ class LiveGateway:
         self.metrics = metrics
         self.clock = clock
         self.service_wall = service_wall
+        self.control = TaskControl()
         self._proc_batchers = {
             proc: Batcher(batch_size) for proc in proc_channels
         }
+        # Delegate replay buffers: per stream, the most recent tuples
+        # handed to the delegation processor.  Disabled (no history)
+        # unless the chaos/recovery layer calls enable_replay().
+        self._replay_depth = 0
+        self._recent: dict[str, deque[StreamTuple]] = {}
+
+    def enable_replay(self, depth: int) -> None:
+        """Keep the last ``depth`` delegated tuples per stream for
+        failover replay (used by the recovery layer)."""
+        self._replay_depth = max(0, depth)
+
+    def recent_delegated(self, stream_id: str) -> list[StreamTuple]:
+        """Buffered tuples of one stream, oldest first."""
+        return list(self._recent.get(stream_id, ()))
 
     async def run(self) -> None:
-        """Consume the inbox until the runtime closes it."""
+        """Consume the inbox until the runtime closes it (or chaos
+        crashes this gateway)."""
         while True:
+            if await self.control.checkpoint():
+                break
             try:
                 batch = await self.inbox.get()
             except ChannelClosed:
@@ -241,6 +305,13 @@ class LiveGateway:
         delegate = self.delegation.delegate_of(tup.stream_id)
         if delegate is None or delegate not in self.proc_channels:
             return
+        if self._replay_depth:
+            buf = self._recent.get(tup.stream_id)
+            if buf is None:
+                buf = self._recent[tup.stream_id] = deque(
+                    maxlen=self._replay_depth
+                )
+            buf.append(tup)
         full = self._proc_batchers[delegate].add((None, tup))
         if full is not None:
             await self.transport.send(self.proc_channels[delegate], full)
@@ -290,6 +361,7 @@ class LiveProcessor:
         self.tracker = tracker
         self.metrics = metrics
         self.clock = clock
+        self.control = TaskControl()
         self._proc_batchers = {
             proc: Batcher(batch_size)
             for proc in proc_channels
@@ -298,8 +370,11 @@ class LiveProcessor:
         self._result_batcher = Batcher(batch_size)
 
     async def run(self) -> None:
-        """Consume the processor inbox until the runtime closes it."""
+        """Consume the processor inbox until the runtime closes it (or
+        chaos crashes this processor)."""
         while True:
+            if await self.control.checkpoint():
+                break
             try:
                 batch = await self.inbox.get()
             except ChannelClosed:

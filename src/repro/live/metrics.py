@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.monitoring.recovery import RecoveryReport
 from repro.monitoring.reports import LoadReport, SubtreeLoad
 from repro.streams.tuples import StreamTuple
 
@@ -153,6 +154,8 @@ class LiveReport:
             retry budget (drops are metrics, never exceptions).
         blocked_puts: Sends that found a channel full (backpressure).
         entity_*: Per-entity views keyed by entity id.
+        recovery: Failure/recovery metrics when the run executed under
+            the chaos harness; ``None`` for plain live runs.
     """
 
     duration: float
@@ -175,6 +178,7 @@ class LiveReport:
     entity_cpu_seconds: dict[str, float] = field(default_factory=dict)
     entity_query_count: dict[str, int] = field(default_factory=dict)
     results_by_query: dict[str, int] = field(default_factory=dict)
+    recovery: RecoveryReport | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -251,7 +255,7 @@ class LiveReport:
             f"{self.forwarded_edges} forwarded",
             f"flow control: {self.blocked_puts} blocked sends, "
             f"{self.retries} retries, {self.dropped_tuples} tuples dropped",
-        ]
+        ] + (self.recovery.summary_lines() if self.recovery else [])
 
     def queue_lines(self) -> list[str]:
         """Per-entity queue-depth digest (CLI acceptance view)."""

@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.system import FederatedSystem, SystemConfig
-from repro.dissemination.tree import SOURCE
+from repro.dissemination.tree import SOURCE, DisseminationTree
 from repro.live.channels import LAN, WAN, LiveChannel
 from repro.live.entity_task import (
     TO_PROC,
@@ -110,6 +110,51 @@ class LiveSettings:
             raise ValueError("max_retries must be >= 0")
 
 
+@dataclass
+class LiveDataflow:
+    """The wired-up moving parts of one live run.
+
+    Built by :meth:`LiveRuntime._build_dataflow` and handed to the
+    extension hooks (:meth:`LiveRuntime._start_extras`), so layers like
+    the chaos/recovery harness can reach every task, channel, and tree
+    of the running federation without re-deriving the wiring.
+    """
+
+    clock: LiveClock
+    tracker: WorkTracker
+    tstats: TransportStats
+    transport: LiveTransport
+    inboxes: dict[str, LiveChannel]
+    proc_channels: dict[str, dict[str, LiveChannel]]
+    result_channel: LiveChannel
+    trees: dict[str, DisseminationTree]
+    gateways: dict[str, LiveGateway] = field(default_factory=dict)
+    processors: dict[tuple[str, str], LiveProcessor] = field(
+        default_factory=dict
+    )
+    feeds: list[LiveSourceFeed] = field(default_factory=list)
+    collector: ResultCollector | None = None
+
+    def all_channels(self) -> list[LiveChannel]:
+        """Every channel of the dataflow (inboxes, LAN, results)."""
+        return (
+            list(self.inboxes.values())
+            + [
+                ch
+                for per_entity in self.proc_channels.values()
+                for ch in per_entity.values()
+            ]
+            + [self.result_channel]
+        )
+
+    def entity_of_processor(self, proc_id: str) -> str | None:
+        """The entity owning one LAN processor (``None`` if unknown)."""
+        for entity_id, proc in self.processors:
+            if proc == proc_id:
+                return entity_id
+        return None
+
+
 class LiveRuntime:
     """Plan with the simulator's machinery, execute with asyncio."""
 
@@ -128,6 +173,7 @@ class LiveRuntime:
         self.planner = FederatedSystem(catalog, config)
         self.metrics = LiveMetrics()
         self.report: LiveReport | None = None
+        self.dataflow: LiveDataflow | None = None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -154,8 +200,13 @@ class LiveRuntime:
         self._ran = True
         span = self.settings.duration if duration is None else duration
         traces = self._record_trace(span)
-        self.report = asyncio.run(self._execute(traces, span))
+        self.report = self._drive(self._execute(traces, span))
         return self.report
+
+    def _drive(self, coro) -> LiveReport:
+        """Run the execution coroutine to completion (subclasses swap in
+        a different event loop, e.g. the chaos harness's virtual one)."""
+        return asyncio.run(coro)
 
     # ------------------------------------------------------------------
     def _record_trace(
@@ -190,11 +241,10 @@ class LiveRuntime:
         return traces
 
     # ------------------------------------------------------------------
-    async def _execute(
-        self,
-        traces: dict[str, list[tuple[float, StreamTuple]]],
-        duration: float,
-    ) -> LiveReport:
+    def _build_dataflow(
+        self, traces: dict[str, list[tuple[float, StreamTuple]]]
+    ) -> LiveDataflow:
+        """Lift the planner's deployment onto channels and tasks."""
         settings = self.settings
         planner = self.planner
         config = self.config
@@ -250,12 +300,20 @@ class LiveRuntime:
             for stream_id, runtime in planner.dissemination.items()
         }
 
+        flow = LiveDataflow(
+            clock=clock,
+            tracker=tracker,
+            tstats=tstats,
+            transport=transport,
+            inboxes=inboxes,
+            proc_channels=proc_channels,
+            result_channel=result_channel,
+            trees=trees,
+        )
+
         # --- per-processor execution tables --------------------------
         # (fragments, downstream wiring, and delegate head routes are
         # read straight off the planner's deployed entities)
-        tasks: list[asyncio.Task] = []
-        gateways: list[LiveGateway] = []
-        processors: list[LiveProcessor] = []
         for entity_id, entity in planner.entities.items():
             fragments: dict[str, dict] = {
                 proc_id: {} for proc_id in entity.processors
@@ -297,7 +355,7 @@ class LiveRuntime:
                 early_filtering=config.early_filtering,
                 transform=config.transform_at_ancestors,
             )
-            gateway = LiveGateway(
+            flow.gateways[entity_id] = LiveGateway(
                 entity_id,
                 inboxes[entity_id],
                 forwarder,
@@ -310,30 +368,27 @@ class LiveRuntime:
                 batch_size=settings.batch_size,
                 service_wall=settings.gateway_service_wall,
             )
-            gateways.append(gateway)
             for proc_id in entity.processors:
-                processors.append(
-                    LiveProcessor(
-                        entity_id,
-                        proc_id,
-                        proc_channels[entity_id][proc_id],
-                        fragments[proc_id],
-                        downstream[proc_id],
-                        head_routes,
-                        proc_channels[entity_id],
-                        result_channel,
-                        transport,
-                        tracker,
-                        self.metrics,
-                        clock,
-                        batch_size=settings.batch_size,
-                    )
+                flow.processors[(entity_id, proc_id)] = LiveProcessor(
+                    entity_id,
+                    proc_id,
+                    proc_channels[entity_id][proc_id],
+                    fragments[proc_id],
+                    downstream[proc_id],
+                    head_routes,
+                    proc_channels[entity_id],
+                    result_channel,
+                    transport,
+                    tracker,
+                    self.metrics,
+                    clock,
+                    batch_size=settings.batch_size,
                 )
 
-        collector = ResultCollector(
+        flow.collector = ResultCollector(
             result_channel, tracker, self.metrics, clock
         )
-        feeds = [
+        flow.feeds = [
             LiveSourceFeed(
                 stream_id,
                 trace,
@@ -354,53 +409,75 @@ class LiveRuntime:
             for stream_id, trace in traces.items()
             if stream_id in trees
         ]
+        return flow
+
+    # ------------------------------------------------------------------
+    # Extension hooks (the chaos/recovery harness overrides these)
+    # ------------------------------------------------------------------
+    async def _start_extras(self, flow: LiveDataflow) -> list[asyncio.Task]:
+        """Spawn auxiliary tasks (chaos controller, failure detector,
+        ...) to run alongside the dataflow; cancelled at quiescence."""
+        return []
+
+    def _finish_report(
+        self, report: LiveReport, flow: LiveDataflow
+    ) -> LiveReport:
+        """Post-process the frozen report (e.g. attach recovery data)."""
+        return report
+
+    # ------------------------------------------------------------------
+    async def _execute(
+        self,
+        traces: dict[str, list[tuple[float, StreamTuple]]],
+        duration: float,
+    ) -> LiveReport:
+        flow = self._build_dataflow(traces)
+        self.dataflow = flow
+        extras = await self._start_extras(flow)
 
         # --- run to quiescence ---------------------------------------
         self.metrics.start_clock()
         consumer_tasks = [
             asyncio.create_task(worker.run(), name=f"live:{kind}")
             for kind, worker in (
-                [("gateway", g) for g in gateways]
-                + [("proc", p) for p in processors]
-                + [("results", collector)]
+                [("gateway", g) for g in flow.gateways.values()]
+                + [("proc", p) for p in flow.processors.values()]
+                + [("results", flow.collector)]
             )
         ]
         feed_tasks = [
             asyncio.create_task(feed.run(), name=f"live:src/{feed.stream_id}")
-            for feed in feeds
+            for feed in flow.feeds
         ]
+        all_channels = flow.all_channels()
         try:
             await asyncio.gather(*feed_tasks)
-            await tracker.wait_quiescent()
+            await flow.tracker.wait_quiescent()
         finally:
-            all_channels = (
-                list(inboxes.values())
-                + [
-                    ch
-                    for per_entity in proc_channels.values()
-                    for ch in per_entity.values()
-                ]
-                + [result_channel]
-            )
+            for task in extras:
+                task.cancel()
+            if extras:
+                await asyncio.gather(*extras, return_exceptions=True)
             for channel in all_channels:
                 await channel.close()
             await asyncio.gather(*consumer_tasks)
         self.metrics.stop_clock()
 
-        return self.metrics.build_report(
+        report = self.metrics.build_report(
             duration=duration,
-            transport=tstats,
+            transport=flow.tstats,
             entity_queue_depth={
                 entity_id: channel.depth
-                for entity_id, channel in inboxes.items()
+                for entity_id, channel in flow.inboxes.items()
             },
             entity_queue_high_water={
                 entity_id: channel.high_water
-                for entity_id, channel in inboxes.items()
+                for entity_id, channel in flow.inboxes.items()
             },
             blocked_puts=sum(ch.blocked_puts for ch in all_channels),
             entity_query_count={
                 entity_id: entity.query_count
-                for entity_id, entity in planner.entities.items()
+                for entity_id, entity in self.planner.entities.items()
             },
         )
+        return self._finish_report(report, flow)

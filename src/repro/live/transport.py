@@ -25,6 +25,25 @@ from repro.live.metrics import TransportStats
 FaultInjector = Callable[[str, int], bool]
 
 
+class TransportChaos:
+    """Interface the chaos layer implements to disturb sends.
+
+    ``fail`` is consulted per attempt (a partitioned link fails every
+    attempt until the partition heals); ``delay`` returns extra wire
+    latency in seconds, applied before the put attempt (a latency
+    spike).  The live transport works unchanged when no policy is
+    installed.
+    """
+
+    def fail(self, channel_name: str, attempt: int) -> bool:
+        """Whether this send attempt is lost to an active fault."""
+        return False
+
+    def delay(self, channel_name: str) -> float:
+        """Extra seconds of wire latency currently afflicting the link."""
+        return 0.0
+
+
 class WorkTracker:
     """Counts in-flight items so the runtime can detect quiescence.
 
@@ -97,6 +116,8 @@ class LiveTransport:
         self.backoff_factor = backoff_factor
         self.backoff_max = backoff_max
         self.fault_injector = fault_injector
+        # Installed by the chaos harness; None in normal runs.
+        self.chaos: TransportChaos | None = None
 
     # ------------------------------------------------------------------
     def backoff_delay(self, attempt: int) -> float:
@@ -119,8 +140,15 @@ class LiveTransport:
             failed = (
                 self.fault_injector is not None
                 and self.fault_injector(channel.name, attempt)
+            ) or (
+                self.chaos is not None
+                and self.chaos.fail(channel.name, attempt)
             )
             if not failed:
+                if self.chaos is not None:
+                    extra = self.chaos.delay(channel.name)
+                    if extra > 0.0:
+                        await asyncio.sleep(extra)
                 try:
                     await asyncio.wait_for(
                         channel.put(batch), timeout=self.send_timeout

@@ -11,6 +11,7 @@ its own bookkeeping.
 """
 
 from repro.monitoring.collectors import EntityLoadCollector
+from repro.monitoring.recovery import RecoveryMetrics, RecoveryReport
 from repro.monitoring.reports import LoadReport, SubtreeLoad
 from repro.monitoring.service import MonitoringService
 
@@ -19,4 +20,6 @@ __all__ = [
     "SubtreeLoad",
     "EntityLoadCollector",
     "MonitoringService",
+    "RecoveryMetrics",
+    "RecoveryReport",
 ]

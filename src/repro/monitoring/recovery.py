@@ -1,0 +1,172 @@
+"""Failure-recovery accounting for the live runtime's chaos harness.
+
+The adaptability story of the paper (§3.2.1 coordinator repair, §3.2.2
+re-allocation, §4 delegation) is only credible if recovery is
+*measured*: how fast failures are detected, how many streams fail over,
+how much data the failover replays versus loses.  :class:`RecoveryMetrics`
+is the mutable collector the heartbeat monitor, chaos controller, and
+recovery manager all write into; :meth:`RecoveryMetrics.build_report`
+freezes it into a :class:`RecoveryReport` attached to the live run's
+:class:`~repro.live.metrics.LiveReport`.
+
+All counters are monotone (they only grow during a run), and all times
+are virtual seconds on the run's clock, so two runs with the same seed
+and the same chaos script produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RecoveryMetrics:
+    """Monotone counters shared by the failure-handling tasks."""
+
+    def __init__(self) -> None:
+        self.failures_injected = 0
+        self.detections = 0
+        self.failovers = 0
+        self.streams_unrecovered = 0
+        self.reparented_children = 0
+        self.coordinator_repairs = 0
+        self.heartbeats_sent = 0
+        self.tuples_replayed = 0
+        self.tuples_lost = 0
+        self._failed_at: dict[str, float] = {}
+        self._detected_at: dict[str, float] = {}
+        self._recovered_at: dict[str, float] = {}
+        self._failure_kind: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def record_failure(self, node_id: str, kind: str, at: float) -> None:
+        """A fault was injected at ``node_id`` (virtual time ``at``)."""
+        self.failures_injected += 1
+        self._failed_at.setdefault(node_id, at)
+        self._failure_kind.setdefault(node_id, kind)
+
+    def record_detection(self, node_id: str, at: float) -> None:
+        """The heartbeat monitor declared ``node_id`` dead."""
+        if node_id not in self._detected_at:
+            self.detections += 1
+            self._detected_at[node_id] = at
+
+    def record_recovery(self, node_id: str, at: float) -> None:
+        """Repair actions for ``node_id`` finished."""
+        self._recovered_at.setdefault(node_id, at)
+
+    def record_lost(self, count: int) -> None:
+        """Tuples destroyed by a crash (queued at the dead task)."""
+        self.tuples_lost += count
+
+    def record_replayed(self, count: int) -> None:
+        """Tuples re-fed to a failover delegate from a replay buffer."""
+        self.tuples_replayed += count
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """The monotone counters at this instant (for monotonicity
+        checks and progress displays)."""
+        return {
+            "failures_injected": self.failures_injected,
+            "detections": self.detections,
+            "failovers": self.failovers,
+            "streams_unrecovered": self.streams_unrecovered,
+            "reparented_children": self.reparented_children,
+            "coordinator_repairs": self.coordinator_repairs,
+            "heartbeats_sent": self.heartbeats_sent,
+            "tuples_replayed": self.tuples_replayed,
+            "tuples_lost": self.tuples_lost,
+        }
+
+    def build_report(self) -> "RecoveryReport":
+        """Freeze the collected counters into a :class:`RecoveryReport`."""
+        detect_delays = [
+            self._detected_at[n] - self._failed_at[n]
+            for n in sorted(self._detected_at)
+            if n in self._failed_at
+        ]
+        recover_delays = [
+            self._recovered_at[n] - self._failed_at[n]
+            for n in sorted(self._recovered_at)
+            if n in self._failed_at
+        ]
+        return RecoveryReport(
+            failures_injected=self.failures_injected,
+            detections=self.detections,
+            failovers=self.failovers,
+            streams_unrecovered=self.streams_unrecovered,
+            reparented_children=self.reparented_children,
+            coordinator_repairs=self.coordinator_repairs,
+            heartbeats_sent=self.heartbeats_sent,
+            tuples_replayed=self.tuples_replayed,
+            tuples_lost=self.tuples_lost,
+            mean_detection_delay=(
+                sum(detect_delays) / len(detect_delays)
+                if detect_delays
+                else 0.0
+            ),
+            mean_time_to_recover=(
+                sum(recover_delays) / len(recover_delays)
+                if recover_delays
+                else 0.0
+            ),
+            failures=tuple(
+                (n, self._failure_kind.get(n, "?"), self._failed_at[n])
+                for n in sorted(self._failed_at)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Aggregated failure/recovery metrics of one chaos run.
+
+    Attributes:
+        failures_injected: Crash faults applied by the chaos script
+            (partitions, latency spikes, and stalls are not failures —
+            they are expected to heal without repair).
+        detections: Crashes the heartbeat monitor declared dead.
+        failovers: Streams re-delegated to a surviving processor.
+        streams_unrecovered: Streams whose delegation could not fail
+            over (no surviving processor in the entity).
+        reparented_children: Dissemination-tree children moved to a new
+            parent after their parent entity crashed.
+        coordinator_repairs: Coordinator-tree repairs performed.
+        heartbeats_sent: Heartbeat messages exchanged.
+        tuples_replayed: Tuples re-fed from replay buffers on failover.
+        tuples_lost: Tuples destroyed with crashed tasks' queues.
+        mean_detection_delay: Mean virtual seconds from fault injection
+            to heartbeat detection.
+        mean_time_to_recover: Mean virtual seconds from fault injection
+            to completed repair (detection delay + repair work).
+        failures: ``(node_id, kind, virtual_time)`` per injected crash.
+    """
+
+    failures_injected: int
+    detections: int
+    failovers: int
+    streams_unrecovered: int
+    reparented_children: int
+    coordinator_repairs: int
+    heartbeats_sent: int
+    tuples_replayed: int
+    tuples_lost: int
+    mean_detection_delay: float
+    mean_time_to_recover: float
+    failures: tuple[tuple[str, str, float], ...] = ()
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest (appended to the live run summary)."""
+        return [
+            f"chaos: {self.failures_injected} crashes injected, "
+            f"{self.detections} detected "
+            f"(mean detection {self.mean_detection_delay * 1000:.0f} ms)",
+            f"recovery: {self.failovers} stream failovers, "
+            f"{self.reparented_children} children re-parented, "
+            f"{self.coordinator_repairs} coordinator repairs "
+            f"(mean time-to-recover "
+            f"{self.mean_time_to_recover * 1000:.0f} ms)",
+            f"data: {self.tuples_replayed} tuples replayed, "
+            f"{self.tuples_lost} lost with crashed queues, "
+            f"{self.streams_unrecovered} streams unrecoverable",
+        ]

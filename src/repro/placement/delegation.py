@@ -27,6 +27,7 @@ class DelegationScheme:
     processor_ids: list[str]
     _delegate: dict[str, str] = field(default_factory=dict)
     _rates: dict[str, float] = field(default_factory=dict)
+    _stream_rate: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.processor_ids:
@@ -43,13 +44,45 @@ class DelegationScheme:
         proc = min(self.processor_ids, key=lambda p: (self._rates[p], p))
         self._delegate[stream_id] = proc
         self._rates[proc] += rate
+        self._stream_rate[stream_id] = rate
         return proc
 
     def release(self, stream_id: str, rate: float) -> None:
         """Remove a delegation when a stream is no longer received."""
         proc = self._delegate.pop(stream_id, None)
+        self._stream_rate.pop(stream_id, None)
         if proc is not None:
             self._rates[proc] = max(0.0, self._rates[proc] - rate)
+
+    def fail_processor(self, proc_id: str) -> dict[str, str]:
+        """Remove a dead processor and fail its streams over (§4).
+
+        Every stream delegated to ``proc_id`` is re-delegated to the
+        least-loaded surviving processor (heaviest streams first, so
+        intake stays spread).  Returns ``{stream_id: new_processor}``;
+        when no processor survives, the streams are simply undelegated
+        and the returned mapping is empty.
+        """
+        if proc_id not in self.processor_ids:
+            return {}
+        stranded = self.delegated_streams(proc_id)
+        self.processor_ids = [p for p in self.processor_ids if p != proc_id]
+        self._rates.pop(proc_id, None)
+        moved: dict[str, str] = {}
+        if not self.processor_ids:
+            for stream_id in stranded:
+                self._delegate.pop(stream_id, None)
+                self._stream_rate.pop(stream_id, None)
+            return moved
+        stranded.sort(
+            key=lambda s: (-self._stream_rate.get(s, 0.0), s)
+        )
+        for stream_id in stranded:
+            del self._delegate[stream_id]
+            moved[stream_id] = self.assign(
+                stream_id, self._stream_rate.get(stream_id, 0.0)
+            )
+        return moved
 
     def delegate_of(self, stream_id: str) -> str | None:
         """The processor delegated for a stream (``None`` if unassigned)."""

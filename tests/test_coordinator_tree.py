@@ -209,3 +209,30 @@ def test_invariants_hold_under_random_churn(seed, ops, k):
                 tree.crash(victim)
         violations = tree.check_invariants()
         assert violations == [], violations
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    ops=st.lists(st.booleans(), min_size=1, max_size=80),
+    k=st.integers(min_value=2, max_value=4),
+)
+def test_cluster_sizes_stay_within_paper_bounds_under_join_leave(seed, ops, k):
+    """§3.2.1: after any sequence of joins and leaves, every cluster at
+    every level holds between ``k`` and ``3k - 1`` members — except a
+    cluster that is alone in its layer (the root side of the tree),
+    which may be smaller while membership is still growing."""
+    rng = random.Random(seed)
+    tree = CoordinatorTree(k=k)
+    counter = 0
+    for is_join in ops:
+        if is_join or not tree.members:
+            tree.join(Member(f"n{counter}", rng.random(), rng.random()))
+            counter += 1
+        else:
+            tree.leave(rng.choice(tree.member_ids()))
+        for level in range(tree.depth):
+            sizes = tree.cluster_sizes(level)
+            assert all(s <= 3 * k - 1 for s in sizes), (level, sizes)
+            if len(sizes) > 1:
+                assert all(s >= k for s in sizes), (level, sizes)

@@ -1,0 +1,100 @@
+"""Multi-seed live-vs-simulator parity sweep (slow).
+
+The fast suite checks live/sim parity on two seeds
+(``test_live_runtime.py``); this sweep widens the evidence to a dozen
+seeds so a parity regression that happens to miss the fast seeds still
+gets caught nightly.  For stateless selection queries the result set is
+timestamp-free, so the live runtime must reproduce the simulator's
+result tuples *exactly* on every seed.
+
+Marked ``slow``: run with ``pytest -m slow`` (the nightly CI job), or
+excluded via ``-m "not slow"`` (the fast job).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import FederatedSystem, SystemConfig
+from repro.interest.predicates import StreamInterest
+from repro.live import LiveRuntime, LiveSettings
+from repro.query.spec import QuerySpec
+from repro.streams.catalog import stock_catalog
+
+SEEDS = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+DURATION = 1.5
+
+
+def make_catalog():
+    return stock_catalog(exchanges=2, rate=40.0)
+
+
+def make_config(seed):
+    return SystemConfig(entity_count=4, processors_per_entity=2, seed=seed)
+
+
+def filter_queries():
+    specs = []
+    ranges = [
+        (50.0, 400.0),
+        (200.0, 700.0),
+        (600.0, 990.0),
+        (1.0, 150.0),
+        (300.0, 900.0),
+        (100.0, 500.0),
+    ]
+    for i, (lo, hi) in enumerate(ranges):
+        stream = f"exchange-{i % 2}.trades"
+        specs.append(
+            QuerySpec(
+                query_id=f"q{i}",
+                interests=(StreamInterest.on(stream, price=(lo, hi)),),
+                client_x=0.1 * i,
+                client_y=0.9 - 0.1 * i,
+            )
+        )
+    return specs
+
+
+def simulated_result_keys(seed):
+    system = FederatedSystem(make_catalog(), make_config(seed))
+    system.submit(filter_queries())
+    observed = set()
+
+    def wrap(handler):
+        def wrapped(query_id, tup):
+            observed.add((query_id, tup.stream_id, tup.seq))
+            handler(query_id, tup)
+
+        return wrapped
+
+    for entity in system.entities.values():
+        if entity.result_handler is not None:
+            entity.result_handler = wrap(entity.result_handler)
+    system.run(duration=DURATION)
+    system.sim.run()  # drain in-flight tuples
+    return observed
+
+
+def live_result_keys(seed):
+    runtime = LiveRuntime(
+        make_catalog(),
+        make_config(seed),
+        LiveSettings(duration=DURATION, batch_size=4),
+    )
+    runtime.submit(filter_queries())
+    report = runtime.run()
+    assert report.dropped_tuples == 0
+    return {
+        (query_id, tup.stream_id, tup.seq)
+        for query_id, tups in runtime.results.items()
+        for tup in tups
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_live_matches_simulator_across_seed_sweep(seed):
+    sim_keys = simulated_result_keys(seed)
+    assert sim_keys, f"seed {seed}: simulated workload produced no results"
+    assert live_result_keys(seed) == sim_keys

@@ -1,4 +1,10 @@
-"""Tests for the retry/backoff/drop send policy and quiescence tracking."""
+"""Tests for the retry/backoff/drop send policy and quiescence tracking.
+
+All async tests run on the chaos harness's
+:class:`~repro.live.chaos.VirtualClockLoop`: every timer (send
+timeouts, backoffs, waits) fires in deterministic virtual order with no
+wall-clock sleeping, so nothing here depends on real-time scheduling.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +12,14 @@ import asyncio
 import random
 
 from repro.live.channels import LiveChannel
+from repro.live.chaos import VirtualClockLoop
 from repro.live.metrics import TransportStats
 from repro.live.transport import LiveTransport, WorkTracker
 
 
 def run(coro):
-    return asyncio.run(coro)
+    with asyncio.Runner(loop_factory=VirtualClockLoop) as runner:
+        return runner.run(coro)
 
 
 def make_transport(**overrides):
@@ -71,7 +79,10 @@ def test_retry_succeeds_once_consumer_drains():
         await ch.put(["occupies"])
 
         async def late_consumer():
-            await asyncio.sleep(0.02)
+            # event-driven: drain only once the sender has actually
+            # timed out and retried (no real-time coordination)
+            while transport.stats.retries == 0:
+                await asyncio.sleep(0.001)
             await ch.get()
 
         consumer = asyncio.create_task(late_consumer())
@@ -149,10 +160,11 @@ def test_work_tracker_quiescence():
         tracker.add(3)
 
         async def finish():
-            await asyncio.sleep(0.005)
             tracker.done(2)
             tracker.done(1)
 
+        # the waiter blocks until the finisher task runs — purely
+        # event-driven, no timing involved
         task = asyncio.create_task(finish())
         await asyncio.wait_for(tracker.wait_quiescent(), timeout=1.0)
         await task

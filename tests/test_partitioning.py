@@ -120,3 +120,62 @@ def test_partition_total_and_validity_properties(seed, n, parts):
     assert sum(g.part_loads(result.assignment, parts)) == pytest.approx(
         g.total_vertex_weight()
     )
+
+
+def arbitrary_graph(seed, n):
+    """Arbitrary weighted graph (no planted structure): random vertex
+    weights and a random edge density drawn per graph."""
+    rng = random.Random(seed)
+    g = QueryGraph()
+    for i in range(n):
+        g.add_vertex(f"v{i}", rng.uniform(0.2, 3.0))
+    density = rng.uniform(0.05, 0.5)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                g.add_edge(f"v{i}", f"v{j}", rng.uniform(0.1, 10.0))
+    return g
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(min_value=2, max_value=36),
+    parts=st.integers(min_value=2, max_value=4),
+    max_imbalance=st.floats(min_value=1.05, max_value=1.5),
+)
+def test_balance_constraint_respected_on_arbitrary_graphs(
+    seed, n, parts, max_imbalance
+):
+    """The balance constraint holds up to the unavoidable granularity
+    slack: when no part can take a vertex within the limit, the greedy
+    fallback places it on the least-loaded part, so the worst load is
+    bounded by ``ideal + wmax`` — i.e. imbalance never exceeds
+    ``max(max_imbalance, 1 + wmax * parts / total_weight)``."""
+    g = arbitrary_graph(seed, n)
+    result = MultilevelPartitioner(
+        max_imbalance=max_imbalance, seed=seed
+    ).partition(g, parts)
+    wmax = max(g.vertex_weights.values())
+    total = g.total_vertex_weight()
+    bound = max(max_imbalance, 1.0 + wmax * parts / total)
+    assert result.imbalance <= bound + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(min_value=2, max_value=36),
+    parts=st.integers(min_value=2, max_value=4),
+)
+def test_edge_cut_never_worse_than_trivial_bound(seed, n, parts):
+    """The cut can never exceed the trivial worst case (every edge
+    cut), and enabling refinement can never worsen the cut produced by
+    the same seed without refinement."""
+    g = arbitrary_graph(seed, n)
+    refined = MultilevelPartitioner(seed=seed).partition(g, parts)
+    unrefined = MultilevelPartitioner(
+        seed=seed, use_refinement=False
+    ).partition(g, parts)
+    assert 0.0 <= refined.cut <= g.total_edge_weight() + 1e-9
+    assert refined.cut <= unrefined.cut + 1e-9
