@@ -14,11 +14,15 @@ regressions in the hot paths every experiment exercises:
 from __future__ import annotations
 
 import random
+import time
 
+from repro.bench.reporting import Table, emit, print_header, write_bench_json
 from repro.coordination.routing import QueryRouter
 from repro.coordination.tree import CoordinatorTree, Member
 from repro.engine.operators import FilterOperator, WindowJoinOperator
+from repro.engine.operators.mapop import MapOperator
 from repro.engine.plan import QueryPlan
+from repro.interest.compiled import compile_interest
 from repro.interest.overlap import overlap_rate
 from repro.interest.predicates import StreamInterest
 from repro.simulation.simulator import Simulator
@@ -49,6 +53,142 @@ def test_filter_chain_throughput(benchmark):
 
     survivors = benchmark(run)
     assert 0 < survivors < 1000
+
+
+def _dataplane_fragment():
+    """A representative filter/map pipeline: selection, user-defined
+    predicate map (the occasionally-``None`` map), tighter selection."""
+    return QueryPlan(
+        "q",
+        ["s"],
+        [
+            FilterOperator("f0", StreamInterest.on("s", x=(25.0, 75.0))),
+            MapOperator(
+                "m0", lambda t: t if t.values["x"] < 70.0 else None
+            ),
+            FilterOperator("f1", StreamInterest.on("s", x=(30.0, 95.0))),
+        ],
+    ).as_single_fragment()
+
+
+def _dataplane_tuples(count=5000):
+    return [
+        StreamTuple("s", i, 0.0, {"x": (i * 7) % 100 * 1.0}, 64.0)
+        for i in range(count)
+    ]
+
+
+def _best_seconds(*fns, rounds=9):
+    """Best-of-``rounds`` wall time of each ``fn()``, interleaved.
+
+    Min filters scheduler noise better than mean for sub-millisecond
+    kernels, and running the candidates round-robin (rather than all
+    rounds of one, then all of the other) spreads any transient system
+    load evenly across them — the ratios stay honest on busy hosts.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best
+
+
+def test_batch_dataplane_speedup(benchmark):
+    """Per-tuple vs fused-batch execution of the same fragment.
+
+    The per-tuple path pays ``apply`` dispatch and an intermediate list
+    per operator *per tuple*; the batch path runs each operator's
+    vectorized kernel over the whole batch.  Both must produce the
+    identical output — the speedup is pure dispatch/allocation
+    amortisation.  Also measures the codegen'd interest kernel against
+    the interpreted ``matches_values`` path, and writes the whole
+    comparison to ``BENCH_dataplane.json``.
+    """
+    tuples = _dataplane_tuples()
+    per_tuple_frag = _dataplane_fragment()
+    batch_frag = _dataplane_fragment()
+
+    def per_tuple():
+        out = []
+        for tup in tuples:
+            out.extend(per_tuple_frag.run(tup, 0.0))
+        return out
+
+    def batched():
+        return batch_frag.run_batch(tuples, 0.0)
+
+    # the correctness contract: batch output == per-tuple output
+    assert per_tuple() == batched()
+
+    interest = StreamInterest.on(
+        "s", price=(10.0, 600.0), volume=(100.0, 5000.0)
+    )
+    match = compile_interest(interest)
+    probe_values = [
+        {"price": float(p % 700), "volume": float((p * 13) % 6000)}
+        for p in range(2000)
+    ]
+    assert [match(v) for v in probe_values] == [
+        interest.matches_values(v) for v in probe_values
+    ]
+
+    metrics = {}
+
+    def run():
+        per_tuple_s, batch_s, interp_s, compiled_s = _best_seconds(
+            per_tuple,
+            batched,
+            lambda: [interest.matches_values(v) for v in probe_values],
+            lambda: [match(v) for v in probe_values],
+        )
+        metrics.update(
+            tuples=len(tuples),
+            survivors=len(batched()),
+            pipeline_per_tuple_tps=len(tuples) / per_tuple_s,
+            pipeline_batch_tps=len(tuples) / batch_s,
+            pipeline_speedup=per_tuple_s / batch_s,
+            predicate_probes=len(probe_values),
+            predicate_interpreted_per_s=len(probe_values) / interp_s,
+            predicate_compiled_per_s=len(probe_values) / compiled_s,
+            predicate_speedup=interp_s / compiled_s,
+        )
+        return metrics
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("E0b — compiled batch dataplane vs per-tuple execution")
+    table = Table(["path", "tuples/s", "speedup"])
+    table.add_row(["per-tuple fragment", metrics["pipeline_per_tuple_tps"], 1.0])
+    table.add_row(
+        [
+            "fused batch fragment",
+            metrics["pipeline_batch_tps"],
+            metrics["pipeline_speedup"],
+        ]
+    )
+    table.add_row(
+        ["interpreted predicate", metrics["predicate_interpreted_per_s"], 1.0]
+    )
+    table.add_row(
+        [
+            "compiled predicate",
+            metrics["predicate_compiled_per_s"],
+            metrics["predicate_speedup"],
+        ]
+    )
+    table.show()
+    emit(
+        f"batch pipeline speedup {metrics['pipeline_speedup']:.2f}x, "
+        f"compiled predicate speedup {metrics['predicate_speedup']:.2f}x"
+    )
+    write_bench_json("dataplane", metrics)
+
+    # acceptance floor: the batch filter/map pipeline must be >= 3x the
+    # per-tuple path (measured ~5x on the reference container)
+    assert metrics["pipeline_speedup"] >= 3.0
+    assert metrics["predicate_speedup"] >= 2.0
 
 
 def test_window_join_probe(benchmark):

@@ -10,8 +10,12 @@ bounded-size aggregate, which keeps the layer loosely coupled.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.interest.aggregate import InterestAggregate, aggregate_interests
+from repro.interest.compiled import compile_interest
 from repro.interest.predicates import StreamInterest
+from repro.streams.tuples import StreamTuple
 
 SOURCE = "__source__"
 
@@ -51,6 +55,11 @@ class DisseminationTree:
         self._required_attrs: dict[str, set[str] | None] = {}
         self._subtree_filter: dict[str, InterestAggregate | None] = {}
         self._subtree_attrs: dict[str, set[str] | None] = {}
+        # entity -> compiled edge-filter kernel (None: nothing below
+        # needs data, so the edge forwards nothing)
+        self._compiled_filter: dict[
+            str, Callable[[dict], bool] | None
+        ] = {}
         self._dirty = True
 
     # ------------------------------------------------------------------
@@ -185,6 +194,7 @@ class DisseminationTree:
     def _recompute_filters(self) -> None:
         self._subtree_filter.clear()
         self._subtree_attrs.clear()
+        self._compiled_filter.clear()
 
         def visit(node: str) -> tuple[list[StreamInterest], set[str] | None]:
             collected = list(self._interests.get(node, []))
@@ -202,11 +212,19 @@ class DisseminationTree:
                     attrs = None if child_attrs is None else attrs | child_attrs
             if node != SOURCE:
                 if collected:
-                    self._subtree_filter[node] = aggregate_interests(
+                    agg = aggregate_interests(
                         collected, max_intervals=self.max_intervals
+                    )
+                    self._subtree_filter[node] = agg
+                    # The compiled form is what the per-tuple and batch
+                    # edge filters actually run (cached per shape, so a
+                    # rebuild that produced an equal aggregate is free).
+                    self._compiled_filter[node] = compile_interest(
+                        agg.interest
                     )
                 else:
                     self._subtree_filter[node] = None
+                    self._compiled_filter[node] = None
                 self._subtree_attrs[node] = attrs
             return collected, attrs
 
@@ -221,11 +239,44 @@ class DisseminationTree:
         return self._subtree_filter.get(entity)
 
     def needs_tuple(self, entity: str, values: dict[str, float]) -> bool:
-        """Early-filter test for the edge into ``entity``'s subtree."""
-        agg = self.subtree_filter(entity)
-        if agg is None:
+        """Early-filter test for the edge into ``entity``'s subtree.
+
+        Runs the compiled kernel of the subtree's aggregate interest —
+        output-identical to ``subtree_filter(entity).matches_values``.
+        """
+        if self._dirty:
+            self._recompute_filters()
+        match = self._compiled_filter.get(entity)
+        if match is None:
             return False
-        return agg.matches_values(values)
+        return match(values)
+
+    def compiled_subtree_filter(
+        self, entity: str
+    ) -> Callable[[dict], bool] | None:
+        """The codegen'd edge-filter kernel for ``entity``'s subtree.
+
+        ``None`` means nothing below needs data (the edge forwards
+        nothing); otherwise the kernel is ``values -> bool``.
+        """
+        if self._dirty:
+            self._recompute_filters()
+        return self._compiled_filter.get(entity)
+
+    def filter_batch(
+        self, entity: str, batch: list[StreamTuple]
+    ) -> list[StreamTuple]:
+        """Early-filter a whole batch for the edge into ``entity``.
+
+        Returns the tuples the subtree needs, in order — the batch
+        analogue of calling :meth:`needs_tuple` per tuple.
+        """
+        if self._dirty:
+            self._recompute_filters()
+        match = self._compiled_filter.get(entity)
+        if match is None:
+            return []
+        return [tup for tup in batch if match(tup.values)]
 
     def subtree_attributes(self, entity: str) -> set[str] | None:
         """Attributes the subtree below (and including) ``entity`` reads.

@@ -109,6 +109,42 @@ class WindowAggregateOperator(Operator):
             acc[3] = max(acc[3], value)
         return out
 
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: accumulate the whole batch, flushing windows
+        inline exactly where the per-tuple path would."""
+        attribute = self.attribute
+        window = self.window
+        group_by = self.group_by
+        accumulators = self._accumulators
+        floor = math.floor
+        out: list[StreamTuple] = []
+        for tup in batch:
+            values = tup.values
+            if attribute not in values:
+                out.append(tup)
+                continue
+            window_index = floor(tup.created_at / window)
+            if self._current_window is None:
+                self._current_window = window_index
+            elif window_index > self._current_window:
+                out.extend(self._flush(self._current_window))
+                self._current_window = window_index
+            group = values.get(group_by, 0.0) if group_by else 0.0
+            value = values[attribute]
+            acc = accumulators.get(group)
+            if acc is None:
+                accumulators[group] = [1, value, value, value]
+            else:
+                acc[0] += 1
+                acc[1] += value
+                if value < acc[2]:
+                    acc[2] = value
+                if value > acc[3]:
+                    acc[3] = value
+        return out
+
     def reset_state(self) -> None:
         self._current_window = None
         self._accumulators.clear()

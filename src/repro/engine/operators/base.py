@@ -58,6 +58,25 @@ class Operator:
         """Consume one tuple; must be implemented by subclasses."""
         raise NotImplementedError
 
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Consume a whole batch; returns the concatenated outputs.
+
+        Correctness contract: the result must equal concatenating
+        ``process(tup, now)`` over the batch in order — batch execution
+        is an optimisation, never a semantic change.  The base version
+        is that exact loop; operators override it with vectorized
+        kernels (comprehensions, pre-bound locals) that skip the
+        per-tuple dispatch and list allocations.
+        """
+        out: list[StreamTuple] = []
+        extend = out.extend
+        process = self.process
+        for tup in batch:
+            extend(process(tup, now))
+        return out
+
     def cost(self, tup: StreamTuple) -> float:
         """CPU seconds this input tuple costs (default: the nominal cost)."""
         return self.cost_per_tuple
@@ -66,6 +85,15 @@ class Operator:
         """``process`` wrapped with statistics accounting."""
         self.stats.tuples_in += 1
         out = self.process(tup, now)
+        self.stats.tuples_out += len(out)
+        return out
+
+    def apply_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """``process_batch`` wrapped with (bulk) statistics accounting."""
+        self.stats.tuples_in += len(batch)
+        out = self.process_batch(batch, now)
         self.stats.tuples_out += len(out)
         return out
 

@@ -49,6 +49,40 @@ class DistinctOperator(Operator):
             return []
         return [tup]
 
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: one tight loop over pre-bound window state.
+
+        Sequential by nature (each tuple's verdict depends on the ones
+        before it), but the batch path hoists every attribute lookup out
+        of the loop.
+        """
+        attribute = self.attribute
+        window = self.window
+        last_seen = self._last_seen
+        order = self._order
+        out: list[StreamTuple] = []
+        append = out.append
+        for tup in batch:
+            values = tup.values
+            if attribute not in values:
+                append(tup)
+                continue
+            created = tup.created_at
+            horizon = created - window
+            while order and order[0][0] < horizon:
+                seen_at, seen_value = order.popleft()
+                if last_seen.get(seen_value) == seen_at:
+                    del last_seen[seen_value]
+            value = values[attribute]
+            duplicate = value in last_seen
+            last_seen[value] = created
+            order.append((created, value))
+            if not duplicate:
+                append(tup)
+        return out
+
     def reset_state(self) -> None:
         self._last_seen.clear()
         self._order.clear()

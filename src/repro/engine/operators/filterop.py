@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.engine.operators.base import Operator
+from repro.interest.compiled import MatchFn, compile_interest
 from repro.interest.predicates import StreamInterest
 from repro.streams.tuples import StreamTuple
 
@@ -12,7 +13,9 @@ class FilterOperator(Operator):
 
     The same predicate model expresses query selections and the early
     filters installed at dissemination-tree ancestors, so a query's
-    interest literally *is* its leading filter.
+    interest literally *is* its leading filter.  The interest is
+    compiled once (see :mod:`repro.interest.compiled`) and both the
+    per-tuple and the batch path run the codegen'd kernel.
     """
 
     def __init__(
@@ -30,13 +33,36 @@ class FilterOperator(Operator):
                 estimated_selectivity if estimated_selectivity is not None else 0.5
             ),
         )
-        self.interest = interest
+        self._interest = interest
+        self._match: MatchFn = compile_interest(interest)
+
+    @property
+    def interest(self) -> StreamInterest:
+        """The selection predicate (reassigning recompiles the kernel)."""
+        return self._interest
+
+    @interest.setter
+    def interest(self, interest: StreamInterest) -> None:
+        self._interest = interest
+        self._match = compile_interest(interest)
 
     def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
-        if tup.stream_id != self.interest.stream_id:
+        if tup.stream_id != self._interest.stream_id:
             # Tuples of other streams pass through untouched (a filter
             # constrains only its own stream).
             return [tup]
-        if self.interest.matches_values(tup.values):
+        if self._match(tup.values):
             return [tup]
         return []
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: one comprehension over the compiled predicate."""
+        stream_id = self._interest.stream_id
+        match = self._match
+        return [
+            tup
+            for tup in batch
+            if tup.stream_id != stream_id or match(tup.values)
+        ]

@@ -56,6 +56,9 @@ class WindowJoinOperator(Operator):
             left_stream: deque(),
             right_stream: deque(),
         }
+        # Output sequence counter; advances with every emitted join
+        # result so batch and per-tuple execution number outputs alike.
+        self._emit_seq = 0
 
     # ------------------------------------------------------------------
     def _expire(self, now: float) -> None:
@@ -93,13 +96,74 @@ class WindowJoinOperator(Operator):
                 out.append(
                     StreamTuple(
                         stream_id=f"{self.name}.out",
-                        seq=self.stats.tuples_out + len(out),
+                        seq=self._emit_seq,
                         created_at=min(left.created_at, right.created_at),
                         values=values,
                         size=left.size + right.size,
                     )
                 )
+                self._emit_seq += 1
         self._windows[tup.stream_id].append(tup)
+        return out
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: probe/insert the whole batch with pre-bound state.
+
+        Expiry must run before *every* probe, exactly as the per-tuple
+        path does: ``now`` is shared across the batch, but a tuple whose
+        ``created_at`` already lies past the horizon gets inserted and
+        then expired before the next probe — skipping mid-batch expiry
+        would let such stale tuples join.  The inlined check is O(1)
+        when nothing is stale, so the batch path still avoids all
+        per-tuple dispatch.
+        """
+        windows = self._windows
+        left_stream = self.left_stream
+        right_stream = self.right_stream
+        attribute = self.attribute
+        tolerance = self.tolerance
+        out_stream = f"{self.name}.out"
+        out: list[StreamTuple] = []
+        append = out.append
+        horizon = now - self.window
+        left_window = windows[left_stream]
+        right_window = windows[right_stream]
+        for tup in batch:
+            stream_id = tup.stream_id
+            if stream_id not in windows:
+                append(tup)
+                continue
+            while left_window and left_window[0].created_at < horizon:
+                left_window.popleft()
+            while right_window and right_window[0].created_at < horizon:
+                right_window.popleft()
+            is_left = stream_id == left_stream
+            other_id = right_stream if is_left else left_stream
+            key = tup.value(attribute)
+            for other in windows[other_id]:
+                if abs(other.value(attribute) - key) <= tolerance:
+                    left, right = (tup, other) if is_left else (other, tup)
+                    values = {
+                        f"left.{k}": v for k, v in left.values.items()
+                    }
+                    values.update(
+                        {f"right.{k}": v for k, v in right.values.items()}
+                    )
+                    append(
+                        StreamTuple(
+                            stream_id=out_stream,
+                            seq=self._emit_seq,
+                            created_at=min(
+                                left.created_at, right.created_at
+                            ),
+                            values=values,
+                            size=left.size + right.size,
+                        )
+                    )
+                    self._emit_seq += 1
+            windows[stream_id].append(tup)
         return out
 
     def reset_state(self) -> None:

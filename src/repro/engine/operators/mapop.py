@@ -39,3 +39,10 @@ class MapOperator(Operator):
         if result is None:
             return []
         return [result]
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: one pass of ``fn``, dropped ``None`` results."""
+        fn = self.fn
+        return [result for result in map(fn, batch) if result is not None]

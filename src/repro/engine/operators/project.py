@@ -36,3 +36,22 @@ class ProjectOperator(Operator):
             return [tup]
         size = self.bytes_per_attribute * len(kept)
         return [tup.project(kept, size=size)]
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: project each tuple without per-tuple dispatch."""
+        attributes = self.attributes
+        bytes_per_attribute = self.bytes_per_attribute
+        out: list[StreamTuple] = []
+        append = out.append
+        for tup in batch:
+            values = tup.values
+            kept = [a for a in attributes if a in values]
+            if not kept:
+                append(tup)
+            else:
+                append(
+                    tup.project(kept, size=bytes_per_attribute * len(kept))
+                )
+        return out

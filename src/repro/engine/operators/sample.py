@@ -37,3 +37,17 @@ class SampleOperator(Operator):
         if draw < self.probability:
             return [tup]
         return []
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: hash-draw every tuple in one comprehension."""
+        name = self.name
+        threshold = self.probability * 2**32
+        crc32 = zlib.crc32
+        return [
+            tup
+            for tup in batch
+            if (crc32(f"{name}|{tup.stream_id}|{tup.seq}".encode()) & 0xFFFFFFFF)
+            < threshold
+        ]

@@ -50,6 +50,33 @@ class SlidingAverageOperator(Operator):
         mean = self._sum / len(self._entries)
         return [tup.with_values(**{f"{self.attribute}_avg": mean})]
 
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: running-sum window maintained in a tight loop."""
+        attribute = self.attribute
+        out_attr = f"{attribute}_avg"
+        window = self.window
+        entries = self._entries
+        running = self._sum
+        out: list[StreamTuple] = []
+        append = out.append
+        for tup in batch:
+            values = tup.values
+            if attribute not in values:
+                append(tup)
+                continue
+            created = tup.created_at
+            horizon = created - window
+            while entries and entries[0][0] < horizon:
+                running -= entries.popleft()[1]
+            value = values[attribute]
+            entries.append((created, value))
+            running += value
+            append(tup.with_values(**{out_attr: running / len(entries)}))
+        self._sum = running
+        return out
+
     def reset_state(self) -> None:
         self._entries.clear()
         self._sum = 0.0

@@ -61,6 +61,37 @@ class TopKOperator(Operator):
             heapq.heapreplace(self._heap, entry)
         return out
 
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: heap maintenance in one loop, window flushes
+        inline exactly where the per-tuple path would emit them."""
+        attribute = self.attribute
+        window = self.window
+        k = self.k
+        heap = self._heap
+        floor = math.floor
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        out: list[StreamTuple] = []
+        for tup in batch:
+            values = tup.values
+            if attribute not in values:
+                out.append(tup)
+                continue
+            window_index = floor(tup.created_at / window)
+            if self._current_window is None:
+                self._current_window = window_index
+            elif window_index > self._current_window:
+                out.extend(self._flush())
+                self._current_window = window_index
+            entry = (values[attribute], tup.seq, tup)
+            if len(heap) < k:
+                heappush(heap, entry)
+            elif entry[0] > heap[0][0]:
+                heapreplace(heap, entry)
+        return out
+
     def reset_state(self) -> None:
         self._current_window = None
         self._heap.clear()

@@ -33,3 +33,16 @@ class UnionOperator(Operator):
         if tup.stream_id not in self.input_streams:
             return [tup]
         return [replace(tup, stream_id=f"{self.name}.out")]
+
+    def process_batch(
+        self, batch: list[StreamTuple], now: float
+    ) -> list[StreamTuple]:
+        """Batch kernel: relabel matching tuples in one comprehension."""
+        streams = self.input_streams
+        out_id = f"{self.name}.out"
+        return [
+            tup
+            if tup.stream_id not in streams
+            else replace(tup, stream_id=out_id)
+            for tup in batch
+        ]

@@ -11,10 +11,17 @@ our answer:
   shared-volume (bytes/second) between two interests, used as the query
   graph's edge weights (§3.2.2);
 * :mod:`repro.interest.aggregate` — bounded-complexity aggregation of many
-  interests into the filter an ancestor applies for a subtree (§3.1).
+  interests into the filter an ancestor applies for a subtree (§3.1);
+* :mod:`repro.interest.compiled` — per-interest codegen'd match kernels
+  and batch filters, the hot-path form of ``matches_values``.
 """
 
 from repro.interest.aggregate import InterestAggregate, aggregate_interests
+from repro.interest.compiled import (
+    compile_aggregate,
+    compile_batch_filter,
+    compile_interest,
+)
 from repro.interest.overlap import interest_rate, overlap_rate, overlap_selectivity
 from repro.interest.predicates import Interval, IntervalSet, StreamInterest
 
@@ -22,6 +29,9 @@ __all__ = [
     "Interval",
     "IntervalSet",
     "StreamInterest",
+    "compile_interest",
+    "compile_aggregate",
+    "compile_batch_filter",
     "overlap_selectivity",
     "overlap_rate",
     "interest_rate",

@@ -1,0 +1,160 @@
+"""Compiled interest predicates: codegen'd per-interest match kernels.
+
+``StreamInterest.matches_values`` walks a Python dict of constraints and
+calls into :class:`~repro.interest.predicates.IntervalSet` per attribute
+— fine for planning, but it is the per-tuple inner loop of both ancestor
+early filtering (§3.1) and query-side selection, so every dispatch and
+loop iteration is paid millions of times.  This module compiles an
+interest into **one specialised Python function** whose body is
+generated for exactly that interest's constraints:
+
+* attributes are tested in a fixed, unrolled sequence (no dict walk);
+* a single-interval constraint becomes one chained comparison
+  ``lo <= v <= hi`` with the bounds bound as argument defaults (locals,
+  not globals);
+* a multi-interval constraint becomes a ``bisect`` over the interval
+  starts plus one upper-bound check;
+* an unsatisfiable (empty) constraint short-circuits to ``False``.
+
+The compiled kernel is semantically identical to ``matches_values``:
+attributes absent from the tuple pass, present ones must lie inside the
+constraint's interval set.  Kernels are cached per canonical interest
+shape, so recompiling the same filter (e.g. after a dissemination-tree
+refresh that rebuilt an equal aggregate) is a dict hit.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.interest.predicates import IntervalSet, StreamInterest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.interest.aggregate import InterestAggregate
+    from repro.streams.tuples import StreamTuple
+
+# Marks "attribute absent" in the generated kernels; distinct from any
+# attribute value (including None).
+_MISSING = object()
+
+# Compiled-kernel cache, keyed by the canonical interest shape.  Bounded
+# only by the variety of interests a process ever compiles; cleared via
+# clear_cache() (tests) and pruned wholesale if it ever grows absurd.
+_CACHE: dict[tuple, Callable[[dict], bool]] = {}
+_CACHE_LIMIT = 8192
+
+MatchFn = Callable[[dict], bool]
+
+
+def interest_key(interest: StreamInterest) -> tuple:
+    """The canonical, hashable shape of an interest.
+
+    Two interests with equal stream and equal per-attribute interval
+    sets share one compiled kernel.
+    """
+    return (
+        interest.stream_id,
+        tuple(
+            (name, interest.constraints[name].intervals)
+            for name in sorted(interest.constraints)
+        ),
+    )
+
+
+def clear_cache() -> None:
+    """Drop every cached kernel (test isolation)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of kernels currently cached."""
+    return len(_CACHE)
+
+
+def _codegen(interest: StreamInterest) -> MatchFn:
+    """Generate, compile, and return the match kernel for ``interest``."""
+    namespace: dict[str, object] = {"_M": _MISSING, "_bisect": bisect_right}
+    params = ["values", "_M=_M"]
+    body: list[str] = []
+    for index, name in enumerate(sorted(interest.constraints)):
+        ivs: IntervalSet = interest.constraints[name]
+        body.append(f"    v = values.get({name!r}, _M)")
+        if ivs.is_empty:
+            # Unsatisfiable constraint: any tuple carrying the attribute
+            # is rejected outright.
+            body.append("    if v is not _M:")
+            body.append("        return False")
+            continue
+        intervals = ivs.intervals
+        if len(intervals) == 1:
+            lo, hi = f"_lo{index}", f"_hi{index}"
+            namespace[lo] = intervals[0].lo
+            namespace[hi] = intervals[0].hi
+            params += [f"{lo}={lo}", f"{hi}={hi}"]
+            body.append("    if v is not _M:")
+            body.append(f"        if not ({lo} <= v <= {hi}):")
+            body.append("            return False")
+        else:
+            starts, his = f"_starts{index}", f"_his{index}"
+            namespace[starts] = tuple(iv.lo for iv in intervals)
+            namespace[his] = tuple(iv.hi for iv in intervals)
+            params += [
+                "_bisect=_bisect",
+                f"{starts}={starts}",
+                f"{his}={his}",
+            ]
+            body.append("    if v is not _M:")
+            body.append(f"        i = _bisect({starts}, v)")
+            body.append(f"        if i == 0 or v > {his}[i - 1]:")
+            body.append("            return False")
+    body.append("    return True")
+    source = "def _match({}):\n{}\n".format(
+        ", ".join(dict.fromkeys(params)), "\n".join(body)
+    )
+    code = compile(source, f"<compiled interest {interest.stream_id}>", "exec")
+    exec(code, namespace)  # noqa: S102 - the source is fully self-generated
+    fn = namespace["_match"]
+    fn.__doc__ = (
+        f"Compiled match kernel for an interest on {interest.stream_id!r}."
+    )
+    fn.__source__ = source  # type: ignore[attr-defined] - introspection aid
+    return fn  # type: ignore[return-value]
+
+
+def compile_interest(interest: StreamInterest) -> MatchFn:
+    """Compile an interest into a specialised ``values -> bool`` kernel.
+
+    The kernel is output-identical to ``interest.matches_values`` and is
+    cached: compiling an equal interest again returns the same function.
+    """
+    key = interest_key(interest)
+    fn = _CACHE.get(key)
+    if fn is None:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        fn = _CACHE[key] = _codegen(interest)
+    return fn
+
+
+def compile_aggregate(aggregate: "InterestAggregate") -> MatchFn:
+    """Compile an ancestor's aggregate filter (its merged interest)."""
+    return compile_interest(aggregate.interest)
+
+
+def compile_batch_filter(
+    interest: StreamInterest,
+) -> Callable[[Iterable["StreamTuple"]], list["StreamTuple"]]:
+    """Compile an interest into a batch tuple filter.
+
+    Returns ``f(batch) -> [tup, ...]`` keeping exactly the tuples whose
+    ``values`` satisfy the interest — the kernel ancestors run over a
+    whole forwarded batch per child edge.
+    """
+    match = compile_interest(interest)
+
+    def filter_batch(batch: Iterable["StreamTuple"]) -> list["StreamTuple"]:
+        """Keep the tuples of ``batch`` matching the compiled interest."""
+        return [tup for tup in batch if match(tup.values)]
+
+    return filter_batch

@@ -163,6 +163,26 @@ class Batcher:
             return self.take()
         return None
 
+    def add_many(self, items: list[Any]) -> list[list[Any]]:
+        """Add many items at once; returns every full batch formed.
+
+        The batch analogue of calling :meth:`add` per item: batches come
+        out in the same ``batch_size``-sized chunks, items in order, a
+        trailing partial chunk stays pending.
+        """
+        pending = self._pending
+        pending.extend(items)
+        size = self.batch_size
+        if len(pending) < size:
+            return []
+        full = [
+            pending[start : start + size]
+            for start in range(0, len(pending) - size + 1, size)
+        ]
+        del pending[: len(full) * size]
+        self.batches_formed += len(full)
+        return full
+
     def take(self) -> list[Any] | None:
         """Flush the partial batch (``None`` when nothing is pending)."""
         if not self._pending:

@@ -172,6 +172,48 @@ class TreeForwarder:
             if full is not None:
                 await self.transport.send(self.channels[child], full)
 
+    async def forward_batch(self, batch: list[StreamTuple]) -> None:
+        """Relay a whole batch without unbatching it.
+
+        Consecutive same-stream runs are filtered per child edge with
+        the tree's compiled aggregate kernel in one pass; the per-child
+        tuple order (and therefore everything downstream sees) is
+        identical to calling :meth:`forward` per tuple.
+        """
+        start, n = 0, len(batch)
+        while start < n:
+            stream_id = batch[start].stream_id
+            end = start + 1
+            while end < n and batch[end].stream_id == stream_id:
+                end += 1
+            await self._forward_run(stream_id, batch[start:end])
+            start = end
+
+    async def _forward_run(
+        self, stream_id: str, run: list[StreamTuple]
+    ) -> None:
+        """Forward one same-stream run across this node's tree edges."""
+        tree = self.trees.get(stream_id)
+        if tree is None:
+            return
+        if self.node != SOURCE and not tree.contains(self.node):
+            return
+        for child in tree.children_of(self.node):
+            if self.early_filtering:
+                kept = tree.filter_batch(child, run)
+                self.metrics.filtered_edges += len(run) - len(kept)
+                if not kept:
+                    continue
+            else:
+                kept = run
+            if self.transform:
+                kept = [
+                    self._project_for(tree, child, tup) for tup in kept
+                ]
+            self.metrics.forwarded_edges += len(kept)
+            for full in self._batcher(child).add_many(kept):
+                await self.transport.send(self.channels[child], full)
+
     def _project_for(
         self, tree: DisseminationTree, child: str, tup: StreamTuple
     ) -> StreamTuple:
@@ -249,6 +291,7 @@ class LiveGateway:
         *,
         batch_size: int = 8,
         service_wall: float = 0.0,
+        batch_execute: bool = True,
     ) -> None:
         self.entity_id = entity_id
         self.inbox = inbox
@@ -260,6 +303,7 @@ class LiveGateway:
         self.metrics = metrics
         self.clock = clock
         self.service_wall = service_wall
+        self.batch_execute = batch_execute
         self.control = TaskControl()
         self._proc_batchers = {
             proc: Batcher(batch_size) for proc in proc_channels
@@ -289,11 +333,49 @@ class LiveGateway:
                 batch = await self.inbox.get()
             except ChannelClosed:
                 break
-            for tup in batch:
-                await self._handle(tup)
+            if self.batch_execute:
+                await self._handle_batch(batch)
+            else:
+                for tup in batch:
+                    await self._handle(tup)
             await self.forwarder.flush()
             await self._flush_procs()
             self.tracker.done(len(batch))
+
+    async def _handle_batch(self, batch: list[StreamTuple]) -> None:
+        """Process one inbox batch without unbatching it.
+
+        Deliveries are recorded in order, the whole batch is relayed via
+        :meth:`TreeForwarder.forward_batch`, and delegate intake is
+        appended to the per-processor batchers in arrival order — every
+        per-destination tuple sequence matches the per-tuple path.
+        """
+        now = self.clock.now
+        record = self.metrics.record_delivery
+        for tup in batch:
+            record(self.entity_id, tup, now)
+        if self.service_wall > 0.0:
+            await asyncio.sleep(self.service_wall * len(batch))
+        await self.forwarder.forward_batch(batch)
+        delegate_of = self.delegation.delegate_of
+        proc_channels = self.proc_channels
+        replay_depth = self._replay_depth
+        intake: dict[str, list[tuple[None, StreamTuple]]] = {}
+        for tup in batch:
+            delegate = delegate_of(tup.stream_id)
+            if delegate is None or delegate not in proc_channels:
+                continue
+            if replay_depth:
+                buf = self._recent.get(tup.stream_id)
+                if buf is None:
+                    buf = self._recent[tup.stream_id] = deque(
+                        maxlen=replay_depth
+                    )
+                buf.append(tup)
+            intake.setdefault(delegate, []).append((None, tup))
+        for delegate, items in intake.items():
+            for full in self._proc_batchers[delegate].add_many(items):
+                await self.transport.send(proc_channels[delegate], full)
 
     async def _handle(self, tup: StreamTuple) -> None:
         self.metrics.record_delivery(self.entity_id, tup, self.clock.now)
@@ -348,9 +430,11 @@ class LiveProcessor:
         clock: LiveClock,
         *,
         batch_size: int = 8,
+        batch_execute: bool = True,
     ) -> None:
         self.entity_id = entity_id
         self.proc_id = proc_id
+        self.batch_execute = batch_execute
         self.inbox = inbox
         self.fragments = fragments
         self.downstream = downstream
@@ -379,13 +463,89 @@ class LiveProcessor:
                 batch = await self.inbox.get()
             except ChannelClosed:
                 break
-            for fragment_id, tup in batch:
-                if fragment_id is None:
-                    await self._intake(tup)
-                else:
-                    await self._run_fragment(fragment_id, tup)
+            if self.batch_execute:
+                await self._execute_batch(batch)
+            else:
+                for fragment_id, tup in batch:
+                    if fragment_id is None:
+                        await self._intake(tup)
+                    else:
+                        await self._run_fragment(fragment_id, tup)
             await self._flush()
             self.tracker.done(len(batch))
+
+    async def _execute_batch(
+        self, items: list[tuple[str | None, StreamTuple]]
+    ) -> None:
+        """Execute one inbox batch without unbatching it.
+
+        Consecutive items addressed to the same fragment (the common
+        case — upstream batches per destination) run through the fused
+        fragment pipeline as one batch; each fragment still consumes its
+        tuples in exactly the arrival order, so outputs match the
+        per-tuple path.
+        """
+        start, n = 0, len(items)
+        while start < n:
+            fragment_id = items[start][0]
+            end = start + 1
+            while end < n and items[end][0] == fragment_id:
+                end += 1
+            run = [tup for __, tup in items[start:end]]
+            if fragment_id is None:
+                await self._intake_batch(run)
+            else:
+                await self._run_fragment_batch(fragment_id, run)
+            start = end
+
+    async def _intake_batch(self, run: list[StreamTuple]) -> None:
+        """Delegate-route a batch of raw stream tuples to head fragments."""
+        start, n = 0, len(run)
+        while start < n:
+            stream_id = run[start].stream_id
+            end = start + 1
+            while end < n and run[end].stream_id == stream_id:
+                end += 1
+            sub = run[start:end]
+            for fragment_id, proc in self.head_routes.get(stream_id, []):
+                if proc == self.proc_id:
+                    await self._run_fragment_batch(fragment_id, sub)
+                else:
+                    items = [(fragment_id, tup) for tup in sub]
+                    for full in self._proc_batchers[proc].add_many(items):
+                        await self.transport.send(
+                            self.proc_channels[proc], full
+                        )
+            start = end
+
+    async def _run_fragment_batch(
+        self, fragment_id: str, batch: list[StreamTuple]
+    ) -> None:
+        """Run a batch through one fragment's fused pipeline and route
+        the outputs downstream as a batch."""
+        fragment = self.fragments.get(fragment_id)
+        if fragment is None:
+            return
+        self.metrics.record_busy(
+            self.entity_id, fragment.cost_for_batch(batch)
+        )
+        outputs = fragment.run_batch(batch, self.clock.now)
+        if not outputs:
+            return
+        kind, *rest = self.downstream[fragment_id]
+        if kind == TO_RESULT:
+            (query_id,) = rest
+            items = [(query_id, out) for out in outputs]
+            for full in self._result_batcher.add_many(items):
+                await self.transport.send(self.result_channel, full)
+            return
+        proc_id, next_fragment_id = rest
+        if proc_id == self.proc_id:
+            await self._run_fragment_batch(next_fragment_id, outputs)
+            return
+        items = [(next_fragment_id, out) for out in outputs]
+        for full in self._proc_batchers[proc_id].add_many(items):
+            await self.transport.send(self.proc_channels[proc_id], full)
 
     async def _intake(self, tup: StreamTuple) -> None:
         """Delegate routing: raw stream tuple to every head fragment."""

@@ -45,3 +45,26 @@ def test_format_series():
 
 def test_format_series_no_unit():
     assert format_series("x", [1], [2]) == "x: (1, 2)"
+
+
+def test_write_bench_json_envelope(tmp_path, monkeypatch):
+    import json
+
+    from repro.bench.reporting import (
+        BENCH_JSON_DIR_ENV,
+        BENCH_JSON_SCHEMA,
+        write_bench_json,
+    )
+
+    monkeypatch.setenv(BENCH_JSON_DIR_ENV, str(tmp_path))
+    path = write_bench_json("sample", {"a_tps": 1234.5, "b_speedup": 2.0})
+    assert path == tmp_path / "BENCH_sample.json"
+    payload = json.loads(path.read_text())
+    assert payload["name"] == "sample"
+    assert payload["schema_version"] == BENCH_JSON_SCHEMA
+    assert "pytest benchmarks/" in payload["regenerate"]
+    assert payload["metrics"] == {"a_tps": 1234.5, "b_speedup": 2.0}
+    # stable output: identical metrics produce an identical file
+    first = path.read_text()
+    write_bench_json("sample", {"b_speedup": 2.0, "a_tps": 1234.5})
+    assert path.read_text() == first

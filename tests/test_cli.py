@@ -66,3 +66,48 @@ def test_query_syntax_error_exit_code(capsys):
 def test_missing_command_raises_system_exit():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_profile_live_prints_hot_functions(capsys, tmp_path):
+    dump = tmp_path / "live.pstats"
+    code = main(
+        [
+            "profile",
+            "live",
+            "--duration",
+            "0.5",
+            "--queries",
+            "8",
+            "--limit",
+            "5",
+            "--output",
+            str(dump),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+    assert "function calls" in out
+    assert dump.is_file()
+
+
+def test_profile_demo_per_tuple_sort_tottime(capsys):
+    code = main(
+        [
+            "profile",
+            "demo",
+            "--duration",
+            "1.0",
+            "--queries",
+            "8",
+            "--entities",
+            "3",
+            "--sort",
+            "tottime",
+            "--limit",
+            "5",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "function calls" in out

@@ -1,0 +1,126 @@
+"""Tests for the codegen'd interest predicate kernels.
+
+The compiled kernel must be indistinguishable from the interpreted
+``StreamInterest.matches_values`` on every input — multi-interval
+constraints, empty sets, missing attributes — and the cache must hand
+the same function back for shape-equal interests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.interest.compiled import (
+    cache_size,
+    clear_cache,
+    compile_batch_filter,
+    compile_interest,
+    interest_key,
+)
+from repro.interest.predicates import Interval, IntervalSet, StreamInterest
+from repro.streams.tuples import StreamTuple
+
+finite = st.floats(
+    min_value=-50.0, max_value=150.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_sets(draw):
+    """Random (possibly empty, possibly multi-interval) IntervalSets."""
+    bounds = draw(st.lists(finite, min_size=0, max_size=8))
+    intervals = [
+        Interval(min(lo, hi), max(lo, hi))
+        for lo, hi in zip(bounds[::2], bounds[1::2])
+    ]
+    return IntervalSet(intervals)
+
+
+@st.composite
+def interests(draw):
+    """Random interests over a small attribute vocabulary."""
+    names = draw(
+        st.lists(
+            st.sampled_from(["price", "volume", "sym", "x"]),
+            min_size=0,
+            max_size=4,
+            unique=True,
+        )
+    )
+    return StreamInterest(
+        "s", {name: draw(interval_sets()) for name in names}
+    )
+
+
+@st.composite
+def value_dicts(draw):
+    """Random tuple value dicts, sometimes missing constrained names."""
+    names = draw(
+        st.lists(
+            st.sampled_from(["price", "volume", "sym", "x", "extra"]),
+            min_size=0,
+            max_size=5,
+            unique=True,
+        )
+    )
+    return {name: draw(finite) for name in names}
+
+
+@settings(max_examples=200, deadline=None)
+@given(interest=interests(), values=value_dicts())
+def test_compiled_matches_interpreted(interest, values):
+    """The codegen'd kernel equals matches_values on arbitrary input."""
+    match = compile_interest(interest)
+    assert match(values) == interest.matches_values(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ivs=interval_sets(), value=finite)
+def test_interval_set_bisect_contains(ivs, value):
+    """Bisect membership equals the definitional linear scan."""
+    expected = any(iv.lo <= value <= iv.hi for iv in ivs.intervals)
+    assert ivs.contains(value) == expected
+    assert (value in ivs) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(interest=interests(), values=st.lists(value_dicts(), max_size=10))
+def test_batch_filter_matches_per_tuple(interest, values):
+    """compile_batch_filter keeps exactly the per-tuple survivors."""
+    batch = [
+        StreamTuple("s", seq, 0.0, vals, 64.0)
+        for seq, vals in enumerate(values)
+    ]
+    keep = compile_batch_filter(interest)
+    expected = [t for t in batch if interest.matches_values(t.values)]
+    assert keep(batch) == expected
+
+
+def test_cache_returns_same_kernel_for_equal_shape():
+    """Shape-equal interests share one compiled function."""
+    clear_cache()
+    a = StreamInterest.on("s", price=(10.0, 50.0))
+    b = StreamInterest.on("s", price=(10.0, 50.0))
+    assert interest_key(a) == interest_key(b)
+    assert compile_interest(a) is compile_interest(b)
+    assert cache_size() == 1
+    c = StreamInterest.on("s", price=(10.0, 60.0))
+    assert compile_interest(c) is not compile_interest(a)
+    assert cache_size() == 2
+
+
+def test_compiled_kernel_exposes_source():
+    """Kernels carry their generated source for debugging/inspection."""
+    match = StreamInterest.on("s", price=(10.0, 50.0)).compiled()
+    assert "def _match" in match.__source__
+    assert match({"price": 20.0})
+    assert not match({"price": 9.0})
+
+
+def test_empty_constraint_rejects_present_attribute():
+    """An empty IntervalSet matches only when the attribute is absent."""
+    interest = StreamInterest("s", {"price": IntervalSet()})
+    match = compile_interest(interest)
+    assert match({}) == interest.matches_values({})
+    assert match({"price": 1.0}) == interest.matches_values({"price": 1.0})
+    assert not match({"price": 1.0})
