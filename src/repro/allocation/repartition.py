@@ -30,13 +30,22 @@ from repro.allocation.refinement import refine_partition
 
 @dataclass(frozen=True)
 class RepartitionOutcome:
-    """What one adaptation step produced."""
+    """What one adaptation step produced.
+
+    ``migrations`` is always the *net* count — vertices whose final part
+    differs from their starting part (via :func:`_count_migrations`) —
+    so the three strategies are comparable; ``gross_moves`` additionally
+    counts every individual move an incremental strategy performed (a
+    vertex moved twice counts twice).  For the from-scratch strategy the
+    two coincide by construction.
+    """
 
     assignment: Assignment
     cut: float
     imbalance: float
     migrations: int
     decision_seconds: float
+    gross_moves: int = 0
 
 
 def _complete(assignment: Assignment, graph: QueryGraph, parts: int) -> Assignment:
@@ -108,12 +117,14 @@ class ScratchRepartitioner:
         current = _complete(current, graph, parts)
         assignment = _match_labels(current, result.assignment, parts)
         elapsed = time.perf_counter() - started
+        migrations = _count_migrations(current, assignment)
         return RepartitionOutcome(
             assignment=assignment,
             cut=graph.edge_cut(assignment),
             imbalance=graph.imbalance(assignment, parts),
-            migrations=_count_migrations(current, assignment),
+            migrations=migrations,
             decision_seconds=elapsed,
+            gross_moves=migrations,
         )
 
 
@@ -122,7 +133,11 @@ class CutRepartitioner:
 
     Vertices migrate smallest-first from the most loaded part to the
     least loaded part until every part is within ``max_imbalance`` of
-    ideal (or no further single move helps).
+    ideal (or no further single move helps).  A move is only accepted
+    when it leaves the target part at or below the balance limit, so a
+    vertex that lands on an underloaded part can never make that part
+    the next overload source — every vertex moves at most once and the
+    repair converges without exhausting its guard counter.
     """
 
     def __init__(self, *, max_imbalance: float = 1.10) -> None:
@@ -134,10 +149,11 @@ class CutRepartitioner:
         """Repair overload by moving vertices, ignoring edge weights."""
         started = time.perf_counter()
         assignment = _complete(current, graph, parts)
+        before = dict(assignment)
         loads = graph.part_loads(assignment, parts)
         total = sum(loads)
         limit = self.max_imbalance * total / parts if total > 0 else float("inf")
-        migrations = 0
+        gross = 0
 
         by_part: dict[int, list[str]] = {p: [] for p in range(parts)}
         for vertex, part in assignment.items():
@@ -156,13 +172,20 @@ class CutRepartitioner:
             moved = False
             for vertex in candidates:
                 vw = graph.vertex_weights[vertex]
-                if loads[light] + vw < loads[heavy]:
+                # The move must both improve the overloaded part and
+                # keep the target within the limit: an overshot target
+                # would become the next overload source and the same
+                # vertices would ping-pong until the guard expired.
+                if (
+                    loads[light] + vw < loads[heavy]
+                    and loads[light] + vw <= limit
+                ):
                     by_part[heavy].remove(vertex)
                     by_part[light].append(vertex)
                     assignment[vertex] = light
                     loads[heavy] -= vw
                     loads[light] += vw
-                    migrations += 1
+                    gross += 1
                     moved = True
                     break
             if not moved:
@@ -173,8 +196,9 @@ class CutRepartitioner:
             assignment=assignment,
             cut=graph.edge_cut(assignment),
             imbalance=graph.imbalance(assignment, parts),
-            migrations=migrations,
+            migrations=_count_migrations(before, assignment),
             decision_seconds=elapsed,
+            gross_moves=gross,
         )
 
 
@@ -205,11 +229,12 @@ class HybridRepartitioner:
         """Gain-aware load repair plus budget-bounded boundary refinement."""
         started = time.perf_counter()
         assignment = _complete(current, graph, parts)
+        before = dict(assignment)
         adjacency = graph.adjacency()
         loads = graph.part_loads(assignment, parts)
         total = sum(loads)
         limit = self.max_imbalance * total / parts if total > 0 else float("inf")
-        migrations = 0
+        gross = 0
 
         def cut_delta(vertex: str, target: int) -> float:
             own = assignment[vertex]
@@ -242,7 +267,7 @@ class HybridRepartitioner:
             assignment[vertex] = light
             loads[heavy] -= vw
             loads[light] += vw
-            migrations += 1
+            gross += 1
 
         boundary: set[str] = set()
         for (a, b), __ in graph.edge_weights.items():
@@ -258,13 +283,30 @@ class HybridRepartitioner:
             movable=boundary,
             move_budget=budget,
         )
-        migrations += moves
+        gross += moves
 
         elapsed = time.perf_counter() - started
         return RepartitionOutcome(
             assignment=assignment,
             cut=graph.edge_cut(assignment),
             imbalance=graph.imbalance(assignment, parts),
-            migrations=migrations,
+            migrations=_count_migrations(before, assignment),
             decision_seconds=elapsed,
+            gross_moves=gross,
         )
+
+
+REPARTITIONER_NAMES = ("scratch", "cut", "hybrid")
+
+
+def make_repartitioner(
+    name: str, *, max_imbalance: float = 1.10, seed: int = 0
+):
+    """Instantiate a repartition strategy by name (CLI / adaptation loop)."""
+    if name == "scratch":
+        return ScratchRepartitioner(max_imbalance=max_imbalance, seed=seed)
+    if name == "cut":
+        return CutRepartitioner(max_imbalance=max_imbalance)
+    if name == "hybrid":
+        return HybridRepartitioner(max_imbalance=max_imbalance)
+    raise ValueError(f"strategy must be one of {REPARTITIONER_NAMES}")

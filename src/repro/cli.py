@@ -8,6 +8,9 @@ Commands:
 * ``chaos`` — run the live runtime under a deterministic fault script
   (crashes, partitions, latency spikes, stalls) and print the recovery
   report alongside the usual run summary;
+* ``adapt`` — run the live runtime with the closed adaptation loop
+  under a drifting-rate workload and print the migration/adaptation
+  report alongside the usual run summary;
 * ``query`` — compile one query-language string against a built-in
   catalog, run it on a small federation, and report its results;
 * ``profile`` — run a scenario under cProfile and print the hottest
@@ -43,6 +46,7 @@ EXPERIMENTS = [
     ("E14", "monitored routing signal", "bench_monitored_routing.py"),
     ("E15", "live asyncio federation throughput", "bench_live_throughput.py"),
     ("E16", "failure recovery under chaos", "bench_chaos_recovery.py"),
+    ("E17", "live adaptation vs static allocation", "bench_live_adaptation.py"),
 ]
 
 
@@ -174,6 +178,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     for line in format_script(runtime.script).splitlines():
         print(f"  {line}")
     for line in report.summary_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.core.system import SystemConfig
+    from repro.live import (
+        AdaptationSettings,
+        AdaptiveRuntime,
+        LiveRuntime,
+        LiveSettings,
+    )
+    from repro.query.generator import WorkloadConfig, generate_workload
+    from repro.streams.catalog import stock_catalog
+    from repro.workloads import apply_rate_drift, crossfade_rates
+
+    catalog = stock_catalog(exchanges=2, rate=args.rate)
+    config = SystemConfig(
+        entity_count=args.entities,
+        processors_per_entity=args.processors,
+        seed=args.seed,
+    )
+    try:
+        settings = LiveSettings(
+            duration=args.duration,
+            batch_size=args.batch_size,
+            channel_capacity=args.capacity,
+            send_timeout=2.0,
+            max_retries=6,
+        )
+        adaptation = AdaptationSettings(
+            period=args.period,
+            strategy=args.strategy,
+            imbalance_threshold=args.threshold,
+        )
+    except ValueError as exc:
+        print(f"invalid adaptation settings: {exc}", file=sys.stderr)
+        return 2
+    if args.static:
+        runtime = LiveRuntime(catalog, config, settings)
+    else:
+        runtime = AdaptiveRuntime(catalog, config, settings, adaptation)
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=args.queries, join_fraction=0.0, aggregate_fraction=0.2
+        ),
+        seed=args.seed,
+    )
+    runtime.submit(workload.queries)
+    hot = {
+        stream_id
+        for stream_id in catalog.stream_ids()
+        if stream_id.startswith("exchange-0")
+    }
+    apply_rate_drift(
+        runtime.planner.sources,
+        crossfade_rates(
+            catalog,
+            hot,
+            factor_up=args.drift_up,
+            factor_down=args.drift_down,
+            duration=args.duration,
+        ),
+    )
+    report = runtime.run()
+    mode = "static" if args.static else f"adaptive/{args.strategy}"
+    print(
+        f"adaptation run ({mode}): {args.entities} entities x "
+        f"{args.processors} processors, {args.queries} queries, "
+        f"drifting rates x{args.drift_up}/x{args.drift_down}"
+    )
+    for line in report.summary_lines():
+        print(f"  {line}")
+    print("per-entity queues:")
+    for line in report.queue_lines():
         print(f"  {line}")
     return 0
 
@@ -365,6 +445,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="detect failures but do not repair (baseline)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="run the live runtime with the closed adaptation loop",
+    )
+    adapt.add_argument("--seed", type=int, default=17)
+    adapt.add_argument("--entities", type=int, default=4)
+    adapt.add_argument("--processors", type=int, default=3)
+    adapt.add_argument("--queries", type=int, default=32)
+    adapt.add_argument("--duration", type=float, default=3.0)
+    adapt.add_argument("--rate", type=float, default=100.0)
+    adapt.add_argument("--batch-size", type=int, default=16)
+    adapt.add_argument("--capacity", type=int, default=256)
+    adapt.add_argument(
+        "--period",
+        type=float,
+        default=0.5,
+        help="control-loop period in virtual seconds",
+    )
+    adapt.add_argument(
+        "--strategy",
+        choices=("scratch", "cut", "hybrid"),
+        default="hybrid",
+        help="repartitioning strategy for the adaptation loop",
+    )
+    adapt.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="observed imbalance ratio that triggers migration",
+    )
+    adapt.add_argument(
+        "--drift-up",
+        type=float,
+        default=6.0,
+        help="rate multiplier the hot exchange ramps up to",
+    )
+    adapt.add_argument(
+        "--drift-down",
+        type=float,
+        default=0.25,
+        help="rate multiplier the cold streams ramp down to",
+    )
+    adapt.add_argument(
+        "--static",
+        action="store_true",
+        help="disable adaptation (baseline under the same drift)",
+    )
+    adapt.set_defaults(handler=_cmd_adapt)
 
     query = sub.add_parser("query", help="compile and run one query")
     query.add_argument("text", help="query text (see repro.lang)")

@@ -11,6 +11,13 @@ as :class:`~repro.core.system.FederatedSystem`, live output through
 :class:`LiveReport`.
 """
 
+from repro.live.adaptation import (
+    AdaptationController,
+    AdaptationSettings,
+    AdaptiveRuntime,
+    LoadSampler,
+    QueryMigrator,
+)
 from repro.live.channels import Batcher, ChannelClosed, LiveChannel
 from repro.live.chaos import (
     ChaosController,
@@ -24,6 +31,7 @@ from repro.live.chaos import (
     random_script,
 )
 from repro.live.entity_task import (
+    FeedGate,
     LiveClock,
     LiveGateway,
     LiveProcessor,
@@ -38,7 +46,13 @@ from repro.live.runtime import LiveDataflow, LiveRuntime, LiveSettings
 from repro.live.transport import LiveTransport, TransportChaos, WorkTracker
 
 __all__ = [
+    "AdaptationController",
+    "AdaptationSettings",
+    "AdaptiveRuntime",
     "Batcher",
+    "FeedGate",
+    "LoadSampler",
+    "QueryMigrator",
     "ChannelClosed",
     "ChaosController",
     "ChaosEvent",

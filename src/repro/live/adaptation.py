@@ -1,0 +1,493 @@
+"""Closed-loop adaptation: live repartitioning with online migration.
+
+§3.2.2's repartitioning strategies exist in the allocation layer but —
+before this module — only ever ran offline on planned rates.  Here the
+loop is closed on the *running* federation:
+
+1. **sample** — every control period (virtual seconds, paced by the
+   run's :class:`~repro.live.entity_task.LiveClock`), read the observed
+   per-query fragment CPU cost accumulated by
+   :class:`~repro.live.metrics.LiveMetrics` since the previous round;
+2. **rebuild** — reconstruct the :class:`~repro.allocation.query_graph.
+   QueryGraph` and replace its planned vertex weights with the observed
+   CPU rates, so drifting streams actually shift weight between parts;
+3. **decide** — hand graph + current assignment to a pluggable
+   repartitioner (default :class:`~repro.allocation.repartition.
+   HybridRepartitioner`), but only when observed imbalance exceeds the
+   adaptation threshold (the paper's "when load is not balanced");
+4. **migrate** — execute the resulting moves through the online
+   query-migration protocol of :class:`QueryMigrator`:
+   *pause* (gate every source feed) → *drain* (wait for the dataflow to
+   go quiescent, so no in-flight tuple can be lost) → *transfer* (move
+   the query's live :class:`~repro.engine.plan.Fragment` objects —
+   join/aggregate/sliding-window state intact — re-home the hosted
+   query, re-run stream delegation, and re-chain intra-entity
+   placement) → *resume* (reopen the gate);
+5. **refresh** — re-derive every dissemination tree's interests from
+   the new hosting so early filtering reflects the new placement:
+   newly interested entities attach under their closest eligible
+   parent, stale leaf relays detach.
+
+Because the drain step empties every channel and batcher before any
+fragment moves, migration is exactly-once by construction: the result
+sets of an adaptive run and a static run of the same trace are
+identical (asserted by the E17 bench and the live adaptation tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, replace
+
+from repro.allocation.query_graph import QueryGraph, build_query_graph
+from repro.allocation.repartition import (
+    REPARTITIONER_NAMES,
+    make_repartitioner,
+)
+from repro.dissemination.tree import SOURCE, DisseminationTree
+from repro.live.entity_task import TO_PROC, TO_RESULT, FeedGate
+from repro.live.metrics import LiveMetrics, LiveReport
+from repro.live.runtime import LiveDataflow, LiveRuntime, LiveSettings
+from repro.monitoring.adaptation import (
+    AdaptationMetrics,
+    AdaptationRound,
+)
+
+
+@dataclass(frozen=True)
+class AdaptationSettings:
+    """Control-loop knobs of the adaptive live runtime.
+
+    Attributes:
+        period: Virtual seconds between control rounds.
+        strategy: Repartitioner name (``scratch``/``cut``/``hybrid``).
+        imbalance_threshold: Observed max/ideal part-load ratio above
+            which a round is allowed to migrate; below it the round
+            only samples.  Kept above the repartitioners' own
+            ``max_imbalance`` so the loop does not chase noise.
+        max_imbalance: Balance target handed to the repartitioner.
+        seed: Seed for the from-scratch strategy's partitioner.
+    """
+
+    period: float = 1.0
+    strategy: str = "hybrid"
+    imbalance_threshold: float = 1.25
+    max_imbalance: float = 1.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.strategy not in REPARTITIONER_NAMES:
+            raise ValueError(
+                f"strategy must be one of {REPARTITIONER_NAMES}"
+            )
+        if self.imbalance_threshold < 1.0 or self.max_imbalance < 1.0:
+            raise ValueError("imbalance bounds must be >= 1.0")
+
+
+class LoadSampler:
+    """Turns cumulative busy-cost counters into per-window CPU rates."""
+
+    def __init__(self, metrics: LiveMetrics) -> None:
+        self.metrics = metrics
+        self._last: dict[str, float] = {}
+        self._last_time = 0.0
+
+    def sample(self, now: float) -> dict[str, float]:
+        """Observed CPU seconds/second per query since the last call.
+
+        Only queries that have ever executed a fragment appear; for the
+        rest the caller falls back to the planner's estimate.
+        """
+        span = max(1e-9, now - self._last_time)
+        self._last_time = now
+        current = dict(self.metrics.query_busy_cost)
+        rates = {
+            query_id: (cost - self._last.get(query_id, 0.0)) / span
+            for query_id, cost in current.items()
+        }
+        self._last = current
+        return rates
+
+
+class QueryMigrator:
+    """The online query-migration protocol.
+
+    Executes a set of ``(query_id, source_entity, target_entity)``
+    moves against a *running* dataflow: pause → drain → transfer →
+    interest refresh → resume.  Operator state moves with the live
+    :class:`~repro.engine.plan.Fragment` objects; nothing is reset.
+    """
+
+    def __init__(
+        self,
+        runtime: LiveRuntime,
+        flow: LiveDataflow,
+        gate: FeedGate,
+        metrics: AdaptationMetrics,
+    ) -> None:
+        self.runtime = runtime
+        self.flow = flow
+        self.gate = gate
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    async def execute(self, moves: list[tuple[str, str, str]]) -> float:
+        """Run the protocol for ``moves``; returns pause wall seconds."""
+        started = time.perf_counter()
+        self.gate.close()
+        try:
+            await self._drain()
+            for query_id, src_id, dst_id in sorted(moves):
+                self._transfer(query_id, src_id, dst_id)
+            self._refresh_trees()
+        finally:
+            self.gate.open()
+        return time.perf_counter() - started
+
+    async def _drain(self) -> None:
+        """Wait until no tuple is in flight anywhere in the dataflow.
+
+        Feeds flush their partial batches before parking at the gate,
+        and every gateway/processor flushes its batchers at the end of
+        each inbox iteration, so once all live feeds are parked and the
+        work tracker reads zero, every channel and batcher is empty.
+        """
+        spins = 0
+        while True:
+            active = sum(
+                1 for feed in self.flow.feeds if not feed.finished
+            )
+            if self.gate.waiting >= active:
+                break
+            spins += 1
+            # yield first (as-fast-as-possible runs park within a few
+            # scheduler ticks); back off to real sleeps for paced runs
+            await asyncio.sleep(0.0 if spins < 64 else 0.001)
+        await self.flow.tracker.wait_quiescent()
+
+    # ------------------------------------------------------------------
+    def _transfer(self, query_id: str, src_id: str, dst_id: str) -> None:
+        """Move one query — fragments, state, routes — between entities."""
+        planner = self.runtime.planner
+        flow = self.flow
+        src = planner.entities[src_id]
+        dst = planner.entities[dst_id]
+        hosted = src.hosted.pop(query_id, None)
+        if hosted is None:
+            return
+        dst.hosted[query_id] = hosted
+        planner.allocation_result.assignment[query_id] = dst_id
+        streams = hosted.spec.input_streams
+
+        # -- uninstall at the source ----------------------------------
+        src_procs = sorted(src.processors)
+        src_routes = flow.processors[(src_id, src_procs[0])].head_routes
+        head_id = hosted.fragments[0].fragment_id
+        for stream_id in streams:
+            routes = src_routes.get(stream_id)
+            if routes:
+                src_routes[stream_id] = [
+                    r for r in routes if r[0] != head_id
+                ]
+        for fragment, proc_id in zip(
+            hosted.fragments, hosted.chain_procs
+        ):
+            task = flow.processors[(src_id, proc_id)]
+            task.fragments.pop(fragment.fragment_id, None)
+            task.downstream.pop(fragment.fragment_id, None)
+        still_needed = {
+            s
+            for other in src.hosted.values()
+            for s in other.spec.input_streams
+        }
+        for stream_id in streams:
+            if stream_id not in still_needed:
+                schema = planner.catalog.schema(stream_id)
+                src.delegation.release(
+                    stream_id, schema.bytes_per_second
+                )
+
+        # -- install at the target ------------------------------------
+        for stream_id in streams:
+            schema = planner.catalog.schema(stream_id)
+            dst.delegation.assign(stream_id, schema.bytes_per_second)
+        dominant = max(
+            streams, key=lambda s: planner.catalog.schema(s).rate
+        )
+        dst_procs = sorted(dst.processors)
+        delegate = dst.delegation.delegate_of(dominant)
+        start = dst_procs.index(delegate) if delegate in dst_procs else 0
+        hosted.chain_procs = [
+            dst_procs[(start + i) % len(dst_procs)]
+            for i in range(len(hosted.fragments))
+        ]
+        chain = list(zip(hosted.fragments, hosted.chain_procs))
+        for index, (fragment, proc_id) in enumerate(chain):
+            task = flow.processors[(dst_id, proc_id)]
+            task.fragments[fragment.fragment_id] = fragment
+            if index + 1 < len(chain):
+                next_fragment, next_proc = chain[index + 1]
+                task.downstream[fragment.fragment_id] = (
+                    TO_PROC,
+                    next_proc,
+                    next_fragment.fragment_id,
+                )
+            else:
+                task.downstream[fragment.fragment_id] = (
+                    TO_RESULT,
+                    query_id,
+                )
+        dst_routes = flow.processors[(dst_id, dst_procs[0])].head_routes
+        head_proc = hosted.chain_procs[0]
+        for stream_id in streams:
+            dst_routes.setdefault(stream_id, []).append(
+                (head_id, head_proc)
+            )
+        self.metrics.record_transfer(len(hosted.fragments))
+
+    # ------------------------------------------------------------------
+    def _refresh_trees(self) -> None:
+        """Re-derive every tree's membership/filters from the hosting.
+
+        Trees are mutated *in place* (the source feeds hold direct
+        references to these objects), so attach/detach/interest changes
+        are visible to every forwarder immediately.
+        """
+        planner = self.runtime.planner
+        per_entity_interests = {
+            entity_id: entity.interests_by_stream()
+            for entity_id, entity in planner.entities.items()
+        }
+        per_entity_attrs = {
+            entity_id: entity.required_attributes_by_stream()
+            for entity_id, entity in planner.entities.items()
+        }
+        attaches = detaches = 0
+        for stream_id, tree in sorted(self.flow.trees.items()):
+            interested = {
+                entity_id: interests[stream_id]
+                for entity_id, interests in per_entity_interests.items()
+                if stream_id in interests
+            }
+            for entity_id in sorted(interested):
+                if not tree.contains(entity_id):
+                    self._attach_closest(tree, stream_id, entity_id)
+                    attaches += 1
+            for entity_id in tree.entities:
+                if entity_id in interested:
+                    tree.set_interests(entity_id, interested[entity_id])
+                    tree.set_required_attributes(
+                        entity_id,
+                        per_entity_attrs[entity_id].get(stream_id),
+                    )
+                else:
+                    # pure relay (or stale member): forwards only what
+                    # its subtree needs, reads nothing itself
+                    tree.set_interests(entity_id, [])
+                    tree.set_required_attributes(entity_id, set())
+            # prune leaves nobody needs, bottom-up
+            while True:
+                removable = [
+                    entity_id
+                    for entity_id in tree.entities
+                    if entity_id not in interested
+                    and not tree.children_of(entity_id)
+                ]
+                if not removable:
+                    break
+                for entity_id in sorted(removable):
+                    tree.detach(entity_id)
+                    detaches += 1
+        self.metrics.record_tree_update(attaches, detaches)
+
+    def _attach_closest(
+        self, tree: DisseminationTree, stream_id: str, entity_id: str
+    ) -> None:
+        """Attach a newly interested entity under the nearest node with
+        fanout to spare (leaves always qualify, so one always exists)."""
+        network = self.runtime.planner.network
+        node = network.node(entity_id)
+        source_node = network.node(
+            self.runtime.planner._source_nodes[stream_id]
+        )
+
+        def position(candidate: str) -> tuple[float, float]:
+            if candidate == SOURCE:
+                return (source_node.x, source_node.y)
+            member = network.node(candidate)
+            return (member.x, member.y)
+
+        candidates = [
+            member
+            for member in [SOURCE] + sorted(tree.entities)
+            if tree.fanout(member) < tree.max_fanout
+        ]
+        best = min(
+            candidates,
+            key=lambda member: (
+                (position(member)[0] - node.x) ** 2
+                + (position(member)[1] - node.y) ** 2,
+                member,
+            ),
+        )
+        tree.attach(entity_id, parent=best)
+
+
+class AdaptationController:
+    """The periodic control loop: sample → rebuild → decide → migrate."""
+
+    def __init__(
+        self,
+        runtime: LiveRuntime,
+        flow: LiveDataflow,
+        gate: FeedGate,
+        settings: AdaptationSettings,
+        metrics: AdaptationMetrics,
+    ) -> None:
+        self.runtime = runtime
+        self.flow = flow
+        self.settings = settings
+        self.metrics = metrics
+        self.sampler = LoadSampler(runtime.metrics)
+        self.migrator = QueryMigrator(runtime, flow, gate, metrics)
+        self.repartitioner = make_repartitioner(
+            settings.strategy,
+            max_imbalance=settings.max_imbalance,
+            seed=settings.seed,
+        )
+
+    async def run(self) -> None:
+        """Run rounds forever; the runtime cancels us at quiescence."""
+        next_round = self.settings.period
+        while True:
+            await self.flow.clock.wait_until(next_round)
+            await self._round(self.flow.clock.now)
+            next_round += self.settings.period
+
+    # ------------------------------------------------------------------
+    def _observed_graph(
+        self, now: float
+    ) -> tuple[QueryGraph, dict[str, int], list[str]]:
+        """The query graph with observed vertex weights, the current
+        assignment in part indices, and the part→entity id mapping."""
+        planner = self.runtime.planner
+        queries = planner._queries
+        graph = build_query_graph(queries, planner.catalog)
+        observed = self.sampler.sample(now)
+        for query_id, rate in observed.items():
+            if query_id in graph.vertex_weights:
+                graph.vertex_weights[query_id] = rate
+        entity_ids = sorted(planner.entities)
+        part_of = {
+            entity_id: part for part, entity_id in enumerate(entity_ids)
+        }
+        current = {
+            query_id: part_of[entity_id]
+            for query_id, entity_id in (
+                planner.allocation_result.assignment.items()
+            )
+            if entity_id in part_of and query_id in graph.vertex_weights
+        }
+        return graph, current, entity_ids
+
+    async def _round(self, now: float) -> None:
+        """One control round; migrates only on observed overload."""
+        planner = self.runtime.planner
+        parts = len(planner.entities)
+        if parts < 2 or not planner._queries:
+            return
+        graph, current, entity_ids = self._observed_graph(now)
+        imbalance = graph.imbalance(current, parts)
+        if imbalance <= self.settings.imbalance_threshold:
+            self.metrics.record_round(
+                AdaptationRound(
+                    virtual_time=now,
+                    imbalance_before=imbalance,
+                    imbalance_after=imbalance,
+                    migrations=0,
+                    decision_seconds=0.0,
+                    pause_wall_seconds=0.0,
+                )
+            )
+            return
+        outcome = self.repartitioner.repartition(graph, current, parts)
+        moves = [
+            (query_id, entity_ids[current[query_id]], entity_ids[part])
+            for query_id, part in sorted(outcome.assignment.items())
+            if query_id in current and current[query_id] != part
+        ]
+        pause = 0.0
+        if moves and outcome.imbalance < imbalance:
+            pause = await self.migrator.execute(moves)
+            self.metrics.gross_moves += outcome.gross_moves
+            applied = len(moves)
+            after = outcome.imbalance
+        else:
+            applied = 0
+            after = imbalance
+        self.metrics.record_round(
+            AdaptationRound(
+                virtual_time=now,
+                imbalance_before=imbalance,
+                imbalance_after=after,
+                migrations=applied,
+                decision_seconds=outcome.decision_seconds,
+                pause_wall_seconds=pause,
+            )
+        )
+
+
+class AdaptiveRuntime(LiveRuntime):
+    """A :class:`LiveRuntime` with the adaptation loop switched on.
+
+    Identical planning and dataflow; additionally spawns an
+    :class:`AdaptationController` alongside the dataflow and attaches
+    its :class:`~repro.monitoring.adaptation.AdaptationReport` to the
+    run's :class:`~repro.live.metrics.LiveReport`.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        config,
+        settings: LiveSettings | None = None,
+        adaptation: AdaptationSettings | None = None,
+    ) -> None:
+        super().__init__(catalog, config, settings)
+        self.adaptation = adaptation or AdaptationSettings()
+        self.gate = FeedGate()
+        self.adaptation_metrics = AdaptationMetrics(
+            self.adaptation.strategy
+        )
+        self.controller: AdaptationController | None = None
+
+    def _build_dataflow(self, traces) -> LiveDataflow:
+        flow = super()._build_dataflow(traces)
+        for feed in flow.feeds:
+            feed.gate = self.gate
+        return flow
+
+    async def _start_extras(
+        self, flow: LiveDataflow
+    ) -> list[asyncio.Task]:
+        extras = await super()._start_extras(flow)
+        self.controller = AdaptationController(
+            self, flow, self.gate, self.adaptation, self.adaptation_metrics
+        )
+        extras.append(
+            asyncio.create_task(
+                self.controller.run(), name="live:adaptation"
+            )
+        )
+        return extras
+
+    def _finish_report(
+        self, report: LiveReport, flow: LiveDataflow
+    ) -> LiveReport:
+        report = super()._finish_report(report, flow)
+        return replace(
+            report, adaptation=self.adaptation_metrics.build_report()
+        )

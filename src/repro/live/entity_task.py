@@ -53,6 +53,7 @@ class LiveClock:
             raise ValueError("time_scale must be >= 0")
         self.time_scale = time_scale
         self._virtual = 0.0
+        self._advanced = asyncio.Event()
 
     @property
     def now(self) -> float:
@@ -65,6 +66,21 @@ class LiveClock:
             if self.time_scale > 0.0:
                 await asyncio.sleep((t - self._virtual) * self.time_scale)
             self._virtual = max(self._virtual, t)
+            self._advanced.set()
+
+    async def wait_until(self, t: float) -> None:
+        """Block until virtual time reaches ``t``.
+
+        The clock only moves when a source feed paces it forward, so a
+        waiter simply sleeps on the advancement event between checks —
+        the adaptation loop uses this to run its control period on
+        virtual time regardless of ``time_scale``.
+        """
+        while self._virtual < t:
+            self._advanced.clear()
+            if self._virtual >= t:
+                break
+            await self._advanced.wait()
 
 
 class TaskControl:
@@ -110,6 +126,48 @@ class TaskControl:
         """Wait out any stall; return ``True`` when the task must die."""
         await self._resume.wait()
         return self._crashed
+
+
+class FeedGate:
+    """Pause point shared by every source feed of one run.
+
+    The query-migration protocol closes the gate, waits for the dataflow
+    to drain, moves fragments (with their operator state), and reopens
+    it.  Feeds await the gate before every emission, so while it is
+    closed no new tuple enters the federation and quiescence is
+    reachable.
+    """
+
+    def __init__(self) -> None:
+        self._open = asyncio.Event()
+        self._open.set()
+        self._waiting = 0
+
+    @property
+    def is_open(self) -> bool:
+        """Whether feeds may currently emit."""
+        return self._open.is_set()
+
+    @property
+    def waiting(self) -> int:
+        """Feeds currently parked at the closed gate."""
+        return self._waiting
+
+    def close(self) -> None:
+        """Stop all feeds at their next emission point."""
+        self._open.clear()
+
+    def open(self) -> None:
+        """Let the feeds resume."""
+        self._open.set()
+
+    async def wait_open(self) -> None:
+        """Feed side: block while the gate is closed."""
+        self._waiting += 1
+        try:
+            await self._open.wait()
+        finally:
+            self._waiting -= 1
 
 
 class TreeForwarder:
@@ -246,6 +304,7 @@ class LiveSourceFeed:
         metrics: LiveMetrics,
         *,
         batch_linger: float = 0.05,
+        gate: FeedGate | None = None,
     ) -> None:
         self.stream_id = stream_id
         self.trace = trace
@@ -253,12 +312,21 @@ class LiveSourceFeed:
         self.clock = clock
         self.metrics = metrics
         self.batch_linger = batch_linger
+        self.gate = gate
+        # True once the trace is fully replayed; the migration protocol
+        # uses it to know how many feeds can still reach the gate.
+        self.finished = False
 
     async def run(self) -> None:
         """Pace through the trace; flush lingering batches; finish."""
         pending_since: float | None = None
         for index, (t, tup) in enumerate(self.trace):
             await self.clock.pace(t)
+            if self.gate is not None and not self.gate.is_open:
+                # migration in progress: flush so the drain observes
+                # every tuple emitted so far, then wait at the gate
+                await self.forwarder.flush()
+                await self.gate.wait_open()
             self.metrics.record_ingest()
             await self.forwarder.forward(tup)
             if pending_since is None:
@@ -272,6 +340,7 @@ class LiveSourceFeed:
                     await self.forwarder.flush()
                     pending_since = None
         await self.forwarder.flush()
+        self.finished = True
 
 
 class LiveGateway:
@@ -527,7 +596,9 @@ class LiveProcessor:
         if fragment is None:
             return
         self.metrics.record_busy(
-            self.entity_id, fragment.cost_for_batch(batch)
+            self.entity_id,
+            fragment.cost_for_batch(batch),
+            query_id=fragment.query_id,
         )
         outputs = fragment.run_batch(batch, self.clock.now)
         if not outputs:
@@ -561,7 +632,9 @@ class LiveProcessor:
         fragment = self.fragments.get(fragment_id)
         if fragment is None:
             return
-        self.metrics.record_busy(self.entity_id, fragment.cost_for(tup))
+        self.metrics.record_busy(
+            self.entity_id, fragment.cost_for(tup), query_id=fragment.query_id
+        )
         outputs = fragment.run(tup, self.clock.now)
         if not outputs:
             return

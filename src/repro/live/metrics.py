@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.monitoring.adaptation import AdaptationReport
 from repro.monitoring.recovery import RecoveryReport
 from repro.monitoring.reports import LoadReport, SubtreeLoad
 from repro.streams.tuples import StreamTuple
@@ -46,11 +47,14 @@ class LiveMetrics:
         self.entity_tuples: dict[str, int] = {}
         self.entity_latency_sum: dict[str, float] = {}
         self.entity_busy_cost: dict[str, float] = {}
+        self.query_busy_cost: dict[str, float] = {}
         self.filtered_edges = 0
         self.forwarded_edges = 0
         self.results_by_query: dict[str, list[StreamTuple]] = {}
         self.result_latency_sum = 0.0
         self.result_count = 0
+        self.result_latencies: list[float] = []
+        self.negative_latency_samples = 0
         self.wall_started = 0.0
         self.wall_finished = 0.0
 
@@ -72,22 +76,43 @@ class LiveMetrics:
     ) -> None:
         """Account one tuple arriving at an entity gateway."""
         self.entity_tuples[entity_id] = self.entity_tuples.get(entity_id, 0) + 1
-        self.entity_latency_sum[entity_id] = self.entity_latency_sum.get(
-            entity_id, 0.0
-        ) + max(0.0, virtual_now - tup.created_at)
+        latency = virtual_now - tup.created_at
+        if latency < 0.0:
+            # A negative delay means a virtual timestamp was compared
+            # against the wrong clock; clamp for the aggregate, but
+            # count the clamp so parity tests can fail loudly instead
+            # of averaging the bug away.
+            self.negative_latency_samples += 1
+            latency = 0.0
+        self.entity_latency_sum[entity_id] = (
+            self.entity_latency_sum.get(entity_id, 0.0) + latency
+        )
 
-    def record_busy(self, entity_id: str, cost: float) -> None:
-        """Account fragment CPU cost (virtual seconds) at an entity."""
+    def record_busy(
+        self, entity_id: str, cost: float, query_id: str | None = None
+    ) -> None:
+        """Account fragment CPU cost (virtual seconds) at an entity,
+        optionally attributed to the owning query (the adaptation loop's
+        observed vertex weight)."""
         self.entity_busy_cost[entity_id] = (
             self.entity_busy_cost.get(entity_id, 0.0) + cost
         )
+        if query_id is not None:
+            self.query_busy_cost[query_id] = (
+                self.query_busy_cost.get(query_id, 0.0) + cost
+            )
 
     def record_result(
         self, query_id: str, tup: StreamTuple, virtual_now: float
     ) -> None:
         """Account one result tuple reaching the collector."""
         self.results_by_query.setdefault(query_id, []).append(tup)
-        self.result_latency_sum += max(0.0, virtual_now - tup.created_at)
+        latency = virtual_now - tup.created_at
+        if latency < 0.0:
+            self.negative_latency_samples += 1
+            latency = 0.0
+        self.result_latency_sum += latency
+        self.result_latencies.append(latency)
         self.result_count += 1
 
     # ------------------------------------------------------------------
@@ -104,6 +129,11 @@ class LiveMetrics:
         """Freeze the collected counters into a :class:`LiveReport`."""
         wall = max(1e-9, self.wall_finished - self.wall_started)
         delivered = sum(self.entity_tuples.values())
+        if self.result_latencies:
+            ordered = sorted(self.result_latencies)
+            p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        else:
+            p95 = 0.0
         return LiveReport(
             duration=duration,
             wall_seconds=wall,
@@ -115,6 +145,8 @@ class LiveMetrics:
                 if self.result_count
                 else 0.0
             ),
+            p95_result_latency=p95,
+            negative_latency_samples=self.negative_latency_samples,
             filtered_edges=self.filtered_edges,
             forwarded_edges=self.forwarded_edges,
             batches_sent=transport.batches_sent,
@@ -127,6 +159,7 @@ class LiveMetrics:
             entity_queue_depth=dict(entity_queue_depth),
             entity_queue_high_water=dict(entity_queue_high_water),
             entity_cpu_seconds=dict(self.entity_busy_cost),
+            query_cpu_seconds=dict(self.query_busy_cost),
             entity_query_count=dict(entity_query_count),
             results_by_query={
                 q: len(tups) for q, tups in self.results_by_query.items()
@@ -146,6 +179,10 @@ class LiveReport:
             (a tuple relayed through ``n`` entities counts ``n`` times).
         results: Result tuples collected across all queries.
         mean_result_latency: Mean virtual source-to-result delay.
+        p95_result_latency: 95th-percentile source-to-result delay.
+        negative_latency_samples: Latency samples that had to be clamped
+            to zero — a nonzero value means a virtual timestamp was
+            compared against the wrong clock somewhere.
         filtered_edges / forwarded_edges: Early-filtering decisions at
             dissemination-tree edges.
         batches_sent / mean_batch_size: Transport batching efficiency.
@@ -154,8 +191,13 @@ class LiveReport:
             retry budget (drops are metrics, never exceptions).
         blocked_puts: Sends that found a channel full (backpressure).
         entity_*: Per-entity views keyed by entity id.
+        query_cpu_seconds: Fragment CPU demand attributed per query —
+            the observed vertex weights the adaptation loop feeds back
+            into the query graph.
         recovery: Failure/recovery metrics when the run executed under
             the chaos harness; ``None`` for plain live runs.
+        adaptation: Control-loop metrics when the run executed under the
+            adaptive runtime; ``None`` for static runs.
     """
 
     duration: float
@@ -164,6 +206,8 @@ class LiveReport:
     tuples_delivered: int
     results: int
     mean_result_latency: float
+    p95_result_latency: float
+    negative_latency_samples: int
     filtered_edges: int
     forwarded_edges: int
     batches_sent: int
@@ -176,9 +220,11 @@ class LiveReport:
     entity_queue_depth: dict[str, int] = field(default_factory=dict)
     entity_queue_high_water: dict[str, int] = field(default_factory=dict)
     entity_cpu_seconds: dict[str, float] = field(default_factory=dict)
+    query_cpu_seconds: dict[str, float] = field(default_factory=dict)
     entity_query_count: dict[str, int] = field(default_factory=dict)
     results_by_query: dict[str, int] = field(default_factory=dict)
     recovery: RecoveryReport | None = None
+    adaptation: AdaptationReport | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -248,14 +294,19 @@ class LiveReport:
             f"{self.delivered_throughput:,.0f} gateway deliveries/s",
             f"results: {self.results} from "
             f"{sum(1 for n in self.results_by_query.values() if n)} queries "
-            f"(mean latency {self.mean_result_latency * 1000:.1f} ms)",
+            f"(mean latency {self.mean_result_latency * 1000:.1f} ms, "
+            f"p95 {self.p95_result_latency * 1000:.1f} ms)",
             f"batching: {self.batches_sent} batches, "
             f"mean size {self.mean_batch_size:.1f}",
             f"early filtering: {self.filtered_edges} edges filtered, "
             f"{self.forwarded_edges} forwarded",
             f"flow control: {self.blocked_puts} blocked sends, "
             f"{self.retries} retries, {self.dropped_tuples} tuples dropped",
-        ] + (self.recovery.summary_lines() if self.recovery else [])
+        ] + (
+            self.recovery.summary_lines() if self.recovery else []
+        ) + (
+            self.adaptation.summary_lines() if self.adaptation else []
+        )
 
     def queue_lines(self) -> list[str]:
         """Per-entity queue-depth digest (CLI acceptance view)."""

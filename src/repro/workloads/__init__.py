@@ -6,7 +6,13 @@ with controlled interest overlap, drifting operators whose statistics
 change mid-run, and time-varying rate profiles for bursty feeds.
 """
 
-from repro.workloads.drifting import DriftingFilter, linear_drift, step_drift
+from repro.workloads.drifting import (
+    DriftingFilter,
+    apply_rate_drift,
+    crossfade_rates,
+    linear_drift,
+    step_drift,
+)
 from repro.workloads.rates import constant_rate, diurnal, ramp, square_burst
 from repro.workloads.scenarios import (
     Scenario,
@@ -16,6 +22,8 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "DriftingFilter",
+    "apply_rate_drift",
+    "crossfade_rates",
     "step_drift",
     "linear_drift",
     "constant_rate",

@@ -85,6 +85,7 @@ def live_result_keys(seed):
     runtime.submit(filter_queries())
     report = runtime.run()
     assert report.dropped_tuples == 0
+    assert report.negative_latency_samples == 0
     return {
         (query_id, tup.stream_id, tup.seq)
         for query_id, tups in runtime.results.items()

@@ -211,6 +211,7 @@ def test_live_results_match_simulator_on_seeded_workload():
         for tup in tups
     }
     assert report.dropped_tuples == 0
+    assert report.negative_latency_samples == 0
     assert sim_keys  # the workload actually produced results
     assert live_keys == sim_keys
 
@@ -218,12 +219,13 @@ def test_live_results_match_simulator_on_seeded_workload():
 def test_parity_holds_across_seeds():
     for seed in (3, 29):
         sim_keys = _simulated_result_keys(seed, 1.5)
-        runtime, __ = run_live(LiveSettings(duration=1.5), seed=seed)
+        runtime, report = run_live(LiveSettings(duration=1.5), seed=seed)
         live_keys = {
             (query_id, tup.stream_id, tup.seq)
             for query_id, tups in runtime.results.items()
             for tup in tups
         }
+        assert report.negative_latency_samples == 0
         assert live_keys == sim_keys
 
 

@@ -5,13 +5,20 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.allocation.partitioning import MultilevelPartitioner
 from repro.allocation.query_graph import QueryGraph
 from repro.allocation.repartition import (
+    REPARTITIONER_NAMES,
     CutRepartitioner,
     HybridRepartitioner,
     ScratchRepartitioner,
+    _complete,
+    _count_migrations,
+    _match_labels,
+    make_repartitioner,
 )
 
 
@@ -138,3 +145,86 @@ def test_outcomes_report_consistent_metrics(scenario):
         assert out.imbalance == pytest.approx(
             graph.imbalance(out.assignment, 4)
         )
+
+
+def test_all_strategies_report_net_migrations(scenario):
+    """``migrations`` is the before/after diff, not a raw move counter.
+
+    A vertex the hybrid's refinement phase moves and then moves back is
+    one gross move each way but zero net migrations; the live migration
+    protocol transfers exactly the net set, so the reported count must
+    match ``_count_migrations`` for every strategy.
+    """
+    graph, current = scenario
+    before = _complete(current, graph, 4)
+    for name in REPARTITIONER_NAMES:
+        out = make_repartitioner(name, seed=4).repartition(graph, current, 4)
+        assert out.migrations == _count_migrations(before, out.assignment)
+        assert out.migrations <= out.gross_moves
+
+
+def test_cut_converges_without_overshooting(scenario):
+    """Accepted moves keep the target part within the balance limit.
+
+    Consequences asserted: a part that started under the limit never
+    ends above it, and no vertex moves twice (an overshot target would
+    turn into the next overload source and re-evict its new arrivals,
+    spinning until the guard counter expired).
+    """
+    graph, current = scenario
+    out = CutRepartitioner().repartition(graph, current, 4)
+    before = _complete(current, graph, 4)
+    limit = 1.10 * sum(graph.vertex_weights.values()) / 4
+    loads_before = graph.part_loads(before, 4)
+    loads_after = graph.part_loads(out.assignment, 4)
+    for part in range(4):
+        if loads_before[part] <= limit:
+            assert loads_after[part] <= limit + 1e-9
+    # every vertex moves at most once => convergence, not guard expiry
+    assert out.gross_moves == out.migrations
+    assert out.gross_moves <= graph.vertex_count
+    assert out.imbalance <= graph.imbalance(before, 4)
+
+
+def test_cut_rejects_move_that_would_overload_target():
+    """A move that improves the heavy part but overshoots the light one
+    past the limit must be rejected, not taken."""
+    graph = QueryGraph()
+    graph.add_vertex("big", 20.0)
+    graph.add_vertex("small", 1.0)
+    current = {"big": 0, "small": 1}
+    out = CutRepartitioner().repartition(graph, current, 2)
+    assert out.migrations == 0
+    assert out.assignment == current
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_relabelled_assignment_is_not_a_migration(data):
+    """Permuting part labels of an identical assignment migrates nothing.
+
+    ``_match_labels`` must recover the permutation exactly, and every
+    strategy fed a permuted-but-identical balanced assignment must
+    report zero migrations.
+    """
+    n = data.draw(st.integers(min_value=8, max_value=24), label="n")
+    parts = data.draw(st.integers(min_value=2, max_value=4), label="parts")
+    seed = data.draw(st.integers(min_value=0, max_value=999), label="seed")
+    graph = clustered_graph(n=n, groups=parts, seed=seed)
+    base = MultilevelPartitioner(seed=seed).partition(graph, parts).assignment
+    perm = data.draw(
+        st.permutations(list(range(parts))), label="permutation"
+    )
+    permuted = {v: perm[p] for v, p in base.items()}
+
+    matched = _match_labels(permuted, base, parts)
+    assert matched == permuted
+    assert _count_migrations(permuted, matched) == 0
+
+    if graph.imbalance(permuted, parts) > 1.10:
+        return  # incremental strategies would legitimately repair this
+    for name in REPARTITIONER_NAMES:
+        out = make_repartitioner(name, seed=seed).repartition(
+            graph, permuted, parts
+        )
+        assert out.migrations == 0, name
