@@ -17,7 +17,7 @@ from repro.allocation.assigners import (
 )
 from repro.allocation.partitioning import MultilevelPartitioner
 from repro.allocation.query_graph import build_query_graph
-from repro.bench.reporting import Table, emit, print_header
+from repro.bench.reporting import Table, print_header
 from repro.query.generator import WorkloadConfig, generate_workload
 from repro.streams.catalog import stock_catalog
 

@@ -12,7 +12,7 @@ efficiency metrics each axis is supposed to improve:
 
 from __future__ import annotations
 
-from repro.bench.reporting import Table, emit, print_header
+from repro.bench.reporting import Table, print_header
 from repro.core.system import FederatedSystem, SystemConfig
 from repro.query.generator import WorkloadConfig, generate_workload
 from repro.streams.catalog import stock_catalog

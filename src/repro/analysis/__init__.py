@@ -1,0 +1,54 @@
+"""Static analysis and runtime invariant auditing for the reproduction.
+
+The package has two halves that enforce the same discipline at
+different times:
+
+* :mod:`repro.analysis.core` + the ``rules_*`` modules — an AST-based
+  linter (``python -m repro lint``) whose rule packs guard the
+  properties the headline results rest on: determinism (no wall
+  clock, no unseeded randomness, no unordered iteration feeding
+  ordered output), asyncio hygiene in the live runtime, and
+  encapsulation of invariant-bearing structures.
+* :mod:`repro.analysis.invariants` — dynamic checkers
+  (``python -m repro check``) for the paper's structural invariants:
+  coordinator cluster size bounds (§3.2.1), dissemination
+  parent/child + interest-superset consistency, delegation totality
+  (§4), and allocation balance (§3.2.2).  They are callable from
+  tests, the chaos harness, and the adaptation controller after every
+  migration.
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_sources,
+)
+from repro.analysis.invariants import (
+    InvariantViolation,
+    audit_federation,
+    check_allocation_balance,
+    check_coordinator_tree,
+    check_delegation,
+    check_dissemination_tree,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "InvariantViolation",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_sources",
+    "audit_federation",
+    "check_allocation_balance",
+    "check_coordinator_tree",
+    "check_delegation",
+    "check_dissemination_tree",
+    "render_json",
+    "render_text",
+]

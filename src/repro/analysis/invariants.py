@@ -1,0 +1,356 @@
+"""Dynamic checkers for the paper's structural invariants.
+
+Each checker inspects one live structure and returns a list of
+:class:`InvariantViolation` (empty = healthy), so callers choose their
+own severity: tests assert emptiness, the chaos harness attaches the
+audit to its recovery report, and the adaptation controller records a
+post-migration audit every round.
+
+The invariants come straight from the paper:
+
+* **coordinator** — every non-root cluster keeps between ``k`` and
+  ``3k − 1`` members and layer 0 partitions the membership (§3.2.1).
+* **dissemination** — per-stream trees stay actual trees (bidirectional
+  parent/child links, no cycles, fanout bound) and every edge filter is
+  a superset of the interests registered below it, so early filtering
+  never starves a query (§3.1).
+* **delegation** — every stream an entity receives has exactly one
+  delegation processor while the entity has any processor at all (§4).
+* **hosting** — the allocator's assignment, the entities' hosted
+  queries, and tree membership agree (§3.2.2 placement).
+* **balance** — the partition imbalance of the current assignment stays
+  under a caller-chosen bound (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dissemination.tree import SOURCE, DisseminationTree, TreeStructureError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.allocation.query_graph import QueryGraph
+    from repro.coordination.tree import CoordinatorTree
+    from repro.core.entity import Entity
+    from repro.core.system import FederatedSystem
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One violated structural invariant.
+
+    ``check`` names the checker ("coordinator", "dissemination",
+    "delegation", "hosting", or "balance"), ``subject`` the entity,
+    stream, or structure concerned, and ``detail`` is human-readable.
+    """
+
+    check: str
+    subject: str
+    detail: str
+
+    def render(self) -> str:
+        """Format as ``check(subject): detail``."""
+        return f"{self.check}({self.subject}): {self.detail}"
+
+
+def check_coordinator_tree(
+    tree: "CoordinatorTree",
+) -> list[InvariantViolation]:
+    """§3.2.1 cluster-size bounds and partition/leader consistency.
+
+    Wraps :meth:`CoordinatorTree.check_invariants`, which already
+    verifies ``k <= |cluster| <= 3k - 1`` for every non-root cluster.
+    """
+    return [
+        InvariantViolation("coordinator", "tree", problem)
+        for problem in tree.check_invariants()
+    ]
+
+
+def check_dissemination_tree(
+    tree: DisseminationTree,
+) -> list[InvariantViolation]:
+    """Tree structure + interest-superset consistency for one stream."""
+    violations: list[InvariantViolation] = []
+    stream = tree.stream_id
+
+    # --- structural: bidirectional links, reachability, fanout -------
+    for entity in tree.entities:
+        parent = tree.parent_of(entity)
+        if parent != SOURCE and not tree.contains(parent):
+            violations.append(
+                InvariantViolation(
+                    "dissemination",
+                    stream,
+                    f"{entity}'s parent {parent} is not in the tree",
+                )
+            )
+        elif entity not in tree.children_of(parent):
+            violations.append(
+                InvariantViolation(
+                    "dissemination",
+                    stream,
+                    f"{entity} is not listed among {parent}'s children",
+                )
+            )
+        try:
+            tree.depth_of(entity)
+        except TreeStructureError:
+            violations.append(
+                InvariantViolation(
+                    "dissemination",
+                    stream,
+                    f"{entity} is unreachable from the source (cycle)",
+                )
+            )
+    for node in [SOURCE, *tree.entities]:
+        for child in tree.children_of(node):
+            if not tree.contains(child) or tree.parent_of(child) != node:
+                violations.append(
+                    InvariantViolation(
+                        "dissemination",
+                        stream,
+                        f"child link {node} -> {child} has no back link",
+                    )
+                )
+        if tree.fanout(node) > tree.max_fanout:
+            violations.append(
+                InvariantViolation(
+                    "dissemination",
+                    stream,
+                    f"{node} has fanout {tree.fanout(node)} "
+                    f"> bound {tree.max_fanout}",
+                )
+            )
+
+    # --- semantic: every edge filter covers the interests below it ---
+    for entity in tree.entities:
+        interests = tree.interests_of(entity)
+        if not interests:
+            continue
+        node = entity
+        hops = 0
+        while node != SOURCE and hops <= len(tree.entities) + 1:
+            aggregate = tree.subtree_filter(node)
+            if aggregate is None:
+                violations.append(
+                    InvariantViolation(
+                        "dissemination",
+                        stream,
+                        f"edge into {node} forwards nothing but "
+                        f"{entity} registered interests below it",
+                    )
+                )
+                break
+            for interest in interests:
+                if not aggregate.interest.covers(interest):
+                    violations.append(
+                        InvariantViolation(
+                            "dissemination",
+                            stream,
+                            f"edge filter into {node} does not cover an "
+                            f"interest of {entity} (early filtering "
+                            "would starve it)",
+                        )
+                    )
+            node = tree.parent_of(node)
+            hops += 1
+    return violations
+
+
+def check_delegation(entity: "Entity") -> list[InvariantViolation]:
+    """§4 delegation totality for one entity.
+
+    Every stream the entity's hosted queries consume must have exactly
+    one delegation processor, and that processor must still exist.  An
+    entity that has lost *all* processors cannot delegate and is not
+    reported here (recovery re-homes its queries instead).
+    """
+    violations: list[InvariantViolation] = []
+    scheme = entity.delegation
+    if not scheme.processor_ids:
+        return violations
+    for stream_id in sorted(entity.interests_by_stream()):
+        delegate = scheme.delegate_of(stream_id)
+        if delegate is None:
+            violations.append(
+                InvariantViolation(
+                    "delegation",
+                    entity.entity_id,
+                    f"stream {stream_id} is consumed but has no "
+                    "delegation processor",
+                )
+            )
+        elif delegate not in scheme.processor_ids:
+            violations.append(
+                InvariantViolation(
+                    "delegation",
+                    entity.entity_id,
+                    f"stream {stream_id} is delegated to missing "
+                    f"processor {delegate}",
+                )
+            )
+    return violations
+
+
+def check_allocation_balance(
+    graph: "QueryGraph",
+    assignment: dict[str, str],
+    parts: int,
+    *,
+    threshold: float,
+) -> list[InvariantViolation]:
+    """§3.2.2 partition balance: max part load / ideal <= ``threshold``."""
+    imbalance = graph.imbalance(assignment, parts)
+    if imbalance > threshold:
+        return [
+            InvariantViolation(
+                "balance",
+                "assignment",
+                f"imbalance {imbalance:.3f} exceeds bound {threshold:.3f}",
+            )
+        ]
+    return []
+
+
+def _check_hosting(
+    system: "FederatedSystem",
+    trees: dict[str, DisseminationTree],
+    exclude: frozenset[str],
+) -> list[InvariantViolation]:
+    """Assignment ↔ hosted ↔ tree-membership agreement."""
+    violations: list[InvariantViolation] = []
+    assignment = (
+        dict(system.allocation_result.assignment)
+        if system.allocation_result is not None
+        else {}
+    )
+    hosted_at = {
+        query_id: entity_id
+        for entity_id, entity in sorted(system.entities.items())
+        if entity_id not in exclude
+        for query_id in entity.hosted
+    }
+    for query_id, entity_id in sorted(hosted_at.items()):
+        if assignment.get(query_id) != entity_id:
+            violations.append(
+                InvariantViolation(
+                    "hosting",
+                    query_id,
+                    f"hosted at {entity_id} but assigned to "
+                    f"{assignment.get(query_id)}",
+                )
+            )
+    for query_id, entity_id in sorted(assignment.items()):
+        if entity_id in exclude:
+            continue
+        if hosted_at.get(query_id) != entity_id:
+            violations.append(
+                InvariantViolation(
+                    "hosting",
+                    query_id,
+                    f"assigned to {entity_id} but hosted at "
+                    f"{hosted_at.get(query_id)}",
+                )
+            )
+    for entity_id, entity in sorted(system.entities.items()):
+        if entity_id in exclude:
+            continue
+        for stream_id, interests in sorted(
+            entity.interests_by_stream().items()
+        ):
+            tree = trees.get(stream_id)
+            if interests and tree is not None and not tree.contains(entity_id):
+                violations.append(
+                    InvariantViolation(
+                        "hosting",
+                        entity_id,
+                        f"hosts queries on {stream_id} but is not in "
+                        "its dissemination tree",
+                    )
+                )
+    return violations
+
+
+def audit_federation(
+    system: "FederatedSystem",
+    *,
+    trees: dict[str, DisseminationTree] | None = None,
+    exclude: Iterable[str] = (),
+    graph: "QueryGraph | None" = None,
+    parts: int | None = None,
+    balance_threshold: float = 2.0,
+) -> list[InvariantViolation]:
+    """Run every structural check against a planned federation.
+
+    Args:
+        system: The planner (:class:`FederatedSystem`) to audit.
+        trees: Dissemination trees to audit; defaults to the planner's
+            own (the live runtime passes its dataflow's trees, which
+            the migrator refreshes in place).
+        exclude: Entity ids to skip — crashed entities in a chaos run
+            legitimately violate delegation/hosting until re-homed.
+        graph: Optional query graph; with ``parts`` enables the
+            balance check.
+        parts: Partition count for the balance check.
+        balance_threshold: Bound for the balance check.
+    """
+    exclude_set = frozenset(exclude)
+    violations: list[InvariantViolation] = []
+    violations.extend(check_coordinator_tree(system.portal.tree))
+    if trees is None:
+        trees = {
+            stream_id: runtime.tree
+            for stream_id, runtime in sorted(system.dissemination.items())
+        }
+    for __, tree in sorted(trees.items()):
+        violations.extend(
+            violation
+            for violation in check_dissemination_tree(tree)
+            if not any(entity in violation.detail for entity in exclude_set)
+        )
+    for entity_id, entity in sorted(system.entities.items()):
+        if entity_id not in exclude_set:
+            violations.extend(check_delegation(entity))
+    violations.extend(_check_hosting(system, trees, exclude_set))
+    if graph is not None and parts is not None and parts > 0:
+        assignment = (
+            dict(system.allocation_result.assignment)
+            if system.allocation_result is not None
+            else {}
+        )
+        part_of = {
+            entity_id: part
+            for part, entity_id in enumerate(sorted(system.entities))
+        }
+        current = {
+            query_id: part_of[entity_id]
+            for query_id, entity_id in sorted(assignment.items())
+            if entity_id in part_of and query_id in graph.vertex_weights
+        }
+        violations.extend(
+            check_allocation_balance(
+                graph, current, parts, threshold=balance_threshold
+            )
+        )
+    return violations
+
+
+def selfcheck(
+    *, seed: int = 0, entity_count: int = 6, query_count: int = 60
+) -> list[InvariantViolation]:
+    """Build the demo federation and audit it (``python -m repro check``)."""
+    from repro.allocation.query_graph import build_query_graph
+    from repro.core.system import build_demo_system
+
+    system, queries = build_demo_system(
+        seed=seed, entity_count=entity_count, query_count=query_count
+    )
+    graph = build_query_graph(queries, system.catalog)
+    return audit_federation(
+        system,
+        graph=graph,
+        parts=len(system.entities),
+        balance_threshold=3.0,
+    )

@@ -1,0 +1,53 @@
+"""Text and JSON rendering of lint findings.
+
+The JSON document is versioned (``"schema": "repro-lint/1"``) so CI
+consumers can evolve with the format: it carries the flat finding
+list, per-rule counts, and the total.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+JSON_SCHEMA = "repro-lint/1"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a tally."""
+    findings = list(findings)
+    lines = [finding.render() for finding in findings]
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        tally = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(counts.items())
+        )
+        lines.append(f"{len(findings)} finding(s): {tally}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report; see :data:`JSON_SCHEMA` for the version."""
+    findings = list(findings)
+    counts = Counter(finding.rule for finding in findings)
+    document = {
+        "schema": JSON_SCHEMA,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "counts": dict(sorted(counts.items())),
+        "total": len(findings),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,235 @@
+"""ASY rule pack: asyncio hygiene for the live runtime.
+
+The live runtime is cooperative: one forgotten ``await``, one blocking
+sleep, or one garbage-collected task silently stalls or drops part of
+the federation.  These rules flag the patterns that have bitten real
+asyncio codebases: unawaited coroutine calls, blocking sleeps inside
+coroutines, locks held across awaits, and fire-and-forget tasks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: asyncio module-level coroutine functions whose result must be awaited.
+_ASYNCIO_COROUTINES = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.open_connection",
+        "asyncio.to_thread",
+    }
+)
+
+_SPAWN_ATTRS = frozenset({"create_task", "ensure_future"})
+
+
+def _is_spawn_call(node: ast.Call) -> bool:
+    """True for ``asyncio.create_task`` / ``loop.create_task`` / etc."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SPAWN_ATTRS:
+        return True
+    return isinstance(func, ast.Name) and func.id in _SPAWN_ATTRS
+
+
+def _async_functions(
+    tree: ast.Module,
+) -> Iterator[ast.AsyncFunctionDef]:
+    """Yield every async function definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+@register
+class BlockingSleepRule(Rule):
+    """ASY001: ``time.sleep`` inside ``async def``.
+
+    A blocking sleep freezes the whole event loop — every entity task,
+    channel, and heartbeat in the federation — for its duration.  Use
+    ``await asyncio.sleep(...)`` (or the virtual clock's pacing).
+    """
+
+    id = "ASY001"
+    summary = "time.sleep inside async def"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag ``time.sleep`` calls lexically inside async functions."""
+        for func in _async_functions(module.tree):
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Call)
+                    and dotted_name(node.func) == "time.sleep"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "time.sleep blocks the event loop; "
+                        "use `await asyncio.sleep(...)`",
+                    )
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    """ASY002: calling a coroutine function and discarding the coroutine.
+
+    A bare ``foo()`` statement where ``foo`` is async creates a
+    coroutine object and throws it away — the body never runs and
+    Python only warns at garbage-collection time.  The rule uses the
+    project-wide *unambiguously async* name set (defined ``async def``
+    somewhere and never plain ``def``), so names that exist in both
+    flavours (``run``, ``main``) are never flagged.
+    """
+
+    id = "ASY002"
+    summary = "coroutine call without await"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag statement-level calls to known coroutine functions."""
+        async_names = project.async_only_names
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            call = node.value
+            name = dotted_name(call.func)
+            tail = name.split(".")[-1] if name else None
+            if name in _ASYNCIO_COROUTINES or (
+                tail is not None and tail in async_names
+            ):
+                yield self.finding(
+                    module,
+                    call,
+                    f"`{name}()` is a coroutine function; the call does "
+                    "nothing without `await`",
+                )
+
+
+def _names_a_lock(expr: ast.expr) -> bool:
+    """True when a context expression looks like a mutual-exclusion lock.
+
+    Matches ``self._lock`` / ``some_lock`` by name.  Condition variables
+    (``_cond``) are deliberately excluded: ``await cond.wait()`` inside
+    ``async with cond:`` is the correct asyncio pattern and releases the
+    underlying lock while waiting.
+    """
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    return "lock" in name.split(".")[-1].lower()
+
+
+@register
+class LockAcrossAwaitRule(Rule):
+    """ASY003: ``await`` while holding an ``asyncio.Lock``.
+
+    Awaiting inside ``async with lock:`` keeps the lock held across a
+    suspension point, serialising unrelated tasks behind slow I/O and
+    inviting deadlock if the awaited path needs the same lock.  Keep
+    critical sections synchronous, or justify with a suppression.
+    """
+
+    id = "ASY003"
+    summary = "await while holding a lock"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag awaits inside lock-guarded ``async with`` bodies."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncWith):
+                continue
+            if not any(
+                _names_a_lock(item.context_expr) for item in node.items
+            ):
+                continue
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Await):
+                        yield self.finding(
+                            module,
+                            inner,
+                            "await inside `async with <lock>` holds the "
+                            "lock across a suspension point",
+                        )
+
+
+@register
+class DiscardedTaskRule(Rule):
+    """ASY004: ``create_task`` result discarded.
+
+    The event loop keeps only a weak reference to tasks; a spawned task
+    whose handle is dropped can be garbage-collected mid-flight and its
+    exception silently lost.  Assign the handle somewhere that outlives
+    the task (and await or cancel it on shutdown).
+    """
+
+    id = "ASY004"
+    summary = "create_task result discarded"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag statement-level spawn calls whose handle is dropped."""
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _is_spawn_call(node.value)
+            ):
+                yield self.finding(
+                    module,
+                    node.value,
+                    "task handle is discarded; retain it so crashes "
+                    "surface and the task is not garbage-collected",
+                )
+
+
+@register
+class UnnamedTaskRule(Rule):
+    """ASY005: ``create_task`` without ``name=``.
+
+    Named tasks make chaos reports, ``asyncio.all_tasks()`` dumps, and
+    crash logs attributable to an entity/stream; anonymous ``Task-7``
+    entries are useless under fault injection.  Library code must name
+    every spawn (tests and benchmarks are exempt).
+    """
+
+    id = "ASY005"
+    summary = "create_task without name="
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag unnamed spawn calls in library code."""
+        if module.is_test_code:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _is_spawn_call(node)
+                and not any(kw.arg == "name" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "spawned task has no name=; name it for attributable "
+                    "crash reports",
+                )

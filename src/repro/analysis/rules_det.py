@@ -1,0 +1,181 @@
+"""DET rule pack: determinism guards.
+
+The reproduction's parity and same-seed-determinism claims only hold
+if simulated and live runs consume no ambient nondeterminism.  These
+rules flag the three ways it usually leaks in: the wall clock, the
+module-level ``random`` generator, and iteration order of sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: Modules that *implement* the virtual clocks and are allowed to talk
+#: to real time (e.g. to pace virtual time against the event loop).
+CLOCK_MODULES = frozenset({"entity_task.py", "chaos.py"})
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+#: Dotted suffixes covering ``datetime.now()`` both via
+#: ``from datetime import datetime`` and ``import datetime``.
+_DATETIME_CALLS = frozenset(
+    {
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: ``random`` module attributes that do not draw from the shared
+#: unseeded generator (constructors and state management).
+_RANDOM_ALLOWED = frozenset(
+    {"Random", "SystemRandom", "seed", "getstate", "setstate"}
+)
+
+
+@register
+class WallClockRule(Rule):
+    """DET001: wall-clock reads outside the clock modules.
+
+    ``time.time()``/``time.monotonic()``/``datetime.now()`` make run
+    output depend on the host's clock; everything must go through
+    ``LiveClock`` / ``VirtualClockLoop`` (or ``loop.time()``, which the
+    virtual loop controls).  ``time.perf_counter`` is deliberately not
+    flagged: it is used for *reporting* real elapsed cost (decision
+    seconds, pause wall time), never for dataflow decisions.
+    """
+
+    id = "DET001"
+    summary = "wall-clock call outside the clock modules"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag wall-clock calls unless this is a clock module."""
+        if module.basename in CLOCK_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            suffix = ".".join(name.split(".")[-2:])
+            if name in _WALL_CLOCK_CALLS or suffix in _DATETIME_CALLS:
+                yield self.finding(
+                    module, node, f"`{name}()` reads the wall clock"
+                )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002: use of the module-level (unseeded) ``random`` generator.
+
+    Shared-generator draws make results depend on import order and any
+    other caller; all randomness must come from a ``random.Random(seed)``
+    instance owned by the component.
+    """
+
+    id = "DET002"
+    summary = "module-level random.* call or import"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag ``random.X()`` calls and ``from random import X``."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name is not None
+                    and name.startswith("random.")
+                    and name.count(".") == 1
+                    and name.split(".")[1] not in _RANDOM_ALLOWED
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{name}()` draws from the shared unseeded "
+                        "generator; use a seeded random.Random instance",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_ALLOWED:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"`from random import {alias.name}` binds the "
+                            "shared unseeded generator",
+                        )
+
+
+def _is_set_like(node: ast.expr) -> bool:
+    """True for expressions that are syntactically guaranteed sets."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_like(node.left) or _is_set_like(node.right)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET003: iterating a set expression without ``sorted(...)``.
+
+    Set iteration order depends on the interpreter's hash seed, so any
+    loop/comprehension/``list()`` fed directly by a set expression can
+    reorder downstream output.  ``dict`` iteration is insertion-ordered
+    in supported Pythons and is not flagged.  Wrap the expression in
+    ``sorted(...)`` or suppress when the loop body is order-insensitive
+    (e.g. folds into a commutative reduction or another set).
+    """
+
+    id = "DET003"
+    summary = "iteration over a set expression without sorted()"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag for-loops, comprehensions, and list()/tuple() over sets."""
+        for node in ast.walk(module.tree):
+            candidates: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                candidates.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                candidates.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in {"list", "tuple"} and len(node.args) == 1:
+                    candidates.append(node.args[0])
+            for expr in candidates:
+                if _is_set_like(expr):
+                    yield self.finding(
+                        module,
+                        expr,
+                        "iterates a set in hash order; wrap in sorted(...) "
+                        "or justify with a suppression",
+                    )

@@ -1,0 +1,80 @@
+"""INV rule pack: encapsulation of invariant-bearing structures.
+
+The coordinator tree, dissemination trees, delegation scheme, and
+allocation assignment all maintain paper-mandated invariants through
+their public mutation APIs.  Code that reaches into another module's
+private state can update one side of a structural invariant without
+the other, which is exactly the class of bug the dynamic auditor in
+:mod:`repro.analysis.invariants` exists to catch after the fact — this
+rule catches it before.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: Private names that are public-by-convention stdlib idioms.
+_IDIOMATIC = frozenset({"_replace", "_asdict", "_fields", "_make"})
+
+
+def _receiver_is_local(expr: ast.expr) -> bool:
+    """True when the attribute receiver is the object's own family.
+
+    ``self`` / ``cls`` and ``super()`` receivers are in-family by
+    definition; flagging them would outlaw ordinary implementation.
+    """
+    if isinstance(expr, ast.Name) and expr.id in {"self", "cls"}:
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "super"
+    )
+
+
+@register
+class CrossModulePrivateRule(Rule):
+    """INV001: cross-module access to another object's private state.
+
+    ``obj._attr`` is allowed when the current module itself defines
+    ``_attr`` (same-module access is one maintenance boundary — e.g.
+    ``other._intervals`` inside the module that owns ``IntervalSet``),
+    and in tests, which probe internals on purpose.  Anything else
+    bypasses the API that maintains the structural invariants.
+    """
+
+    id = "INV001"
+    summary = "cross-module private attribute access"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag foreign ``obj._attr`` reads/calls in library code."""
+        if module.is_test_code:
+            return
+        own = project.module_privates(module.path)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            if attr in _IDIOMATIC or attr in own:
+                continue
+            if _receiver_is_local(node.value):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"`.{attr}` is private to another module; use the public "
+                "API so structural invariants stay maintained",
+            )

@@ -1,0 +1,70 @@
+"""Parsing of ``# repro: allow[RULE]`` suppression comments.
+
+Three forms are recognised:
+
+* trailing on a code line — suppresses those rules on that line::
+
+      planner._queries  # repro: allow[INV001] planner owns migration state
+
+* on a standalone comment line — suppresses on the *next* line::
+
+      # repro: allow[DET003] order is folded through a commutative sum
+      for item in {a, b, c}:
+
+* file-wide, anywhere in the file::
+
+      # repro: allow-file[ASY005] demo script, tasks are short-lived
+
+Multiple rule IDs may be listed comma-separated inside the brackets.
+Everything after the closing bracket is a free-form justification and
+is ignored by the parser (but expected by reviewers).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro:\s*allow(?P<scope>-file)?\[(?P<rules>[A-Z0-9,\s]+)\]"
+)
+
+
+@dataclass
+class Suppressions:
+    """Suppression directives parsed from one source file."""
+
+    #: rule id -> set of line numbers (1-based) where it is allowed
+    by_line: dict[str, set[int]] = field(default_factory=dict)
+    #: rule ids allowed for the whole file
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        """Parse all suppression directives out of ``source``."""
+        supp = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(line)
+            if match is None:
+                continue
+            rules = {
+                rule.strip()
+                for rule in match.group("rules").split(",")
+                if rule.strip()
+            }
+            if match.group("scope"):
+                supp.file_wide.update(rules)
+                continue
+            target = lineno
+            if line[: match.start()].strip() == "":
+                # Standalone comment: applies to the following line.
+                target = lineno + 1
+            for rule in rules:
+                supp.by_line.setdefault(rule, set()).add(target)
+        return supp
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True if ``rule_id`` is allowed on ``line`` (or file-wide)."""
+        if rule_id in self.file_wide:
+            return True
+        return line in self.by_line.get(rule_id, set())

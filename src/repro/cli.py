@@ -370,6 +370,40 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project linter; exit 1 when any finding survives."""
+    from repro.analysis import analyze_paths, render_json, render_text
+
+    findings = analyze_paths(args.paths)
+    if args.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Audit the paper's structural invariants on a demo federation."""
+    from repro.analysis.invariants import selfcheck
+
+    violations = selfcheck(
+        seed=args.seed,
+        entity_count=args.entities,
+        query_count=args.queries,
+    )
+    if violations:
+        for violation in violations:
+            print(violation.render())
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print(
+        "invariants hold: coordinator cluster bounds, dissemination "
+        "tree + interest coverage, delegation totality, hosting "
+        "consistency, allocation balance"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -548,6 +582,30 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="list the paper-reproduction experiments"
     )
     experiments.set_defaults(handler=_cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's AST linter (DET/ASY/INV rule packs)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the repro-lint/1 JSON report"
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="audit the paper's structural invariants on a demo federation",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--entities", type=int, default=6)
+    check.add_argument("--queries", type=int, default=60)
+    check.set_defaults(handler=_cmd_check)
 
     info = sub.add_parser("info", help="package summary")
     info.set_defaults(handler=_cmd_info)

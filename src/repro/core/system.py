@@ -167,6 +167,18 @@ class FederatedSystem:
         self._maintainers: dict[str, object] = {}
 
     # ------------------------------------------------------------------
+    # Read-only views (the mutation protocol stays inside this class)
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> list[QuerySpec]:
+        """The currently submitted queries (a copy; submission order)."""
+        return list(self._queries)
+
+    def source_node_of(self, stream_id: str) -> str:
+        """The network node id hosting ``stream_id``'s source."""
+        return self._source_nodes[stream_id]
+
+    # ------------------------------------------------------------------
     # Query submission
     # ------------------------------------------------------------------
     def submit(self, queries: list[QuerySpec]) -> None:

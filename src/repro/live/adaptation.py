@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass, replace
 
 from repro.allocation.query_graph import QueryGraph, build_query_graph
+from repro.analysis.invariants import audit_federation
 from repro.allocation.repartition import (
     REPARTITIONER_NAMES,
     make_repartitioner,
@@ -311,7 +312,7 @@ class QueryMigrator:
         network = self.runtime.planner.network
         node = network.node(entity_id)
         source_node = network.node(
-            self.runtime.planner._source_nodes[stream_id]
+            self.runtime.planner.source_node_of(stream_id)
         )
 
         def position(candidate: str) -> tuple[float, float]:
@@ -374,7 +375,7 @@ class AdaptationController:
         """The query graph with observed vertex weights, the current
         assignment in part indices, and the part→entity id mapping."""
         planner = self.runtime.planner
-        queries = planner._queries
+        queries = planner.queries
         graph = build_query_graph(queries, planner.catalog)
         observed = self.sampler.sample(now)
         for query_id, rate in observed.items():
@@ -397,7 +398,7 @@ class AdaptationController:
         """One control round; migrates only on observed overload."""
         planner = self.runtime.planner
         parts = len(planner.entities)
-        if parts < 2 or not planner._queries:
+        if parts < 2 or not planner.queries:
             return
         graph, current, entity_ids = self._observed_graph(now)
         imbalance = graph.imbalance(current, parts)
@@ -425,6 +426,13 @@ class AdaptationController:
             self.metrics.gross_moves += outcome.gross_moves
             applied = len(moves)
             after = outcome.imbalance
+            # Audit the structures the migration just rewired: a bug in
+            # the pause → drain → transfer → refresh protocol shows up
+            # here as a violation, not as silently wrong results later.
+            violations = audit_federation(
+                planner, trees=self.flow.trees
+            )
+            self.metrics.record_audit(len(violations))
         else:
             applied = 0
             after = imbalance

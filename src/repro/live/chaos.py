@@ -49,6 +49,7 @@ import dataclasses
 import random
 from dataclasses import dataclass
 
+from repro.analysis.invariants import audit_federation
 from repro.core.system import SystemConfig
 from repro.live.entity_task import TaskControl
 from repro.live.recovery import HeartbeatMonitor, RecoveryManager
@@ -88,6 +89,7 @@ class VirtualClockLoop(asyncio.SelectorEventLoop):
 
     def _run_once(self) -> None:
         if not self._ready and self._scheduled:
+            # repro: allow[INV001] asyncio.TimerHandle deadline has no public accessor
             when = self._scheduled[0]._when
             if when > self._virtual_now:
                 self._virtual_now = when
@@ -497,6 +499,16 @@ class ChaosRuntime(LiveRuntime):
         ]
 
     def _finish_report(self, report, flow):
-        return dataclasses.replace(
-            report, recovery=self.recovery_metrics.build_report()
+        crashed = {
+            entity_id
+            for entity_id, gateway in flow.gateways.items()
+            if gateway.control.crashed
+        }
+        violations = audit_federation(
+            self.planner, trees=flow.trees, exclude=crashed
         )
+        recovery = dataclasses.replace(
+            self.recovery_metrics.build_report(),
+            audit_violations=tuple(v.render() for v in violations),
+        )
+        return dataclasses.replace(report, recovery=recovery)

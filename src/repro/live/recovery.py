@@ -151,7 +151,7 @@ class RecoveryManager:
         }
         for stream_id in sorted(self.flow.trees):
             tree = self.flow.trees[stream_id]
-            src = network.node(self.planner._source_nodes[stream_id])
+            src = network.node(self.planner.source_node_of(stream_id))
             self.metrics.reparented_children += repair_after_crash(
                 tree, entity_id, (src.x, src.y), positions
             )

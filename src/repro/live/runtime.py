@@ -466,7 +466,18 @@ class LiveRuntime:
             for task in extras:
                 task.cancel()
             if extras:
-                await asyncio.gather(*extras, return_exceptions=True)
+                # Cancellation is the expected way down for auxiliary
+                # tasks; anything else is a crash that must not be
+                # swallowed by the gather (named tasks keep the report
+                # attributable).
+                outcomes = await asyncio.gather(
+                    *extras, return_exceptions=True
+                )
+                for task, outcome in zip(extras, outcomes):
+                    if isinstance(outcome, Exception):
+                        raise RuntimeError(
+                            f"auxiliary task {task.get_name()} crashed"
+                        ) from outcome
             for channel in all_channels:
                 await channel.close()
             await asyncio.gather(*consumer_tasks)

@@ -57,6 +57,8 @@ class AdaptationMetrics:
         self.tree_detaches = 0
         self.decision_seconds = 0.0
         self.pause_wall_seconds = 0.0
+        self.audits = 0
+        self.audit_violations = 0
         self._rounds: list[AdaptationRound] = []
 
     # ------------------------------------------------------------------
@@ -79,6 +81,11 @@ class AdaptationMetrics:
         self.tree_attaches += attaches
         self.tree_detaches += detaches
 
+    def record_audit(self, violations: int) -> None:
+        """Account one post-migration structural-invariant audit."""
+        self.audits += 1
+        self.audit_violations += violations
+
     # ------------------------------------------------------------------
     def build_report(self) -> "AdaptationReport":
         """Freeze the collected counters into an :class:`AdaptationReport`."""
@@ -97,6 +104,8 @@ class AdaptationMetrics:
             peak_imbalance=max(observed, default=0.0),
             final_imbalance=observed[-1] if observed else 0.0,
             history=tuple(self._rounds),
+            audits=self.audits,
+            audit_violations=self.audit_violations,
         )
 
 
@@ -122,6 +131,8 @@ class AdaptationReport:
         peak_imbalance: Worst observed max/ideal load ratio at sampling.
         final_imbalance: Ratio observed by the last round.
         history: Per-round records, in round order.
+        audits: Post-migration structural-invariant audits run.
+        audit_violations: Violations those audits found (must stay 0).
     """
 
     strategy: str
@@ -137,6 +148,8 @@ class AdaptationReport:
     peak_imbalance: float
     final_imbalance: float
     history: tuple[AdaptationRound, ...] = ()
+    audits: int = 0
+    audit_violations: int = 0
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest (appended to the live run summary)."""
@@ -150,4 +163,6 @@ class AdaptationReport:
             f"+{self.tree_attaches}/-{self.tree_detaches}",
             f"imbalance: peak {self.peak_imbalance:.2f}, "
             f"final {self.final_imbalance:.2f}",
+            f"invariant audits: {self.audits} run, "
+            f"{self.audit_violations} violations",
         ]

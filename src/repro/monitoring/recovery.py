@@ -140,6 +140,10 @@ class RecoveryReport:
         mean_time_to_recover: Mean virtual seconds from fault injection
             to completed repair (detection delay + repair work).
         failures: ``(node_id, kind, virtual_time)`` per injected crash.
+        audit_violations: Rendered structural-invariant violations found
+            by the end-of-run :func:`repro.analysis.invariants.
+            audit_federation` pass (crashed entities excluded); must be
+            empty after recovery has run.
     """
 
     failures_injected: int
@@ -154,6 +158,7 @@ class RecoveryReport:
     mean_detection_delay: float
     mean_time_to_recover: float
     failures: tuple[tuple[str, str, float], ...] = ()
+    audit_violations: tuple[str, ...] = ()
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest (appended to the live run summary)."""
@@ -169,4 +174,6 @@ class RecoveryReport:
             f"data: {self.tuples_replayed} tuples replayed, "
             f"{self.tuples_lost} lost with crashed queues, "
             f"{self.streams_unrecovered} streams unrecoverable",
+            f"invariant audit: {len(self.audit_violations)} violation(s) "
+            "among surviving entities",
         ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.simulation.network import Network, NetworkNode
+from repro.simulation.network import Network
 from repro.simulation.simulator import Simulator
 from repro.streams.catalog import StreamCatalog, stock_catalog
 from repro.streams.schema import Attribute, StreamSchema

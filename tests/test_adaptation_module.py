@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.engine.executor import LocalEngine
-from repro.engine.operators import MapOperator
 from repro.engine.plan import QueryPlan
 from repro.ordering.adaptation_module import AdaptationModule, OrderingNetwork
 from repro.ordering.policies import AdaptivePolicy, StaticPolicy

@@ -1,0 +1,429 @@
+"""Tests for the static-analysis framework and the invariant auditor.
+
+Every rule in the DET/ASY/INV packs gets at least one positive fixture
+(the rule fires) and one negative (idiomatic code it must not flag),
+plus suppression parsing, the JSON reporter schema, and violation-case
+coverage for the dynamic checkers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    all_rules,
+    analyze_sources,
+    render_json,
+    render_text,
+)
+from repro.analysis.invariants import (
+    check_allocation_balance,
+    check_coordinator_tree,
+    check_delegation,
+    check_dissemination_tree,
+    selfcheck,
+)
+from repro.analysis.suppressions import Suppressions
+from repro.core.entity import Entity
+from repro.dissemination.tree import DisseminationTree
+
+
+def rules_fired(source: str, path: str = "lib.py") -> set[str]:
+    """Lint one snippet and return the set of rule ids that fired."""
+    return {f.rule for f in analyze_sources({path: source})}
+
+
+# ----------------------------------------------------------------------
+# Framework basics
+# ----------------------------------------------------------------------
+def test_rule_registry_has_all_packs():
+    ids = {rule.id for rule in all_rules()}
+    assert {
+        "DET001",
+        "DET002",
+        "DET003",
+        "ASY001",
+        "ASY002",
+        "ASY003",
+        "ASY004",
+        "ASY005",
+        "INV001",
+    } <= ids
+    assert len(ids) >= 8
+
+
+def test_syntax_error_is_reported_not_raised():
+    findings = analyze_sources({"bad.py": "def f(:\n"})
+    assert [f.rule for f in findings] == ["E999"]
+
+
+# ----------------------------------------------------------------------
+# DET pack
+# ----------------------------------------------------------------------
+def test_det001_flags_wall_clock_calls():
+    assert "DET001" in rules_fired("import time\nt = time.time()\n")
+    assert "DET001" in rules_fired("import time\nt = time.monotonic()\n")
+    assert "DET001" in rules_fired(
+        "from datetime import datetime\nnow = datetime.now()\n"
+    )
+
+
+def test_det001_allows_perf_counter_and_loop_time():
+    clean = (
+        "import time\n"
+        "start = time.perf_counter()\n"
+        "now = loop.time()\n"
+    )
+    assert "DET001" not in rules_fired(clean)
+
+
+def test_det001_exempts_clock_modules():
+    source = "import time\nt = time.monotonic()\n"
+    assert "DET001" in rules_fired(source, "src/live/other.py")
+    assert "DET001" not in rules_fired(source, "src/live/entity_task.py")
+
+
+def test_det002_flags_module_level_random():
+    assert "DET002" in rules_fired("import random\nx = random.random()\n")
+    assert "DET002" in rules_fired("from random import randint\n")
+
+
+def test_det002_allows_seeded_instances():
+    clean = (
+        "import random\n"
+        "rng = random.Random(7)\n"
+        "x = rng.random()\n"
+        "sysrng = random.SystemRandom()\n"
+    )
+    assert "DET002" not in rules_fired(clean)
+
+
+def test_det003_flags_set_iteration():
+    assert "DET003" in rules_fired(
+        "for item in {1, 2, 3}:\n    print(item)\n"
+    )
+    assert "DET003" in rules_fired("out = [x for x in set(items)]\n")
+    assert "DET003" in rules_fired("out = list(set(a) | set(b))\n")
+
+
+def test_det003_allows_sorted_and_membership():
+    clean = (
+        "for item in sorted({1, 2, 3}):\n"
+        "    print(item)\n"
+        "ok = 3 in {1, 2, 3}\n"
+        "d = {'a': 1}\n"
+        "for key in d:\n"
+        "    print(key)\n"
+    )
+    assert "DET003" not in rules_fired(clean)
+
+
+# ----------------------------------------------------------------------
+# ASY pack
+# ----------------------------------------------------------------------
+def test_asy001_flags_blocking_sleep_in_async_def():
+    source = (
+        "import time\n"
+        "async def worker():\n"
+        "    time.sleep(1)\n"
+    )
+    fired = rules_fired(source)
+    assert "ASY001" in fired
+
+
+def test_asy001_allows_sync_sleep_and_async_sleep():
+    clean = (
+        "import asyncio, time\n"
+        "def blocking_helper():\n"
+        "    time.sleep(1)\n"
+        "async def worker():\n"
+        "    await asyncio.sleep(1)\n"
+    )
+    assert "ASY001" not in rules_fired(clean)
+
+
+def test_asy002_flags_unawaited_coroutine_calls():
+    source = (
+        "import asyncio\n"
+        "async def drain():\n"
+        "    pass\n"
+        "async def worker():\n"
+        "    drain()\n"
+        "    asyncio.sleep(1)\n"
+    )
+    findings = [
+        f for f in analyze_sources({"lib.py": source}) if f.rule == "ASY002"
+    ]
+    assert len(findings) == 2
+
+
+def test_asy002_ignores_ambiguous_names():
+    # `run` exists both sync and async: never safe to flag.
+    clean = (
+        "async def run():\n"
+        "    pass\n"
+        "class Runner:\n"
+        "    def run(self):\n"
+        "        pass\n"
+        "def main(runner):\n"
+        "    runner.run()\n"
+    )
+    assert "ASY002" not in rules_fired(clean)
+
+
+def test_asy003_flags_await_holding_lock():
+    source = (
+        "async def update(self):\n"
+        "    async with self._lock:\n"
+        "        await self.flush_remote()\n"
+    )
+    assert "ASY003" in rules_fired(source)
+
+
+def test_asy003_allows_condition_wait_pattern():
+    # The asyncio.Condition idiom releases the lock while waiting.
+    clean = (
+        "async def get(self):\n"
+        "    async with self._cond:\n"
+        "        await self._cond.wait()\n"
+    )
+    assert "ASY003" not in rules_fired(clean)
+
+
+def test_asy004_flags_discarded_task_handle():
+    source = (
+        "import asyncio\n"
+        "async def spawn(worker):\n"
+        "    asyncio.create_task(worker(), name='w')\n"
+    )
+    assert "ASY004" in rules_fired(source)
+
+
+def test_asy004_allows_retained_handle():
+    clean = (
+        "import asyncio\n"
+        "async def spawn(worker, tasks):\n"
+        "    tasks.append(asyncio.create_task(worker(), name='w'))\n"
+    )
+    assert "ASY004" not in rules_fired(clean)
+
+
+def test_asy005_flags_unnamed_task_in_library_code():
+    source = (
+        "import asyncio\n"
+        "async def spawn(worker, tasks):\n"
+        "    tasks.append(asyncio.create_task(worker()))\n"
+    )
+    assert "ASY005" in rules_fired(source, "src/lib.py")
+    # tests are exempt: anonymous tasks in fixtures are fine
+    assert "ASY005" not in rules_fired(source, "tests/test_lib.py")
+
+
+def test_asy005_allows_named_tasks():
+    clean = (
+        "import asyncio\n"
+        "async def spawn(worker, tasks):\n"
+        "    tasks.append(asyncio.create_task(worker(), name='live:w'))\n"
+    )
+    assert "ASY005" not in rules_fired(clean)
+
+
+# ----------------------------------------------------------------------
+# INV pack
+# ----------------------------------------------------------------------
+def test_inv001_flags_cross_module_private_access():
+    assert "INV001" in rules_fired(
+        "def peek(tree):\n    return tree._parent\n"
+    )
+
+
+def test_inv001_allows_own_module_self_and_tests():
+    clean = (
+        "class IntervalSet:\n"
+        "    def __init__(self):\n"
+        "        self._intervals = []\n"
+        "    def merge(self, other):\n"
+        "        return self._intervals + other._intervals\n"
+        "def helper(obj):\n"
+        "    return obj._asdict()\n"
+    )
+    assert "INV001" not in rules_fired(clean)
+    probe = "def test_probe(tree):\n    assert tree._parent\n"
+    assert "INV001" not in rules_fired(probe, "tests/test_tree.py")
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_trailing_suppression_silences_one_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # repro: allow[DET001] wall time for a banner\n"
+        "b = time.time()\n"
+    )
+    findings = [
+        f for f in analyze_sources({"lib.py": source}) if f.rule == "DET001"
+    ]
+    assert [f.line for f in findings] == [3]
+
+
+def test_standalone_comment_suppresses_next_line():
+    source = (
+        "# repro: allow[DET003] folded through a commutative sum\n"
+        "total = sum(x for x in {1, 2, 3})\n"
+    )
+    assert "DET003" not in rules_fired(source)
+
+
+def test_file_wide_suppression_and_multiple_rules():
+    source = (
+        "# repro: allow-file[DET001] this module renders wall-clock banners\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.monotonic()  # repro: allow[DET002,DET003] unrelated\n"
+    )
+    fired = rules_fired(source)
+    assert "DET001" not in fired  # file-wide
+    # the trailing multi-rule directive does not cover DET001 rules
+    supp = Suppressions.from_source(source)
+    assert supp.is_suppressed("DET002", 4)
+    assert supp.is_suppressed("DET003", 4)
+    assert not supp.is_suppressed("ASY001", 4)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def test_json_reporter_schema():
+    findings = analyze_sources(
+        {"lib.py": "import time\nx = time.time()\n"}
+    )
+    document = json.loads(render_json(findings))
+    assert document["schema"] == "repro-lint/1"
+    assert document["total"] == len(document["findings"]) == 1
+    assert document["counts"] == {"DET001": 1}
+    entry = document["findings"][0]
+    assert set(entry) == {"path", "line", "col", "rule", "message"}
+    assert entry["path"] == "lib.py"
+    assert entry["line"] == 2
+
+
+def test_text_reporter_mentions_location_and_tally():
+    findings = analyze_sources(
+        {"lib.py": "import time\nx = time.time()\n"}
+    )
+    text = render_text(findings)
+    assert "lib.py:2:" in text
+    assert "DET001=1" in text
+    assert render_text([]) == "no findings"
+
+
+# ----------------------------------------------------------------------
+# Dynamic invariant checkers
+# ----------------------------------------------------------------------
+def test_dissemination_checker_accepts_healthy_tree():
+    tree = DisseminationTree("s", max_fanout=2)
+    tree.attach("e0")
+    tree.attach("e1", "e0")
+    assert check_dissemination_tree(tree) == []
+
+
+def test_dissemination_checker_catches_broken_links_and_fanout():
+    tree = DisseminationTree("s", max_fanout=2)
+    tree.attach("e0")
+    tree.attach("e1", "e0")
+    tree.attach("e2", "e0")
+    # Corrupt the structure behind the API's back: orphan + overload.
+    tree._parent["e1"] = "e9"
+    tree._children["e0"].append("ghost")
+    problems = check_dissemination_tree(tree)
+    details = " | ".join(v.detail for v in problems)
+    assert "e9" in details
+    assert "ghost" in details
+
+
+def test_dissemination_checker_catches_starved_interest():
+    from repro.interest.predicates import Interval, IntervalSet, StreamInterest
+
+    tree = DisseminationTree("s", max_fanout=3)
+    tree.attach("e0")
+    tree.attach("e1", "e0")
+    interest = StreamInterest(
+        stream_id="s",
+        constraints={"price": IntervalSet([Interval(0.0, 10.0)])},
+    )
+    tree.set_interests("e1", [interest])
+    assert check_dissemination_tree(tree) == []
+    # Corrupt the aggregate behind the API's back: the edges forward
+    # nothing even though e1 still has a registered interest below.
+    tree._dirty = False
+    tree._subtree_filter = {"e0": None, "e1": None}
+    problems = check_dissemination_tree(tree)
+    assert any("forwards nothing" in v.detail for v in problems)
+
+
+def test_delegation_checker_positive_and_negative():
+    entity = Entity.__new__(Entity)  # structure-only probe
+
+    class FakeScheme:
+        """Minimal stand-in mirroring DelegationScheme's audit surface."""
+
+        def __init__(self, processors, delegates):
+            self.processor_ids = processors
+            self._delegates = delegates
+
+        def delegate_of(self, stream_id):
+            return self._delegates.get(stream_id)
+
+    entity.entity_id = "e0"
+    entity.delegation = FakeScheme(["p0"], {"s0": "p0"})
+    entity.interests_by_stream = lambda: {"s0": [object()]}
+    assert check_delegation(entity) == []
+
+    entity.delegation = FakeScheme(["p0"], {})
+    assert any(
+        "no delegation processor" in v.detail
+        for v in check_delegation(entity)
+    )
+    entity.delegation = FakeScheme(["p0"], {"s0": "p-dead"})
+    assert any(
+        "missing processor" in v.detail for v in check_delegation(entity)
+    )
+    # an entity with no surviving processors is recovery's problem
+    entity.delegation = FakeScheme([], {})
+    assert check_delegation(entity) == []
+
+
+def test_balance_checker_thresholds():
+    class FakeGraph:
+        """Graph stub with a fixed imbalance."""
+
+        def imbalance(self, assignment, parts):
+            return 1.8
+
+    assert check_allocation_balance(
+        FakeGraph(), {}, 4, threshold=2.0
+    ) == []
+    violations = check_allocation_balance(
+        FakeGraph(), {}, 4, threshold=1.5
+    )
+    assert violations and "imbalance" in violations[0].detail
+
+
+def test_coordinator_checker_wraps_tree_invariants():
+    from repro.coordination.tree import CoordinatorTree, Member
+
+    tree = CoordinatorTree(k=2)
+    for i in range(6):
+        tree.join(Member(f"m{i}", float(i), float(i % 3)))
+    assert check_coordinator_tree(tree) == []
+    # Corrupt a cluster behind the API's back: bounds must trip.
+    layer0 = tree.layers[0]
+    victim = layer0[0].member_ids[0]
+    layer0[0].member_ids.remove(victim)
+    problems = check_coordinator_tree(tree)
+    assert problems and all(v.check == "coordinator" for v in problems)
+
+
+def test_selfcheck_demo_federation_is_clean():
+    assert selfcheck(seed=3, entity_count=4, query_count=24) == []

@@ -278,6 +278,10 @@ def test_all_fault_kinds_fire_and_are_recovered():
     # summary surfaces the recovery section
     text = "\n".join(report.summary_lines())
     assert "chaos:" in text and "recovery:" in text
+    # after repair, the surviving federation satisfies every structural
+    # invariant (the runtime audited it at the end of the run)
+    assert rec.audit_violations == ()
+    assert "invariant audit: 0 violation(s)" in text
 
 
 def test_killing_a_streams_only_delegate_redelegates_it():
@@ -295,6 +299,14 @@ def test_killing_a_streams_only_delegate_redelegates_it():
     assert report.recovery.streams_unrecovered == 0
     assert report.recovery.tuples_replayed > 0  # buffered intake re-fed
     assert report.results > 0
+    # §4 delegation totality holds again after the failover, along with
+    # the other structural invariants (audit re-run here explicitly)
+    from repro.analysis.invariants import audit_federation
+
+    assert (
+        audit_federation(runtime.planner, trees=runtime.dataflow.trees)
+        == []
+    )
 
 
 def test_killing_every_processor_of_an_entity_strands_its_streams():
@@ -365,6 +377,9 @@ def test_recovery_metrics_are_monotone_and_consistent_with_drops():
         assert r.detections <= r.failures_injected
         assert r.coordinator_repairs <= r.detections
         assert r.tuples_lost >= 0 and r.tuples_replayed >= 0
+        # crashed entities are excluded, so even the non-recovering
+        # baseline leaves the surviving structures invariant-clean
+        assert r.audit_violations == ()
 
 
 # ----------------------------------------------------------------------

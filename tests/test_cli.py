@@ -91,6 +91,46 @@ def test_profile_live_prints_hot_functions(capsys, tmp_path):
     assert dump.is_file()
 
 
+def test_lint_clean_file_exits_zero(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text('"""Nothing to flag."""\nX = 1\n')
+    assert main(["lint", str(clean)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_finding_exits_nonzero(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nT = time.time()\n")
+    assert main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_lint_json_mode(capsys, tmp_path):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nX = random.random()\n")
+    assert main(["lint", "--json", str(dirty)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == "repro-lint/1"
+    assert document["counts"] == {"DET002": 1}
+
+
+def test_lint_repository_tree_is_clean(capsys):
+    """Acceptance gate: the shipped tree lints clean."""
+    assert main(["lint", "src", "tests", "benchmarks"]) == 0
+
+
+def test_check_reports_invariants_hold(capsys):
+    code = main(
+        ["check", "--seed", "1", "--entities", "4", "--queries", "20"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "invariants hold" in out
+
+
 def test_profile_demo_per_tuple_sort_tottime(capsys):
     code = main(
         [

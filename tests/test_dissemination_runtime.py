@@ -4,10 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.dissemination.builders import (
-    build_closest_parent_tree,
-    build_source_direct_tree,
-)
 from repro.dissemination.runtime import DisseminationRuntime
 from repro.dissemination.tree import SOURCE, DisseminationTree
 from repro.interest.predicates import StreamInterest

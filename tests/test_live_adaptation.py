@@ -126,6 +126,11 @@ def test_adaptation_report_is_consistent(static_and_adaptive):
     assert len(adaptation.history) == adaptation.rounds
     assert any("adaptation[hybrid]" in line for line in
                adaptive_report.summary_lines())
+    # every migrating round was audited and none violated an invariant
+    assert adaptation.audits == adaptation.adaptations
+    assert adaptation.audit_violations == 0
+    assert any("invariant audits" in line for line in
+               adaptive_report.summary_lines())
 
 
 def test_migrated_placement_matches_hosting(static_and_adaptive):
@@ -147,6 +152,11 @@ def test_migrated_placement_matches_hosting(static_and_adaptive):
                     f"{entity_id} hosts a query on {stream_id} but is "
                     "not in its dissemination tree"
                 )
+    # ... and the full structural audit agrees: coordinator bounds,
+    # tree/interest consistency, delegation totality, hosting
+    from repro.analysis.invariants import audit_federation
+
+    assert audit_federation(planner, trees=trees) == []
 
 
 def test_feed_gate_parks_and_releases():

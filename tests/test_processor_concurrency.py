@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.simulation.processor import SimProcessor
 from repro.simulation.simulator import Simulator
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.allocation.query_graph import build_query_graph
 from repro.query.generator import WorkloadConfig, generate_workload
 

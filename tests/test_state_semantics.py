@@ -13,8 +13,6 @@ administration can hand state over.  Our implementation mirrors that:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.engine.operators import WindowJoinOperator
 from repro.streams.source import StreamSource
 from tests.test_entity import build_entity

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.interest.predicates import Interval, IntervalSet, StreamInterest
+from repro.interest.predicates import StreamInterest
 
 
 def test_on_builder_and_matching():

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.system import FederatedSystem, SystemConfig
 from repro.interest.predicates import StreamInterest
 from repro.query.generator import WorkloadConfig, generate_workload

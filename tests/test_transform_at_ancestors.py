@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.system import FederatedSystem, SystemConfig
 from repro.dissemination.runtime import DisseminationRuntime
 from repro.dissemination.tree import SOURCE, DisseminationTree
