@@ -1,0 +1,182 @@
+"""E18 — distributed throughput scaling across worker processes.
+
+The single-process live runtime executes a whole federation on one
+event loop, so one core bounds its delivered throughput however many
+the host has.  This bench runs the *same* planned federation (same
+catalog, same seed, same queries) once in-process and then distributed
+across 1/2/4/8 worker OS processes connected by the binary wire
+protocol, and reports delivered tuples per wall-clock second for each.
+
+``scaling_4workers`` — distributed-4-worker delivered TPS over the
+single-process live runtime's — is the gated metric: on a multi-core
+runner the federation must scale with the processes you give it (the
+paper's premise).  Result-set equality between the live and every
+distributed run is asserted inline, so the speedup is honest: same
+tuples delivered, same results computed, less wall time.
+
+The nightly CI job (4 vCPU) carries the scaling gate; on a single-core
+host the distributed runs pay the process/socket overhead without the
+parallelism, so local runs of ``check_regression.py`` may report this
+gate below its floor.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import Table, emit, print_header, write_bench_json
+from repro.core.system import SystemConfig
+from repro.distributed import DistributedCoordinator
+from repro.live import LiveRuntime, LiveSettings
+from repro.query.generator import WorkloadConfig, generate_workload
+from repro.streams.catalog import stock_catalog
+
+DURATION = 2.0
+QUERIES = 96
+SEED = 91
+RATE = 200.0
+ENTITIES = 8
+PROCESSORS = 2
+BATCH_SIZE = 16
+WORKER_SWEEP = [1, 2, 4, 8]
+
+
+def _workload():
+    catalog = stock_catalog(exchanges=2, rate=RATE)
+    config = SystemConfig(
+        entity_count=ENTITIES, processors_per_entity=PROCESSORS, seed=SEED
+    )
+    # Selections only: their result sets are delivery-determined and
+    # order-free, so live-vs-distributed equality is assertable exactly.
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=QUERIES, join_fraction=0.0, aggregate_fraction=0.0
+        ),
+        seed=SEED,
+    )
+    return catalog, config, workload.queries
+
+
+def _settings():
+    return LiveSettings(duration=DURATION, batch_size=BATCH_SIZE)
+
+
+def result_keys(results):
+    return {
+        (query_id, tup.stream_id, tup.seq)
+        for query_id, tups in results.items()
+        for tup in tups
+    }
+
+
+def run_live():
+    catalog, config, queries = _workload()
+    runtime = LiveRuntime(catalog, config, _settings())
+    runtime.submit(queries)
+    report = runtime.run()
+    return report, result_keys(runtime.results)
+
+
+def run_distributed(workers):
+    catalog, config, queries = _workload()
+    coordinator = DistributedCoordinator(
+        catalog, config, queries, _settings(), workers=workers
+    )
+    report = coordinator.run()
+    assert not coordinator.violations, [
+        v.render() for v in coordinator.violations
+    ]
+    return report, result_keys(coordinator.results), coordinator
+
+
+def test_distributed_scaling(benchmark):
+    runs = {}
+
+    def run():
+        runs["live"] = run_live()
+        for workers in WORKER_SWEEP:
+            runs[workers] = run_distributed(workers)
+        return runs
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    live_report, live_keys = runs["live"]
+    print_header(
+        f"E18 — distributed throughput scaling ({ENTITIES} entities, "
+        f"{QUERIES} queries, {DURATION:.0f}s virtual traffic)"
+    )
+    table = Table(
+        [
+            "mode",
+            "workers",
+            "delivered/s",
+            "speedup vs live",
+            "links",
+            "results",
+            "drops",
+        ]
+    )
+    table.add_row(
+        [
+            "live",
+            1,
+            live_report.delivered_throughput,
+            1.0,
+            0,
+            live_report.results,
+            live_report.dropped_tuples,
+        ]
+    )
+    scaling = {}
+    for workers in WORKER_SWEEP:
+        report, keys, coordinator = runs[workers]
+        scaling[workers] = (
+            report.delivered_throughput / live_report.delivered_throughput
+        )
+        table.add_row(
+            [
+                "distributed",
+                workers,
+                report.delivered_throughput,
+                scaling[workers],
+                len(coordinator.required_links),
+                report.results,
+                report.dropped_tuples,
+            ]
+        )
+        # the honesty contract: distribution changes wall time, never
+        # what is delivered or computed
+        assert keys == live_keys, (
+            f"{workers}-worker result set diverges from live "
+            f"({len(keys)} vs {len(live_keys)} keys)"
+        )
+        assert report.results == live_report.results
+        assert report.dropped_tuples == 0
+    table.show()
+    sweep = ", ".join(
+        f"{workers}w {scaling[workers]:.2f}x" for workers in WORKER_SWEEP
+    )
+    emit(f"scaling vs single-process live: {sweep}")
+    assert live_report.dropped_tuples == 0
+
+    write_bench_json(
+        "distributed_throughput",
+        {
+            "entities": ENTITIES,
+            "queries": QUERIES,
+            "duration_virtual_s": DURATION,
+            "batch_size": BATCH_SIZE,
+            "live_delivered_tps": live_report.delivered_throughput,
+            "tuples_delivered": live_report.tuples_delivered,
+            "results": live_report.results,
+            **{
+                f"distributed_{workers}w_delivered_tps": runs[workers][
+                    0
+                ].delivered_throughput
+                for workers in WORKER_SWEEP
+            },
+            **{
+                f"scaling_{workers}workers": scaling[workers]
+                for workers in WORKER_SWEEP
+            },
+        },
+    )

@@ -233,3 +233,72 @@ class UnnamedTaskRule(Rule):
                     "spawned task has no name=; name it for attributable "
                     "crash reports",
                 )
+
+
+def _receiver_name(expr: ast.expr) -> str | None:
+    """The receiver of an attribute call: ``a.b.write`` -> ``a.b``."""
+    name = dotted_name(expr)
+    if name is None or "." not in name:
+        return None
+    return name.rsplit(".", 1)[0]
+
+
+def _looks_like_stream_writer(receiver: str) -> bool:
+    """Whether a receiver name suggests an ``asyncio.StreamWriter``."""
+    return "writer" in receiver.split(".")[-1].lower()
+
+
+@register
+class WriteWithoutDrainRule(Rule):
+    """ASY006: ``StreamWriter.write`` without a paired ``await .drain()``.
+
+    ``write`` only buffers; without ``await writer.drain()`` the
+    transport's send buffer grows without bound when the peer reads
+    slower than we produce — the flow-control contract of the wire
+    protocol silently vanishes.  An async function that calls
+    ``<writer>.write(...)`` must also ``await <writer>.drain()`` on the
+    same receiver (anywhere in the function: loop bodies that batch
+    writes before one drain are fine).
+    """
+
+    id = "ASY006"
+    summary = "StreamWriter.write without await drain()"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        """Flag writer.write calls lacking a drain await in scope."""
+        for func in _async_functions(module.tree):
+            writes: dict[str, ast.Call] = {}
+            drained: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Await) and isinstance(
+                    node.value, ast.Call
+                ):
+                    call = node.value
+                    if (
+                        isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "drain"
+                    ):
+                        receiver = _receiver_name(call.func)
+                        if receiver is not None:
+                            drained.add(receiver)
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr != "write":
+                        continue
+                    receiver = _receiver_name(node.func)
+                    if receiver is None or not _looks_like_stream_writer(
+                        receiver
+                    ):
+                        continue
+                    writes.setdefault(receiver, node)
+            for receiver in sorted(set(writes) - drained):
+                yield self.finding(
+                    module,
+                    writes[receiver],
+                    f"`{receiver}.write(...)` is never paired with "
+                    f"`await {receiver}.drain()`; the send buffer can "
+                    "grow without bound",
+                )

@@ -11,6 +11,10 @@ Commands:
 * ``adapt`` — run the live runtime with the closed adaptation loop
   under a drifting-rate workload and print the migration/adaptation
   report alongside the usual run summary;
+* ``launch`` — run a federation across N worker OS processes connected
+  by the binary wire protocol and print the merged federation report;
+* ``serve`` — join a distributed federation as a worker process
+  (normally spawned by ``launch``, not typed by hand);
 * ``query`` — compile one query-language string against a built-in
   catalog, run it on a small federation, and report its results;
 * ``profile`` — run a scenario under cProfile and print the hottest
@@ -47,6 +51,11 @@ EXPERIMENTS = [
     ("E15", "live asyncio federation throughput", "bench_live_throughput.py"),
     ("E16", "failure recovery under chaos", "bench_chaos_recovery.py"),
     ("E17", "live adaptation vs static allocation", "bench_live_adaptation.py"),
+    (
+        "E18",
+        "distributed throughput scaling",
+        "bench_distributed_throughput.py",
+    ),
 ]
 
 
@@ -258,6 +267,71 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_launch(args: argparse.Namespace) -> int:
+    from repro.core.system import SystemConfig
+    from repro.distributed import DistributedCoordinator
+    from repro.live import LiveSettings
+    from repro.query.generator import WorkloadConfig, generate_workload
+    from repro.streams.catalog import stock_catalog
+
+    catalog = stock_catalog(exchanges=2, rate=args.rate)
+    config = SystemConfig(
+        entity_count=args.entities,
+        processors_per_entity=args.processors,
+        seed=args.seed,
+    )
+    try:
+        settings = LiveSettings(
+            duration=args.duration,
+            batch_size=args.batch_size,
+            channel_capacity=args.capacity,
+        )
+    except ValueError as exc:
+        print(f"invalid live settings: {exc}", file=sys.stderr)
+        return 2
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            query_count=args.queries, join_fraction=0.0, aggregate_fraction=0.2
+        ),
+        seed=args.seed,
+    )
+    coordinator = DistributedCoordinator(
+        catalog,
+        config,
+        workload.queries,
+        settings,
+        workers=args.workers,
+    )
+    report = coordinator.run()
+    print(
+        f"distributed federation: {args.entities} entities across "
+        f"{args.workers} worker processes, {args.queries} queries, "
+        f"{len(coordinator.required_links)} cross-worker links"
+    )
+    for line in report.summary_lines():
+        print(f"  {line}")
+    print("per-entity queues:")
+    for line in report.queue_lines():
+        print(f"  {line}")
+    if coordinator.violations:
+        for violation in coordinator.violations:
+            print(violation.render())
+        print(f"{len(coordinator.violations)} invariant violation(s)")
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.distributed import serve
+
+    try:
+        return serve(args.coordinator)
+    except (ValueError, OSError) as exc:
+        print(f"cannot reach coordinator: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core.system import FederatedSystem, SystemConfig
     from repro.lang import QuerySyntaxError, compile_query
@@ -391,16 +465,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
         entity_count=args.entities,
         query_count=args.queries,
     )
+    checks = (
+        "coordinator cluster bounds, dissemination tree + interest "
+        "coverage, delegation totality, hosting consistency, "
+        "allocation balance"
+    )
+    if args.distributed:
+        from repro.distributed import run_distributed_smoke
+
+        violations += run_distributed_smoke(seed=args.seed)
+        checks += (
+            ", distributed socket links, frame drain, tuple ledger"
+        )
     if violations:
         for violation in violations:
             print(violation.render())
         print(f"{len(violations)} invariant violation(s)")
         return 1
-    print(
-        "invariants hold: coordinator cluster bounds, dissemination "
-        "tree + interest coverage, delegation totality, hosting "
-        "consistency, allocation balance"
-    )
+    print(f"invariants hold: {checks}")
     return 0
 
 
@@ -529,6 +611,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     adapt.set_defaults(handler=_cmd_adapt)
 
+    launch = sub.add_parser(
+        "launch",
+        help="run a federation across N worker processes over sockets",
+    )
+    launch.add_argument("--seed", type=int, default=7)
+    launch.add_argument("--workers", type=int, default=2)
+    launch.add_argument("--entities", type=int, default=6)
+    launch.add_argument("--processors", type=int, default=3)
+    launch.add_argument("--queries", type=int, default=48)
+    launch.add_argument("--duration", type=float, default=5.0)
+    launch.add_argument("--rate", type=float, default=100.0)
+    launch.add_argument("--batch-size", type=int, default=8)
+    launch.add_argument("--capacity", type=int, default=256)
+    launch.set_defaults(handler=_cmd_launch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="join a distributed federation as a worker process",
+    )
+    serve.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator's control socket",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     query = sub.add_parser("query", help="compile and run one query")
     query.add_argument("text", help="query text (see repro.lang)")
     query.add_argument(
@@ -605,6 +714,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--entities", type=int, default=6)
     check.add_argument("--queries", type=int, default=60)
+    check.add_argument(
+        "--distributed",
+        action="store_true",
+        help="also run a 2-worker federation and audit its socket links",
+    )
     check.set_defaults(handler=_cmd_check)
 
     info = sub.add_parser("info", help="package summary")

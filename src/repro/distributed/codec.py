@@ -1,0 +1,326 @@
+"""Length-prefixed binary framing and the tuple-batch wire codec.
+
+Every message between distributed processes is one *frame*::
+
+    0        4      5
+    +--------+------+----------------------------+
+    | length | type | payload (``length`` bytes) |
+    +--------+------+----------------------------+
+      u32 LE   u8
+
+Control frames (handshake, probes, metrics) carry UTF-8 JSON payloads;
+data frames (``BATCH``/``RESULT``) carry the compact tuple-batch layout
+below, and ``CREDIT`` frames carry a tiny fixed binary record.  The
+decoder (:class:`FrameDecoder`) is incremental: feed it whatever chunk
+sizes the socket produces — including chunks that split a frame header
+or payload at any byte boundary — and it yields complete frames, as
+zero-copy :class:`memoryview` slices whenever a frame arrives inside a
+single chunk.
+
+Tuple-batch payload (``BATCH``/``RESULT``)::
+
+    u16 run_count
+    per run:
+        u16 tag_len,    tag bytes       (dest entity id / query id)
+        u16 stream_len, stream_id bytes
+        u16 attr_count
+        per attr: u16 name_len, name bytes
+        u32 tuple_count
+        per tuple: u64 seq, f64 created_at, f64 size,
+                   attr_count x f64 values
+
+Tuples are grouped into maximal consecutive *runs* sharing (tag,
+stream_id, attribute names), so the schema strings are paid once per
+run, not per tuple, and a run's fixed-width tuple block decodes with a
+single cached :class:`struct.Struct` — the decoded batches feed
+straight into the compiled batch kernels (``tree.filter_batch`` /
+``fragment.run_batch``) exactly like locally produced batches.
+
+Integer attribute values survive the f64 encoding exactly up to 2**53;
+sequence numbers are carried as u64 and are never coerced.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator
+
+from repro.streams.tuples import StreamTuple
+
+# --- frame types ------------------------------------------------------
+HELLO = 1        # worker -> coordinator: {"port": int, "pid": int}
+ASSIGN = 2       # coordinator -> worker: the federation spec (JSON)
+READY = 3        # worker -> coordinator: planned, peers connected
+START = 4        # coordinator -> worker: begin replaying feeds
+BATCH = 5        # worker -> worker: tuple batch towards an entity inbox
+RESULT = 6       # worker -> coordinator: result tuples (tag = query id)
+CREDIT = 7       # receiver -> sender: flow-control credits for one link
+PROBE = 8        # coordinator -> worker: {"round": int}
+STATUS = 9       # worker -> coordinator: termination-detection counters
+SHUTDOWN = 10    # coordinator -> worker: federation is quiescent
+METRICS = 11     # worker -> coordinator: the worker's frozen LiveReport
+BYE = 12         # worker -> coordinator: closing the connection
+PEER_HELLO = 13  # worker -> worker: {"worker_id": int} after dialing
+
+FRAME_TYPE_NAMES = {
+    HELLO: "HELLO",
+    ASSIGN: "ASSIGN",
+    READY: "READY",
+    START: "START",
+    BATCH: "BATCH",
+    RESULT: "RESULT",
+    CREDIT: "CREDIT",
+    PROBE: "PROBE",
+    STATUS: "STATUS",
+    SHUTDOWN: "SHUTDOWN",
+    METRICS: "METRICS",
+    BYE: "BYE",
+    PEER_HELLO: "PEER_HELLO",
+}
+
+# Frame header: u32 payload length + u8 frame type, little endian.
+_HEADER = struct.Struct("<IB")
+HEADER_SIZE = _HEADER.size
+
+# Hard bound on one frame's payload; a peer announcing more is corrupt
+# (or hostile) and the decoder refuses to allocate for it.
+MAX_FRAME = 1 << 24
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_CREDIT = struct.Struct("<I")
+
+# One cached Struct per attribute count: seq, created_at, size, values.
+_TUPLE_STRUCTS: dict[int, struct.Struct] = {}
+
+
+def _tuple_struct(attr_count: int) -> struct.Struct:
+    cached = _TUPLE_STRUCTS.get(attr_count)
+    if cached is None:
+        cached = _TUPLE_STRUCTS[attr_count] = struct.Struct(
+            "<Qdd" + "d" * attr_count
+        )
+    return cached
+
+
+class FrameError(ValueError):
+    """Raised on a malformed or oversized frame."""
+
+
+# ----------------------------------------------------------------------
+# Frame layer
+# ----------------------------------------------------------------------
+def encode_frame(frame_type: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header plus payload."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return _HEADER.pack(len(payload), frame_type) + payload
+
+
+def encode_json(frame_type: int, obj: object) -> bytes:
+    """A control frame with a JSON payload."""
+    return encode_frame(
+        frame_type, json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def decode_json(payload: "bytes | memoryview") -> object:
+    """Parse a control frame's JSON payload."""
+    return json.loads(bytes(payload).decode("utf-8"))
+
+
+class FrameDecoder:
+    """Incremental frame splitter over an arbitrary chunk stream.
+
+    ``feed`` never copies a frame that arrives wholly inside one chunk:
+    its payload is returned as a :class:`memoryview` into the fed
+    buffer.  Only frames *spanning* chunk boundaries are reassembled
+    (joining exactly the spanning chunks).  Callers that retain a
+    payload past the next ``feed`` call must copy it.
+    """
+
+    def __init__(self, *, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._chunks: list[memoryview] = []
+        self._buffered = 0
+        self.frames_decoded = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes fed but not yet consumed by a complete frame."""
+        return self._buffered
+
+    def feed(
+        self, data: "bytes | bytearray | memoryview"
+    ) -> Iterator[tuple[int, memoryview]]:
+        """Yield every ``(frame_type, payload)`` completed by ``data``."""
+        if data:
+            # bytes are immutable: wrap without copying.  Mutable
+            # buffers (bytearray) are snapshotted so later caller
+            # mutation can't corrupt frames still in the window.
+            if not isinstance(data, bytes):
+                data = bytes(data)
+            self._chunks.append(memoryview(data))
+            self._buffered += len(data)
+        while self._buffered >= HEADER_SIZE:
+            header = self._peek(HEADER_SIZE)
+            length, frame_type = _HEADER.unpack(header)
+            if length > self.max_frame:
+                raise FrameError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame}-byte bound"
+                )
+            if self._buffered < HEADER_SIZE + length:
+                return
+            self._discard(HEADER_SIZE)
+            payload = self._take(length)
+            self.frames_decoded += 1
+            yield frame_type, payload
+
+    # -- internal buffer management -----------------------------------
+    def _peek(self, n: int) -> memoryview:
+        head = self._chunks[0]
+        if len(head) >= n:
+            return head[:n]
+        return memoryview(self._join(n))
+
+    def _join(self, n: int) -> bytes:
+        out = bytearray()
+        for chunk in self._chunks:
+            take = min(n - len(out), len(chunk))
+            out += chunk[:take]
+            if len(out) == n:
+                break
+        return bytes(out)
+
+    def _take(self, n: int) -> memoryview:
+        if n == 0:
+            return memoryview(b"")
+        head = self._chunks[0]
+        if len(head) >= n:
+            # zero-copy fast path: the whole payload is in one chunk
+            view = head[:n]
+            self._discard(n)
+            return view
+        data = self._join(n)
+        self._discard(n)
+        return memoryview(data)
+
+    def _discard(self, n: int) -> None:
+        self._buffered -= n
+        while n:
+            head = self._chunks[0]
+            if len(head) > n:
+                self._chunks[0] = head[n:]
+                return
+            n -= len(head)
+            self._chunks.pop(0)
+
+
+# ----------------------------------------------------------------------
+# Tuple-batch payloads
+# ----------------------------------------------------------------------
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    out += _U16.pack(len(raw))
+    out += raw
+
+
+def encode_batch(items: list[tuple[str, StreamTuple]]) -> bytes:
+    """Encode ``(tag, tuple)`` pairs into one tuple-batch payload.
+
+    Consecutive pairs sharing (tag, stream, attribute names) form one
+    run; arbitrary interleavings stay correct, just less compact.
+    """
+    runs: list[tuple[str, str, tuple[str, ...], list[StreamTuple]]] = []
+    for tag, tup in items:
+        names = tuple(tup.values)
+        if runs and runs[-1][:3] == (tag, tup.stream_id, names):
+            runs[-1][3].append(tup)
+        else:
+            runs.append((tag, tup.stream_id, names, [tup]))
+    out = bytearray(_U16.pack(len(runs)))
+    for tag, stream_id, names, tuples in runs:
+        _put_str(out, tag)
+        _put_str(out, stream_id)
+        out += _U16.pack(len(names))
+        for name in names:
+            _put_str(out, name)
+        out += _U32.pack(len(tuples))
+        packer = _tuple_struct(len(names))
+        for tup in tuples:
+            values = tup.values
+            out += packer.pack(
+                tup.seq,
+                tup.created_at,
+                tup.size,
+                *(values[name] for name in names),
+            )
+    return bytes(out)
+
+
+def decode_batch(
+    payload: "bytes | memoryview",
+) -> list[tuple[str, StreamTuple]]:
+    """Decode a tuple-batch payload back into ``(tag, tuple)`` pairs."""
+    view = memoryview(payload)
+    offset = 0
+
+    def take_str() -> str:
+        nonlocal offset
+        (n,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        text = bytes(view[offset : offset + n]).decode("utf-8")
+        offset += n
+        return text
+
+    (run_count,) = _U16.unpack_from(view, offset)
+    offset += _U16.size
+    items: list[tuple[str, StreamTuple]] = []
+    for _ in range(run_count):
+        tag = take_str()
+        stream_id = take_str()
+        (attr_count,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        names = [take_str() for _ in range(attr_count)]
+        (tuple_count,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        unpacker = _tuple_struct(attr_count)
+        for _ in range(tuple_count):
+            fields = unpacker.unpack_from(view, offset)
+            offset += unpacker.size
+            items.append(
+                (
+                    tag,
+                    StreamTuple(
+                        stream_id=stream_id,
+                        seq=fields[0],
+                        created_at=fields[1],
+                        values=dict(zip(names, fields[3:])),
+                        size=fields[2],
+                    ),
+                )
+            )
+    if offset != len(view):
+        raise FrameError(
+            f"{len(view) - offset} trailing bytes after batch payload"
+        )
+    return items
+
+
+def encode_credit(tag: str, count: int) -> bytes:
+    """CREDIT payload: the link's entity tag plus credits returned."""
+    raw = tag.encode("utf-8")
+    return _U16.pack(len(raw)) + raw + _CREDIT.pack(count)
+
+
+def decode_credit(payload: "bytes | memoryview") -> tuple[str, int]:
+    """Decode a CREDIT payload into ``(tag, count)``."""
+    view = memoryview(payload)
+    (n,) = _U16.unpack_from(view, 0)
+    tag = bytes(view[_U16.size : _U16.size + n]).decode("utf-8")
+    (count,) = _CREDIT.unpack_from(view, _U16.size + n)
+    return tag, count

@@ -1,0 +1,93 @@
+"""Entity-to-process placement for the distributed runtime.
+
+The §3.2.2 allocation already decided which entity hosts which query;
+per-entity CPU demand is therefore known before any process starts
+(sum of hosted queries' estimated loads).  Mapping entities onto worker
+processes is then a classic makespan problem, solved here with the LPT
+greedy (heaviest entity first onto the least-loaded worker) — the same
+family of bound the paper's partitioning allocator targets, one level
+up.  Source feeds carry no query load and are spread round-robin.
+
+Everything here is deterministic: ties break on sorted ids, so the
+coordinator and every worker derive the identical maps from the same
+planned federation.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import FederatedSystem
+from repro.dissemination.tree import SOURCE
+
+
+def entity_loads(planner: FederatedSystem) -> dict[str, float]:
+    """Per-entity CPU demand (sec/sec) from the allocation assignment."""
+    catalog = planner.catalog
+    return {
+        entity_id: sum(
+            hosted.spec.estimated_load(catalog)
+            for hosted in entity.hosted.values()
+        )
+        for entity_id, entity in planner.entities.items()
+    }
+
+
+def place_entities(loads: dict[str, float], workers: int) -> dict[str, int]:
+    """LPT greedy: entity id -> worker index, balanced by load.
+
+    Entities are taken heaviest first (ties on id) and each goes to the
+    currently least-loaded worker (ties on the lowest index), so the
+    busiest processes stay within the LPT 4/3-approximation of the
+    optimal makespan.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    assigned: dict[str, int] = {}
+    worker_load = [0.0] * workers
+    for entity_id in sorted(loads, key=lambda e: (-loads[e], e)):
+        target = min(range(workers), key=lambda w: (worker_load[w], w))
+        assigned[entity_id] = target
+        worker_load[target] += loads[entity_id]
+    return assigned
+
+
+def place_feeds(stream_ids: list[str], workers: int) -> dict[str, int]:
+    """Round-robin stream id -> worker index over sorted ids."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return {
+        stream_id: index % workers
+        for index, stream_id in enumerate(sorted(stream_ids))
+    }
+
+
+def cross_worker_links(
+    planner: FederatedSystem,
+    entity_workers: dict[str, int],
+    feed_workers: dict[str, int],
+) -> set[tuple[int, int]]:
+    """Worker pairs the planned dataflow sends batches across.
+
+    Walks every dissemination tree edge (source -> first hops, entity ->
+    child entity) and keeps the edges whose endpoints live on different
+    workers, normalised to ``(low, high)`` pairs — the links the socket
+    mesh must back with exactly one connection each.
+    """
+    pairs: set[tuple[int, int]] = set()
+
+    def link(a: int, b: int) -> None:
+        if a != b:
+            pairs.add((min(a, b), max(a, b)))
+
+    for stream_id in sorted(planner.dissemination):
+        tree = planner.dissemination[stream_id].tree
+        source_worker = feed_workers.get(stream_id)
+        frontier = list(tree.children_of(SOURCE))
+        if source_worker is not None:
+            for child in frontier:
+                link(source_worker, entity_workers[child])
+        while frontier:
+            node = frontier.pop()
+            for child in tree.children_of(node):
+                link(entity_workers[node], entity_workers[child])
+                frontier.append(child)
+    return pairs

@@ -42,7 +42,12 @@ from repro.live.entity_task import (
 )
 from repro.live.metrics import LiveMetrics, LiveReport, TransportStats
 from repro.live.recovery import HeartbeatMonitor, RecoveryManager
-from repro.live.runtime import LiveDataflow, LiveRuntime, LiveSettings
+from repro.live.runtime import (
+    LiveDataflow,
+    LiveRuntime,
+    LiveSettings,
+    TransportStrategy,
+)
 from repro.live.transport import LiveTransport, TransportChaos, WorkTracker
 
 __all__ = [
@@ -76,6 +81,7 @@ __all__ = [
     "TaskControl",
     "TransportChaos",
     "TransportStats",
+    "TransportStrategy",
     "TreeForwarder",
     "VirtualClockLoop",
     "WorkTracker",

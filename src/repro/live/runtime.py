@@ -117,6 +117,59 @@ class LiveSettings:
             raise ValueError("max_retries must be >= 0")
 
 
+class TransportStrategy:
+    """How a runtime's dataflow maps onto transport substrates.
+
+    The default strategy is fully in-process: every entity, stream
+    feed, and the result collector live on this runtime's event loop,
+    wired by bounded :class:`LiveChannel` FIFOs.  The distributed
+    runtime (:mod:`repro.distributed`) substitutes a strategy whose
+    non-local entity inboxes are socket-backed senders and whose result
+    sink relays frames to the coordinator process — the rest of
+    :class:`LiveRuntime` (planning, tasks, metrics, shutdown contract)
+    is reused unchanged.
+    """
+
+    def bind(self, runtime: "LiveRuntime") -> None:
+        """Attach the strategy to its runtime before dataflow build."""
+        self.runtime = runtime
+
+    def owns_entity(self, entity_id: str) -> bool:
+        """Whether this runtime executes the entity's gateway/processors."""
+        return True
+
+    def owns_stream(self, stream_id: str) -> bool:
+        """Whether this runtime replays the stream's source feed."""
+        return True
+
+    def inbox_for(
+        self,
+        entity_id: str,
+        *,
+        capacity: int,
+        latency: float,
+        tracker: WorkTracker,
+    ) -> LiveChannel:
+        """The channel-like peer carrying batches towards one entity.
+
+        For a local entity this is its bounded inbox; a distributed
+        strategy returns a remote sender implementing the same ``put``
+        /``close`` contract for entities owned by another process (the
+        remote sender settles sent batches with ``tracker``, since they
+        leave this runtime's dataflow).
+        """
+        return LiveChannel(
+            f"inbox/{entity_id}", capacity=capacity, tier=WAN, latency=latency
+        )
+
+    def result_consumer(self, flow: "LiveDataflow") -> "ResultCollector":
+        """The task draining the result channel (collector or relay)."""
+        runtime = self.runtime
+        return ResultCollector(
+            flow.result_channel, flow.tracker, runtime.metrics, flow.clock
+        )
+
+
 @dataclass
 class LiveDataflow:
     """The wired-up moving parts of one live run.
@@ -170,10 +223,14 @@ class LiveRuntime:
         catalog: StreamCatalog,
         config: SystemConfig,
         settings: LiveSettings | None = None,
+        *,
+        strategy: TransportStrategy | None = None,
     ) -> None:
         self.catalog = catalog
         self.config = config
         self.settings = settings or LiveSettings()
+        self.strategy = strategy or TransportStrategy()
+        self.strategy.bind(self)
         # The planner is a full FederatedSystem; submit() runs the real
         # allocation/delegation/placement/dissemination planning.  Its
         # simulator is used once, to record the seeded source trace.
@@ -275,17 +332,23 @@ class LiveRuntime:
         lan_wall = settings.lan_latency * settings.time_scale
 
         # --- channel graph -------------------------------------------
+        # The strategy decides what carries batches towards each entity
+        # (a local bounded channel, or a socket-backed remote sender);
+        # LAN processor channels are always local to the entity's owner.
+        strategy = self.strategy
         inboxes = {
-            entity_id: LiveChannel(
-                f"inbox/{entity_id}",
+            entity_id: strategy.inbox_for(
+                entity_id,
                 capacity=settings.channel_capacity,
-                tier=WAN,
                 latency=wan_wall,
+                tracker=tracker,
             )
             for entity_id in planner.entities
         }
         proc_channels: dict[str, dict[str, LiveChannel]] = {}
         for entity_id, entity in planner.entities.items():
+            if not strategy.owns_entity(entity_id):
+                continue
             proc_channels[entity_id] = {
                 proc_id: LiveChannel(
                     f"proc/{proc_id}",
@@ -320,8 +383,11 @@ class LiveRuntime:
 
         # --- per-processor execution tables --------------------------
         # (fragments, downstream wiring, and delegate head routes are
-        # read straight off the planner's deployed entities)
+        # read straight off the planner's deployed entities; only the
+        # entities this runtime owns get executing tasks)
         for entity_id, entity in planner.entities.items():
+            if not strategy.owns_entity(entity_id):
+                continue
             fragments: dict[str, dict] = {
                 proc_id: {} for proc_id in entity.processors
             }
@@ -394,9 +460,7 @@ class LiveRuntime:
                     batch_execute=settings.batch_execute,
                 )
 
-        flow.collector = ResultCollector(
-            result_channel, tracker, self.metrics, clock
-        )
+        flow.collector = strategy.result_consumer(flow)
         flow.feeds = [
             LiveSourceFeed(
                 stream_id,
@@ -416,7 +480,7 @@ class LiveRuntime:
                 batch_linger=settings.batch_linger,
             )
             for stream_id, trace in traces.items()
-            if stream_id in trees
+            if stream_id in trees and strategy.owns_stream(stream_id)
         ]
         return flow
 
@@ -434,6 +498,49 @@ class LiveRuntime:
         """Post-process the frozen report (e.g. attach recovery data)."""
         return report
 
+    async def _await_quiescence(self, flow: LiveDataflow) -> None:
+        """Block until the dataflow has drained.
+
+        In-process, the work tracker is authoritative: every send adds
+        its tuples before any consumer could remove them, so zero
+        in-flight after the feeds finish means the run is done.  The
+        distributed worker overrides this to wait for the coordinator's
+        federation-wide termination decision instead — its local
+        tracker cannot see batches still crossing sockets.
+        """
+        await flow.tracker.wait_quiescent()
+
+    async def _shutdown(
+        self,
+        flow: LiveDataflow,
+        gateway_tasks: list[asyncio.Task],
+        proc_tasks: list[asyncio.Task],
+        collector_task: asyncio.Task | None,
+    ) -> None:
+        """Close the dataflow tier by tier (flush-before-close).
+
+        A closed channel still drains its queued batches to ``get`` but
+        rejects new ``put``s — so closing every channel at once lets a
+        consumer that still holds queued input race its own downstream
+        close and silently drop tail batches through the transport's
+        ChannelClosed path.  The contract is therefore staged: a tier's
+        output channels are closed only *after* the tier above it has
+        fully exited, so whatever a task drains post-close still has a
+        live downstream to flush into.  The parity suites assert the
+        consequence: zero drops and zero residual depth on every
+        channel after a clean run.
+        """
+        for entity_id in sorted(flow.inboxes):
+            await flow.inboxes[entity_id].close()
+        await asyncio.gather(*gateway_tasks)
+        for entity_id in sorted(flow.proc_channels):
+            for proc_id in sorted(flow.proc_channels[entity_id]):
+                await flow.proc_channels[entity_id][proc_id].close()
+        await asyncio.gather(*proc_tasks)
+        await flow.result_channel.close()
+        if collector_task is not None:
+            await collector_task
+
     # ------------------------------------------------------------------
     async def _execute(
         self,
@@ -442,26 +549,35 @@ class LiveRuntime:
     ) -> LiveReport:
         flow = self._build_dataflow(traces)
         self.dataflow = flow
+        return await self._run_flow(flow, duration)
+
+    async def _run_flow(
+        self, flow: LiveDataflow, duration: float
+    ) -> LiveReport:
         extras = await self._start_extras(flow)
 
         # --- run to quiescence ---------------------------------------
         self.metrics.start_clock()
-        consumer_tasks = [
-            asyncio.create_task(worker.run(), name=f"live:{kind}")
-            for kind, worker in (
-                [("gateway", g) for g in flow.gateways.values()]
-                + [("proc", p) for p in flow.processors.values()]
-                + [("results", flow.collector)]
-            )
+        gateway_tasks = [
+            asyncio.create_task(g.run(), name=f"live:gateway/{entity_id}")
+            for entity_id, g in flow.gateways.items()
         ]
+        proc_tasks = [
+            asyncio.create_task(p.run(), name=f"live:proc/{proc_id}")
+            for (__, proc_id), p in flow.processors.items()
+        ]
+        collector_task = (
+            asyncio.create_task(flow.collector.run(), name="live:results")
+            if flow.collector is not None
+            else None
+        )
         feed_tasks = [
             asyncio.create_task(feed.run(), name=f"live:src/{feed.stream_id}")
             for feed in flow.feeds
         ]
-        all_channels = flow.all_channels()
         try:
             await asyncio.gather(*feed_tasks)
-            await flow.tracker.wait_quiescent()
+            await self._await_quiescence(flow)
         finally:
             for task in extras:
                 task.cancel()
@@ -478,9 +594,9 @@ class LiveRuntime:
                         raise RuntimeError(
                             f"auxiliary task {task.get_name()} crashed"
                         ) from outcome
-            for channel in all_channels:
-                await channel.close()
-            await asyncio.gather(*consumer_tasks)
+            await self._shutdown(
+                flow, gateway_tasks, proc_tasks, collector_task
+            )
         self.metrics.stop_clock()
 
         report = self.metrics.build_report(
@@ -494,7 +610,9 @@ class LiveRuntime:
                 entity_id: channel.high_water
                 for entity_id, channel in flow.inboxes.items()
             },
-            blocked_puts=sum(ch.blocked_puts for ch in all_channels),
+            blocked_puts=sum(
+                ch.blocked_puts for ch in flow.all_channels()
+            ),
             entity_query_count={
                 entity_id: entity.query_count
                 for entity_id, entity in self.planner.entities.items()

@@ -18,6 +18,7 @@ from repro.workloads.scenarios import (
     Scenario,
     financial_scenario,
     network_monitoring_scenario,
+    parity_workload,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "Scenario",
     "financial_scenario",
     "network_monitoring_scenario",
+    "parity_workload",
 ]

@@ -65,3 +65,41 @@ def network_monitoring_scenario(
         seed=seed,
     )
     return Scenario(name="network", catalog=catalog, workload=workload)
+
+
+def parity_workload(seed: int = 0, *, rate: float = 40.0):
+    """The cross-runtime parity workload: stateless selections only.
+
+    Used by the sim/live/distributed parity suites and the distributed
+    smoke audit: selection results carry no timestamps, so all three
+    execution modes must deliver the *identical* result-tuple set on
+    the same seed.  Returns ``(catalog, config, queries)``.
+    """
+    from repro.core.system import SystemConfig
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import QuerySpec
+
+    catalog = stock_catalog(exchanges=2, rate=rate)
+    config = SystemConfig(entity_count=4, processors_per_entity=2, seed=seed)
+    ranges = [
+        (50.0, 400.0),
+        (200.0, 700.0),
+        (600.0, 990.0),
+        (1.0, 150.0),
+        (300.0, 900.0),
+        (100.0, 500.0),
+    ]
+    queries = [
+        QuerySpec(
+            query_id=f"q{i}",
+            interests=(
+                StreamInterest.on(
+                    f"exchange-{i % 2}.trades", price=(lo, hi)
+                ),
+            ),
+            client_x=0.1 * i,
+            client_y=0.9 - 0.1 * i,
+        )
+        for i, (lo, hi) in enumerate(ranges)
+    ]
+    return catalog, config, queries

@@ -47,6 +47,7 @@ def test_rule_registry_has_all_packs():
         "ASY003",
         "ASY004",
         "ASY005",
+        "ASY006",
         "INV001",
     } <= ids
     assert len(ids) >= 8
@@ -226,6 +227,43 @@ def test_asy005_allows_named_tasks():
         "    tasks.append(asyncio.create_task(worker(), name='live:w'))\n"
     )
     assert "ASY005" not in rules_fired(clean)
+
+
+def test_asy006_flags_write_without_drain():
+    source = (
+        "async def pump(writer, frames):\n"
+        "    for frame in frames:\n"
+        "        writer.write(frame)\n"
+    )
+    assert "ASY006" in rules_fired(source)
+
+
+def test_asy006_allows_write_paired_with_drain():
+    clean = (
+        "async def pump(writer, frames):\n"
+        "    for frame in frames:\n"
+        "        writer.write(frame)\n"
+        "    await writer.drain()\n"
+    )
+    assert "ASY006" not in rules_fired(clean)
+
+
+def test_asy006_tracks_receivers_independently():
+    # draining one writer does not excuse an undrained second writer
+    source = (
+        "async def relay(a_writer, b_writer, frame):\n"
+        "    a_writer.write(frame)\n"
+        "    await a_writer.drain()\n"
+        "    b_writer.write(frame)\n"
+    )
+    fired = rules_fired(source)
+    assert "ASY006" in fired
+    # non-writer receivers (files, buffers) are out of scope
+    clean = (
+        "async def log(handle, line):\n"
+        "    handle.write(line)\n"
+    )
+    assert "ASY006" not in rules_fired(clean)
 
 
 # ----------------------------------------------------------------------

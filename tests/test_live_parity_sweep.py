@@ -1,4 +1,4 @@
-"""Multi-seed live-vs-simulator parity sweep (slow).
+"""Multi-seed sim-vs-live-vs-distributed parity sweep (slow).
 
 The fast suite checks live/sim parity on two seeds
 (``test_live_runtime.py``); this sweep widens the evidence to a dozen
@@ -6,6 +6,13 @@ seeds so a parity regression that happens to miss the fast seeds still
 gets caught nightly.  For stateless selection queries the result set is
 timestamp-free, so the live runtime must reproduce the simulator's
 result tuples *exactly* on every seed.
+
+The third leg runs the same federation split across worker OS
+processes: the distributed runtime must deliver the identical result
+set too — batches crossing real sockets through the wire codec, credit
+gates, and the relay collector change wall time, never results.  The
+distributed leg covers a subset of the seeds (each run spawns
+processes) with the worker count varied across seeds.
 
 Marked ``slow``: run with ``pytest -m slow`` (the nightly CI job), or
 excluded via ``-m "not slow"`` (the fast job).
@@ -15,50 +22,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.system import FederatedSystem, SystemConfig
-from repro.interest.predicates import StreamInterest
+from repro.core.system import FederatedSystem
+from repro.distributed import DistributedCoordinator
 from repro.live import LiveRuntime, LiveSettings
-from repro.query.spec import QuerySpec
-from repro.streams.catalog import stock_catalog
+from repro.workloads import parity_workload
 
 SEEDS = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+DISTRIBUTED_SWEEP = [(3, 2), (7, 4), (19, 2), (29, 3)]  # (seed, workers)
 DURATION = 1.5
 
 
-def make_catalog():
-    return stock_catalog(exchanges=2, rate=40.0)
-
-
-def make_config(seed):
-    return SystemConfig(entity_count=4, processors_per_entity=2, seed=seed)
-
-
-def filter_queries():
-    specs = []
-    ranges = [
-        (50.0, 400.0),
-        (200.0, 700.0),
-        (600.0, 990.0),
-        (1.0, 150.0),
-        (300.0, 900.0),
-        (100.0, 500.0),
-    ]
-    for i, (lo, hi) in enumerate(ranges):
-        stream = f"exchange-{i % 2}.trades"
-        specs.append(
-            QuerySpec(
-                query_id=f"q{i}",
-                interests=(StreamInterest.on(stream, price=(lo, hi)),),
-                client_x=0.1 * i,
-                client_y=0.9 - 0.1 * i,
-            )
-        )
-    return specs
-
-
 def simulated_result_keys(seed):
-    system = FederatedSystem(make_catalog(), make_config(seed))
-    system.submit(filter_queries())
+    catalog, config, queries = parity_workload(seed)
+    system = FederatedSystem(catalog, config)
+    system.submit(queries)
     observed = set()
 
     def wrap(handler):
@@ -77,12 +54,11 @@ def simulated_result_keys(seed):
 
 
 def live_result_keys(seed):
+    catalog, config, queries = parity_workload(seed)
     runtime = LiveRuntime(
-        make_catalog(),
-        make_config(seed),
-        LiveSettings(duration=DURATION, batch_size=4),
+        catalog, config, LiveSettings(duration=DURATION, batch_size=4)
     )
-    runtime.submit(filter_queries())
+    runtime.submit(queries)
     report = runtime.run()
     assert report.dropped_tuples == 0
     assert report.negative_latency_samples == 0
@@ -93,9 +69,37 @@ def live_result_keys(seed):
     }
 
 
+def distributed_result_keys(seed, workers):
+    catalog, config, queries = parity_workload(seed)
+    coordinator = DistributedCoordinator(
+        catalog,
+        config,
+        queries,
+        LiveSettings(duration=DURATION, batch_size=4),
+        workers=workers,
+    )
+    report = coordinator.run()
+    assert report.dropped_tuples == 0
+    assert report.negative_latency_samples == 0
+    assert coordinator.violations == []
+    return {
+        (query_id, tup.stream_id, tup.seq)
+        for query_id, tups in coordinator.results.items()
+        for tup in tups
+    }
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("seed", SEEDS)
 def test_live_matches_simulator_across_seed_sweep(seed):
     sim_keys = simulated_result_keys(seed)
     assert sim_keys, f"seed {seed}: simulated workload produced no results"
     assert live_result_keys(seed) == sim_keys
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed,workers", DISTRIBUTED_SWEEP)
+def test_distributed_matches_simulator(seed, workers):
+    sim_keys = simulated_result_keys(seed)
+    assert sim_keys, f"seed {seed}: simulated workload produced no results"
+    assert distributed_result_keys(seed, workers) == sim_keys

@@ -1,0 +1,205 @@
+"""Property tests: the wire codec round-trips under any chunking.
+
+The distributed runtime's correctness rests on two identities:
+
+* ``decode_batch(encode_batch(items)) == items`` for any (tag, tuple)
+  sequence — schema strings grouped or interleaved, empty batches,
+  attribute-less tuples, extreme float values;
+* feeding any concatenation of encoded frames to a
+  :class:`FrameDecoder` in arbitrary chunk splits — including splits
+  inside a frame header — yields exactly the original frame sequence.
+
+Hypothesis drives both, plus the hard failure modes: oversized frames
+must raise before allocation, and trailing garbage inside a batch
+payload must raise rather than silently truncate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import codec
+from repro.distributed.codec import (
+    BATCH,
+    FrameDecoder,
+    FrameError,
+    HEADER_SIZE,
+    decode_batch,
+    encode_batch,
+    encode_frame,
+)
+from repro.streams.tuples import StreamTuple
+
+# f64 survives the wire exactly; NaN is excluded because NaN != NaN
+# would fail the identity check (and no catalog attribute produces it).
+wire_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+identifiers = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x24F
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+attr_names = st.lists(identifiers, max_size=4, unique=True)
+
+
+@st.composite
+def tagged_tuples(draw):
+    """One (tag, StreamTuple) pair with drawn schema and values."""
+    names = draw(attr_names)
+    return (
+        draw(identifiers),
+        StreamTuple(
+            stream_id=draw(identifiers),
+            seq=draw(st.integers(min_value=0, max_value=2**64 - 1)),
+            created_at=draw(wire_floats),
+            values={name: draw(wire_floats) for name in names},
+            size=draw(wire_floats),
+        ),
+    )
+
+
+batches = st.lists(tagged_tuples(), max_size=24)
+
+
+@st.composite
+def chunked_frames(draw):
+    """Several encoded frames and an arbitrary re-chunking of them."""
+    frame_payloads = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),
+                st.binary(max_size=64),
+            ),
+            max_size=8,
+        )
+    )
+    stream = b"".join(
+        encode_frame(frame_type, payload)
+        for frame_type, payload in frame_payloads
+    )
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(stream)), max_size=12
+            )
+        )
+    )
+    bounds = [0] + cuts + [len(stream)]
+    chunks = [
+        stream[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if lo != hi
+    ]
+    return frame_payloads, chunks
+
+
+@given(batches)
+@settings(max_examples=200)
+def test_batch_roundtrip_identity(items):
+    decoded = decode_batch(encode_batch(items))
+    assert decoded == items
+
+
+@given(batches)
+def test_batch_roundtrip_through_a_frame(items):
+    """Batch payloads survive framing plus single-shot decode."""
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(encode_frame(BATCH, encode_batch(items))))
+    assert len(frames) == 1
+    frame_type, payload = frames[0]
+    assert frame_type == BATCH
+    assert decode_batch(payload) == items
+    assert decoder.buffered == 0
+
+
+@given(chunked_frames())
+@settings(max_examples=200)
+def test_decoder_reassembles_any_chunking(data):
+    """Splitting the byte stream anywhere never changes the frames."""
+    frame_payloads, chunks = data
+    decoder = FrameDecoder()
+    seen = []
+    for chunk in chunks:
+        for frame_type, payload in decoder.feed(chunk):
+            seen.append((frame_type, bytes(payload)))
+    assert seen == frame_payloads
+    assert decoder.buffered == 0
+    assert decoder.frames_decoded == len(frame_payloads)
+
+
+@given(st.lists(tagged_tuples(), min_size=1, max_size=8))
+def test_byte_at_a_time_partial_reads(items):
+    """The pathological transport: one byte per read() call."""
+    stream = encode_frame(BATCH, encode_batch(items))
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(stream)):
+        frames.extend(decoder.feed(stream[i : i + 1]))
+    assert len(frames) == 1
+    assert decode_batch(frames[0][1]) == items
+
+
+def test_empty_batch_roundtrip():
+    payload = encode_batch([])
+    assert decode_batch(payload) == []
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(encode_frame(BATCH, payload)))
+    assert [(t, decode_batch(p)) for t, p in frames] == [(BATCH, [])]
+
+
+def test_empty_payload_frame():
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(encode_frame(codec.START)))
+    assert [(t, bytes(p)) for t, p in frames] == [(codec.START, b"")]
+
+
+def test_max_size_frame_roundtrips():
+    decoder = FrameDecoder(max_frame=1 << 16)
+    payload = bytes(1 << 16)
+    frames = list(decoder.feed(encode_frame(BATCH, payload)))
+    assert len(frames) == 1
+    assert bytes(frames[0][1]) == payload
+
+
+def test_oversized_frame_refused_by_encoder():
+    with pytest.raises(FrameError):
+        encode_frame(BATCH, bytes(codec.MAX_FRAME + 1))
+
+
+def test_oversized_frame_refused_before_buffering():
+    """A corrupt length header fails fast, not after allocation."""
+    decoder = FrameDecoder(max_frame=1 << 10)
+    header = codec._HEADER.pack((1 << 10) + 1, BATCH)
+    with pytest.raises(FrameError):
+        list(decoder.feed(header))
+
+
+def test_trailing_garbage_in_batch_payload_raises():
+    payload = encode_batch(
+        [("e", StreamTuple("s", 1, 0.0, {"x": 1.0}, 8.0))]
+    )
+    with pytest.raises(FrameError):
+        decode_batch(payload + b"\x00")
+
+
+def test_header_size_is_five_bytes():
+    """The documented byte layout: u32 length + u8 type."""
+    assert HEADER_SIZE == 5
+    frame = encode_frame(codec.CREDIT, b"abc")
+    assert frame[:4] == (3).to_bytes(4, "little")
+    assert frame[4] == codec.CREDIT
+    assert frame[5:] == b"abc"
+
+
+def test_credit_roundtrip():
+    payload = codec.encode_credit("entity-3", 7)
+    assert codec.decode_credit(payload) == ("entity-3", 7)
+
+
+def test_seq_values_never_coerced():
+    """u64 sequence numbers survive exactly (no float path)."""
+    tup = StreamTuple("s", 2**64 - 1, 0.5, {}, 1.0)
+    [(tag, out)] = decode_batch(encode_batch([("e", tup)]))
+    assert out.seq == 2**64 - 1 and isinstance(out.seq, int)
