@@ -36,7 +36,20 @@ def check(bench_dir: Path, baselines_path: Path) -> int:
         if not path.is_file():
             failures.append(f"{name}: missing {path}")
             continue
-        metrics = json.loads(path.read_text(encoding="utf-8"))["metrics"]
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            failures.append(f"{name}: {path.name} is not valid JSON ({exc})")
+            continue
+        metrics = (
+            payload.get("metrics") if isinstance(payload, dict) else None
+        )
+        if not isinstance(metrics, dict):
+            failures.append(
+                f"{name}: {path.name} has no 'metrics' object — "
+                "the bench did not complete or wrote a malformed result"
+            )
+            continue
         for metric, base in spec.get("gate", {}).items():
             current = metrics.get(metric)
             if current is None:

@@ -54,12 +54,29 @@ class RoundRobinAssigner:
 
 
 class LoadOnlyAssigner:
-    """Greedy least-loaded placement (ignores overlap entirely)."""
+    """Greedy least-loaded placement (ignores overlap entirely).
 
-    def __init__(self, parts: int) -> None:
+    Args:
+        parts: Number of entities.
+        divisible: Optional per-query parallelism: a query partitioned
+            k ways inside its entity packs like ``weight / k`` for
+            balance purposes — the stage's load spreads over k
+            processors, so the entity-level bin-packing should see the
+            per-processor share, not the whole stage.
+    """
+
+    def __init__(
+        self, parts: int, *, divisible: dict[str, int] | None = None
+    ) -> None:
         if parts < 1:
             raise ValueError("parts must be >= 1")
         self.parts = parts
+        self.divisible = divisible or {}
+
+    def _weight(self, graph: QueryGraph, vertex: str) -> float:
+        return graph.vertex_weights[vertex] / max(
+            1, self.divisible.get(vertex, 1)
+        )
 
     def assign_all(
         self, graph: QueryGraph, order: list[str] | None = None
@@ -71,7 +88,7 @@ class LoadOnlyAssigner:
         for vertex in vertices:
             part = min(range(self.parts), key=lambda p: loads[p])
             assignment[vertex] = part
-            loads[part] += graph.vertex_weights[vertex]
+            loads[part] += self._weight(graph, vertex)
         return assignment
 
 
@@ -82,13 +99,22 @@ class SimilarityAssigner:
     it.  A hard cap of ``cap_factor`` times the running ideal load is
     the only concession to balance — enough to avoid a degenerate
     single-part pile-up, but (deliberately) far from balanced.
+    ``divisible`` discounts partition-parallel queries exactly as in
+    :class:`LoadOnlyAssigner`.
     """
 
-    def __init__(self, parts: int, *, cap_factor: float = 2.0) -> None:
+    def __init__(
+        self,
+        parts: int,
+        *,
+        cap_factor: float = 2.0,
+        divisible: dict[str, int] | None = None,
+    ) -> None:
         if parts < 1:
             raise ValueError("parts must be >= 1")
         self.parts = parts
         self.cap_factor = cap_factor
+        self.divisible = divisible or {}
 
     def assign_all(
         self, graph: QueryGraph, order: list[str] | None = None
@@ -100,7 +126,9 @@ class SimilarityAssigner:
         placed_total = 0.0
         assignment: Assignment = {}
         for vertex in vertices:
-            vw = graph.vertex_weights[vertex]
+            vw = graph.vertex_weights[vertex] / max(
+                1, self.divisible.get(vertex, 1)
+            )
             placed_total += vw
             cap = self.cap_factor * placed_total / self.parts
             affinity = [0.0] * self.parts

@@ -33,6 +33,7 @@ from repro.analysis.invariants import (
     check_coordinator_tree,
     check_delegation,
     check_dissemination_tree,
+    check_partitions,
 )
 from repro.analysis.reporters import render_json, render_text
 
@@ -49,6 +50,7 @@ __all__ = [
     "check_coordinator_tree",
     "check_delegation",
     "check_dissemination_tree",
+    "check_partitions",
     "render_json",
     "render_text",
 ]

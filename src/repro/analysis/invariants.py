@@ -20,6 +20,10 @@ The invariants come straight from the paper:
   queries, and tree membership agree (§3.2.2 placement).
 * **balance** — the partition imbalance of the current assignment stays
   under a caller-chosen bound (§3.2.2).
+* **partitions** — partition-parallel deployments keep a consistent
+  layout: one fragment per partition in index order, a router whose
+  spec matches the fragment fan-out, and (when the entity's cluster is
+  wide enough) partitions spread across distinct processors (§4.1).
 """
 
 from __future__ import annotations
@@ -194,6 +198,70 @@ def check_delegation(entity: "Entity") -> list[InvariantViolation]:
     return violations
 
 
+def check_partitions(entity: "Entity") -> list[InvariantViolation]:
+    """Partition-parallel layout consistency for one entity's queries.
+
+    For every hosted query with a partitioned deployment: the fragment
+    chain must be exactly pre + one fragment per partition (in index
+    order) + merge, the router's spec must agree with that fan-out, and
+    the partition fragments must sit on pairwise distinct processors
+    whenever the entity has at least as many processors as partitions
+    (the §4.1 spread constraint).
+    """
+    violations: list[InvariantViolation] = []
+    procs_available = len(entity.processors)
+    for query_id, hosted in sorted(entity.hosted.items()):
+        deployment = hosted.partition
+        if deployment is None:
+            continue
+        parts = len(deployment.parts)
+        expected = parts + 2
+        if len(hosted.fragments) != expected or len(
+            hosted.chain_procs
+        ) != len(hosted.fragments):
+            violations.append(
+                InvariantViolation(
+                    "partitions",
+                    query_id,
+                    f"expected {expected} fragments (pre + {parts} "
+                    f"partitions + merge) with matching processors, got "
+                    f"{len(hosted.fragments)} fragments on "
+                    f"{len(hosted.chain_procs)} processors",
+                )
+            )
+            continue
+        if deployment.router.spec.parts != parts:
+            violations.append(
+                InvariantViolation(
+                    "partitions",
+                    query_id,
+                    f"router spec has {deployment.router.spec.parts} "
+                    f"parts but the deployment has {parts} fragments",
+                )
+            )
+        for index, stage in enumerate(deployment.stages):
+            if stage.index != index:
+                violations.append(
+                    InvariantViolation(
+                        "partitions",
+                        query_id,
+                        f"partition fragment at position {index} carries "
+                        f"stage index {stage.index}",
+                    )
+                )
+        part_procs = hosted.chain_procs[1:-1]
+        if procs_available >= parts and len(set(part_procs)) != parts:
+            violations.append(
+                InvariantViolation(
+                    "partitions",
+                    query_id,
+                    f"partitions share processors {sorted(part_procs)} "
+                    f"despite {procs_available} being available",
+                )
+            )
+    return violations
+
+
 def check_allocation_balance(
     graph: "QueryGraph",
     assignment: dict[str, str],
@@ -313,6 +381,7 @@ def audit_federation(
     for entity_id, entity in sorted(system.entities.items()):
         if entity_id not in exclude_set:
             violations.extend(check_delegation(entity))
+            violations.extend(check_partitions(entity))
     violations.extend(_check_hosting(system, trees, exclude_set))
     if graph is not None and parts is not None and parts > 0:
         assignment = (
@@ -354,3 +423,50 @@ def selfcheck(
         parts=len(system.entities),
         balance_threshold=3.0,
     )
+
+
+def run_partition_smoke(
+    *, seed: int = 0, duration: float = 1.2
+) -> list[InvariantViolation]:
+    """Run the partition workload adaptively and audit after rebalances.
+
+    The skew threshold is set low enough that the Zipf-skewed tape
+    triggers at least one skew rebalance during the run — the audit
+    then proves the close → drain → rebalance → open swap left every
+    partitioned deployment structurally intact (fragment layout, router
+    spec, §4.1 processor spread).  Zero rebalances is itself a
+    violation: a smoke that never exercises the trigger proves nothing.
+    """
+    from repro.live import LiveSettings
+    from repro.live.adaptation import AdaptationSettings, AdaptiveRuntime
+    from repro.workloads import partition_workload
+
+    catalog, config, queries = partition_workload(seed)
+    runtime = AdaptiveRuntime(
+        catalog,
+        config,
+        LiveSettings(duration=duration, batch_size=4),
+        AdaptationSettings(period=0.4, partition_skew_threshold=1.2),
+    )
+    runtime.submit(queries)
+    runtime.run()
+    violations = audit_federation(
+        runtime.planner, trees=runtime.dataflow.trees
+    )
+    if runtime.adaptation_metrics.partition_rebalances == 0:
+        violations.append(
+            InvariantViolation(
+                "partition-smoke",
+                "federation",
+                "the skewed smoke run triggered no partition rebalance",
+            )
+        )
+    if not runtime.results:
+        violations.append(
+            InvariantViolation(
+                "partition-smoke",
+                "federation",
+                "the partition smoke run delivered zero results",
+            )
+        )
+    return violations

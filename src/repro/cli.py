@@ -458,17 +458,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Audit the paper's structural invariants on a demo federation."""
-    from repro.analysis.invariants import selfcheck
+    from repro.analysis.invariants import run_partition_smoke, selfcheck
 
     violations = selfcheck(
         seed=args.seed,
         entity_count=args.entities,
         query_count=args.queries,
     )
+    violations += run_partition_smoke(seed=args.seed)
     checks = (
         "coordinator cluster bounds, dissemination tree + interest "
         "coverage, delegation totality, hosting consistency, "
-        "allocation balance"
+        "allocation balance, partitioned stage layout after skew "
+        "rebalance"
     )
     if args.distributed:
         from repro.distributed import run_distributed_smoke

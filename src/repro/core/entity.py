@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.engine.executor import LocalEngine
+from repro.engine.partition import (
+    PartitionedDeployment,
+    PartitionRouter,
+    plan_partitioned,
+)
 from repro.engine.plan import Fragment, QueryPlan
 from repro.interest.predicates import StreamInterest
 from repro.placement.delegation import DelegationScheme
@@ -37,6 +42,9 @@ class HostedQuery:
     plan: QueryPlan
     fragments: list[Fragment] = field(default_factory=list)
     chain_procs: list[str] = field(default_factory=list)
+    # Set when the query's hottest stage is deployed partition-parallel;
+    # None means the plain linear fragment chain.
+    partition: PartitionedDeployment | None = None
 
     @property
     def inherent_complexity(self) -> float:
@@ -91,6 +99,7 @@ class Entity:
         self._last_placer = "pr"
         self._last_limit = 2
         self._last_seed = 0
+        self._last_parallelism = 1
 
     # ------------------------------------------------------------------
     # Query hosting
@@ -142,15 +151,21 @@ class Entity:
         placer: str = "pr",
         distribution_limit: int = 2,
         seed: int = 0,
+        partition_parallelism: int = 1,
     ) -> PlacementPlan:
         """(Re)deploy every hosted query onto the cluster.
 
-        Returns the placement plan so callers can inspect predicted
-        load and traffic.
+        With ``partition_parallelism > 1``, queries whose plan contains
+        a partitionable stage (exact-match window join, grouped
+        aggregate) are deployed as partitioned operator fragments —
+        pre-stage, N parallel partitions, order-preserving merge —
+        instead of a linear chain.  Returns the placement plan so
+        callers can inspect predicted load and traffic.
         """
         self._last_placer = placer
         self._last_limit = distribution_limit
         self._last_seed = seed
+        self._last_parallelism = partition_parallelism
         for engine in self.engines.values():
             for fragment_id in engine.fragment_ids:
                 engine.uninstall(fragment_id)
@@ -159,7 +174,19 @@ class Entity:
         jobs: list[PlacementJob] = []
         for hosted in self.hosted.values():
             limit = max(1, distribution_limit)
-            hosted.fragments = fragment_plan(hosted.plan, limit)
+            hosted.partition = (
+                plan_partitioned(hosted.plan, partition_parallelism)
+                if partition_parallelism > 1
+                else None
+            )
+            if hosted.partition is not None:
+                hosted.fragments = hosted.partition.fragments
+                parallel_group = tuple(
+                    f.fragment_id for f in hosted.partition.parts
+                )
+            else:
+                hosted.fragments = fragment_plan(hosted.plan, limit)
+                parallel_group = ()
             streams = hosted.spec.input_streams
             rates = {s: self.catalog.schema(s).rate for s in streams}
             dominant = max(streams, key=lambda s: rates[s])
@@ -176,6 +203,7 @@ class Entity:
                     ),
                     delegate_proc=self.delegation.delegate_of(dominant),
                     distribution_limit=limit,
+                    parallel_group=parallel_group,
                 )
             )
 
@@ -189,6 +217,9 @@ class Entity:
     def _wire_query(self, hosted: HostedQuery, plan: PlacementPlan) -> None:
         procs = [plan.assignment[f.fragment_id] for f in hosted.fragments]
         hosted.chain_procs = procs
+        if hosted.partition is not None:
+            self._wire_partitioned(hosted, procs)
+            return
         chain = list(zip(hosted.fragments, procs))
         for index, (fragment, proc) in enumerate(chain):
             if index + 1 < len(chain):
@@ -204,6 +235,50 @@ class Entity:
         for stream_id in hosted.spec.input_streams:
             self._head_routes.setdefault(stream_id, []).append(
                 (head.fragment_id, head_proc)
+            )
+
+    def _wire_partitioned(
+        self, hosted: HostedQuery, procs: list[str]
+    ) -> None:
+        """Install pre → router-fan-out → partitions → merge → results.
+
+        The pre-stage fragment's downstream is the partition router's
+        dispatch: each stage input fans into one schedule control (to
+        the merge) plus the data tuple (to its partition); partitions
+        forward envelopes and acks to the merge, which releases outputs
+        in global ticket order towards the gateway.
+        """
+        deployment = hosted.partition
+        pre, parts, merge = deployment.pre, deployment.parts, deployment.merge
+        pre_proc, part_procs, merge_proc = procs[0], procs[1:-1], procs[-1]
+        self.engines[merge_proc].install(
+            merge,
+            downstream=self._make_result_hop(merge_proc, hosted.spec.query_id),
+        )
+        for part, proc in zip(parts, part_procs):
+            self.engines[proc].install(
+                part,
+                downstream=self._make_hop(
+                    proc, merge_proc, merge.fragment_id
+                ),
+            )
+        hops: dict[object, Callable[[StreamTuple], None]] = {
+            index: self._make_hop(pre_proc, proc, part.fragment_id)
+            for index, (part, proc) in enumerate(zip(parts, part_procs))
+        }
+        hops[PartitionRouter.MERGE] = self._make_hop(
+            pre_proc, merge_proc, merge.fragment_id
+        )
+        router = deployment.router
+
+        def dispatch(tup: StreamTuple) -> None:
+            for dest, event in router.route(tup):
+                hops[dest](event)
+
+        self.engines[pre_proc].install(pre, downstream=dispatch)
+        for stream_id in hosted.spec.input_streams:
+            self._head_routes.setdefault(stream_id, []).append(
+                (pre.fragment_id, pre_proc)
             )
 
     def _make_hop(
@@ -306,11 +381,14 @@ class Entity:
         for hosted in self.hosted.values():
             for fragment in hosted.fragments:
                 fragment.reset_state()
+            if hosted.partition is not None:
+                hosted.partition.router.reset()
         if self._deployed and self.hosted:
             self.deploy(
                 placer=self._last_placer,
                 distribution_limit=self._last_limit,
                 seed=self._last_seed,
+                partition_parallelism=self._last_parallelism,
             )
 
     # ------------------------------------------------------------------

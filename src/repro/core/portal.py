@@ -104,8 +104,15 @@ class Portal:
         strategy: str = "partition",
         max_imbalance: float = 1.10,
         seed: int = 0,
+        divisible: dict[str, int] | None = None,
     ) -> AllocationResult:
-        """Map every query to an entity using the chosen strategy."""
+        """Map every query to an entity using the chosen strategy.
+
+        ``divisible`` maps query ids to their intra-entity partition
+        parallelism; the load-aware assigners discount those queries'
+        weights, since their hottest stage spreads across that many
+        processors inside whichever entity hosts them.
+        """
         if strategy not in ALLOCATION_NAMES:
             raise ValueError(
                 f"unknown allocation {strategy!r}; pick from {ALLOCATION_NAMES}"
@@ -142,9 +149,13 @@ class Portal:
             ).partition(graph, parts)
             part_of = result.assignment
         elif strategy == "load":
-            part_of = LoadOnlyAssigner(parts).assign_all(graph)
+            part_of = LoadOnlyAssigner(
+                parts, divisible=divisible
+            ).assign_all(graph)
         elif strategy == "similarity":
-            part_of = SimilarityAssigner(parts).assign_all(graph)
+            part_of = SimilarityAssigner(
+                parts, divisible=divisible
+            ).assign_all(graph)
         elif strategy == "random":
             part_of = RandomAssigner(parts, seed=seed).assign_all(graph)
         else:  # rr

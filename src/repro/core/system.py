@@ -81,6 +81,10 @@ class SystemConfig:
     monitoring_interval: float | None = None
     tree_maintenance_interval: float | None = None
     transform_at_ancestors: bool = False
+    # Intra-operator parallelism: partitionable stages (exact-match
+    # window joins, grouped aggregates) split across this many parallel
+    # fragment instances.  1 = plain linear chains.
+    partition_parallelism: int = 1
 
     def __post_init__(self) -> None:
         if self.dissemination not in DISSEMINATION_NAMES:
@@ -93,6 +97,8 @@ class SystemConfig:
             raise ValueError(f"placement must be one of {PLACER_NAMES}")
         if self.entity_count < 1 or self.processors_per_entity < 1:
             raise ValueError("need at least one entity and one processor")
+        if self.partition_parallelism < 1:
+            raise ValueError("partition_parallelism must be >= 1")
 
 
 class FederatedSystem:
@@ -188,11 +194,21 @@ class FederatedSystem:
         self._queries.extend(queries)
         for query in queries:
             self._query_index[query.query_id] = query
+        divisible = (
+            {
+                query.query_id: self.config.partition_parallelism
+                for query in queries
+                if query.partitionable
+            }
+            if self.config.partition_parallelism > 1
+            else None
+        )
         self.allocation_result = self.portal.allocate(
             queries,
             strategy=self.config.allocation,
             max_imbalance=self.config.max_imbalance,
             seed=self.config.seed,
+            divisible=divisible,
         )
         for query in queries:
             entity_id = self.allocation_result.assignment[query.query_id]
@@ -207,6 +223,7 @@ class FederatedSystem:
                     placer=self.config.placement,
                     distribution_limit=self.config.distribution_limit,
                     seed=self.config.seed,
+                    partition_parallelism=self.config.partition_parallelism,
                 )
                 entity.result_handler = self._deliver_result
         self._build_dissemination()
@@ -237,6 +254,7 @@ class FederatedSystem:
             placer=self.config.placement,
             distribution_limit=self.config.distribution_limit,
             seed=self.config.seed,
+            partition_parallelism=self.config.partition_parallelism,
         )
         entity.result_handler = self._deliver_result
         self._build_dissemination()
@@ -261,6 +279,7 @@ class FederatedSystem:
                     placer=self.config.placement,
                     distribution_limit=self.config.distribution_limit,
                     seed=self.config.seed,
+                    partition_parallelism=self.config.partition_parallelism,
                 )
                 entity.result_handler = self._deliver_result
         self.portal.router.release(
@@ -410,6 +429,7 @@ class FederatedSystem:
                 placer=self.config.placement,
                 distribution_limit=self.config.distribution_limit,
                 seed=self.config.seed,
+                partition_parallelism=self.config.partition_parallelism,
             )
             entity.result_handler = self._deliver_result
         self._build_dissemination()

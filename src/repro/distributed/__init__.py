@@ -37,6 +37,8 @@ from repro.distributed.links import (
 from repro.distributed.placement import (
     cross_worker_links,
     entity_loads,
+    partition_spread,
+    partition_worker_spread,
     place_entities,
     place_feeds,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "encode_frame",
     "entity_loads",
     "merge_reports",
+    "partition_spread",
+    "partition_worker_spread",
     "place_entities",
     "place_feeds",
     "run_distributed_smoke",

@@ -60,6 +60,58 @@ def place_feeds(stream_ids: list[str], workers: int) -> dict[str, int]:
     }
 
 
+def partition_spread(
+    planner: FederatedSystem,
+) -> dict[str, tuple[str, ...]]:
+    """Per partitioned query, the processors its partitions landed on.
+
+    Derived from the deterministic per-entity placement, so the
+    coordinator and every worker agree on it without extra wire
+    traffic.  The §4.1 spread constraint makes these distinct whenever
+    the entity's cluster is at least as wide as the partition count —
+    the property :func:`partition_worker_spread` lifts to workers and
+    the invariant auditor checks.
+    """
+    spread: dict[str, tuple[str, ...]] = {}
+    for entity in planner.entities.values():
+        for hosted in entity.hosted.values():
+            if hosted.partition is None:
+                continue
+            parts = hosted.partition.parts
+            part_ids = {f.fragment_id for f in parts}
+            spread[hosted.spec.query_id] = tuple(
+                proc
+                for fragment, proc in zip(
+                    hosted.fragments, hosted.chain_procs
+                )
+                if fragment.fragment_id in part_ids
+            )
+    return spread
+
+
+def partition_worker_spread(
+    planner: FederatedSystem, entity_workers: dict[str, int]
+) -> dict[str, tuple[int, ...]]:
+    """Per partitioned query, the worker index hosting each partition.
+
+    An entity runs whole on one worker, so all of a query's partitions
+    share that worker today; the map is the seam a finer-grained
+    placement plugs into — and what :func:`cross_worker_links` callers
+    consult to know which worker's processors carry each partition.
+    """
+    entity_of = {
+        hosted.spec.query_id: entity_id
+        for entity_id, entity in planner.entities.items()
+        for hosted in entity.hosted.values()
+    }
+    return {
+        query_id: tuple(
+            entity_workers[entity_of[query_id]] for __ in procs
+        )
+        for query_id, procs in partition_spread(planner).items()
+    }
+
+
 def cross_worker_links(
     planner: FederatedSystem,
     entity_workers: dict[str, int],

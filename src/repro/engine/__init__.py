@@ -6,9 +6,26 @@ engine we install in every simulated entity: push-based operators
 (filter, project, map, window join, window aggregate, union), linear
 query plans that can be cut into fragments (§4.1), and an executor that
 charges operator costs to a simulated processor.
+
+:mod:`repro.engine.partition` adds intra-operator parallelism: a
+partitionable stage (exact-match window join or grouped aggregate) can
+be split across N parallel fragment instances behind a key-partitioning
+router and an order-preserving merge, with skew-triggered hot-key
+rebalancing — see ``docs/protocols.md`` §7.
 """
 
 from repro.engine.executor import FragmentRuntime, LocalEngine
+from repro.engine.partition import (
+    MergeStageOperator,
+    PartitionedDeployment,
+    PartitionedOperator,
+    PartitionRouter,
+    PartitionSpec,
+    PartitionStageOperator,
+    partitionable_stage,
+    plan_partitioned,
+    redistribute_state,
+)
 from repro.engine.operators import (
     FilterOperator,
     MapOperator,
@@ -32,4 +49,13 @@ __all__ = [
     "Fragment",
     "LocalEngine",
     "FragmentRuntime",
+    "MergeStageOperator",
+    "PartitionRouter",
+    "PartitionSpec",
+    "PartitionStageOperator",
+    "PartitionedDeployment",
+    "PartitionedOperator",
+    "partitionable_stage",
+    "plan_partitioned",
+    "redistribute_state",
 ]

@@ -145,6 +145,51 @@ class WindowAggregateOperator(Operator):
                     acc[3] = value
         return out
 
+    def advance_window(self, window_index: int) -> list[StreamTuple]:
+        """Close windows up to ``window_index`` (exclusive) and emit.
+
+        Partitioned-execution punctuation: the router broadcasts the
+        window boundary it observed, and every parallel clone flushes
+        the same window even if it saw no tuple past the boundary.  A
+        clone that never opened a window just records the new watermark.
+        """
+        out: list[StreamTuple] = []
+        if self._current_window is not None and window_index > self._current_window:
+            out = self._flush(self._current_window)
+        self._current_window = window_index
+        return out
+
     def reset_state(self) -> None:
         self._current_window = None
         self._accumulators.clear()
+
+    # --- partitioned execution hooks ----------------------------------
+    def clone(self) -> "WindowAggregateOperator":
+        """A fresh same-config instance (no accumulators, seq 0)."""
+        return WindowAggregateOperator(
+            self.name,
+            self.attribute,
+            fn=self.fn,
+            window=self.window,
+            group_by=self.group_by,
+            cost_per_tuple=self.cost_per_tuple,
+        )
+
+    def snapshot_groups(
+        self,
+    ) -> tuple[int | None, dict[float, list[float]]]:
+        """The watermark and per-group accumulators, copied out."""
+        return self._current_window, {
+            group: list(acc) for group, acc in self._accumulators.items()
+        }
+
+    def load_groups(
+        self,
+        current_window: int | None,
+        accumulators: dict[float, list[float]],
+    ) -> None:
+        """Replace the aggregation state (skew-rebalance redistribution)."""
+        self._current_window = current_window
+        self._accumulators = {
+            group: list(acc) for group, acc in accumulators.items()
+        }

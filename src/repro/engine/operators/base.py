@@ -105,6 +105,16 @@ class Operator:
             return self.estimated_selectivity
         return observed
 
+    def advance_window(self, window_index: int) -> list[StreamTuple]:
+        """Advance to ``window_index``, emitting any closing outputs.
+
+        Punctuation hook for partitioned execution: the partition router
+        broadcasts window boundaries so every parallel clone of a
+        windowed operator closes its window at the same global point.
+        Stateless operators have no window — the default is a no-op.
+        """
+        return []
+
     def reset_state(self) -> None:
         """Discard operator state (windows); used when a fragment moves."""
 

@@ -169,3 +169,31 @@ class WindowJoinOperator(Operator):
     def reset_state(self) -> None:
         for window in self._windows.values():
             window.clear()
+
+    # --- partitioned execution hooks ----------------------------------
+    def clone(self) -> "WindowJoinOperator":
+        """A fresh same-config instance (empty windows, seq 0)."""
+        return WindowJoinOperator(
+            self.name,
+            self.left_stream,
+            self.right_stream,
+            self.attribute,
+            window=self.window,
+            tolerance=self.tolerance,
+            cost_per_tuple=self.cost_per_tuple,
+            cost_per_probe=self.cost_per_probe,
+            estimated_selectivity=self.estimated_selectivity,
+        )
+
+    def snapshot_windows(self) -> dict[str, list[StreamTuple]]:
+        """The buffered window contents, per input stream."""
+        return {
+            stream_id: list(window)
+            for stream_id, window in self._windows.items()
+        }
+
+    def load_windows(self, windows: dict[str, list[StreamTuple]]) -> None:
+        """Replace the window contents (skew-rebalance redistribution)."""
+        for stream_id, window in self._windows.items():
+            window.clear()
+            window.extend(windows.get(stream_id, ()))

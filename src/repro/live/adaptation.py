@@ -68,6 +68,10 @@ class AdaptationSettings:
             only samples.  Kept above the repartitioners' own
             ``max_imbalance`` so the loop does not chase noise.
         max_imbalance: Balance target handed to the repartitioner.
+        partition_skew_threshold: Observed routing skew (hottest
+            partition's share over the ideal share) above which a
+            partitioned operator gets a hot-key rebalance — executed
+            under the same pause/drain quiescence as a migration.
         seed: Seed for the from-scratch strategy's partitioner.
     """
 
@@ -75,6 +79,7 @@ class AdaptationSettings:
     strategy: str = "hybrid"
     imbalance_threshold: float = 1.25
     max_imbalance: float = 1.10
+    partition_skew_threshold: float = 1.5
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -86,6 +91,8 @@ class AdaptationSettings:
             )
         if self.imbalance_threshold < 1.0 or self.max_imbalance < 1.0:
             raise ValueError("imbalance bounds must be >= 1.0")
+        if self.partition_skew_threshold < 1.0:
+            raise ValueError("partition_skew_threshold must be >= 1.0")
 
 
 class LoadSampler:
@@ -168,6 +175,42 @@ class QueryMigrator:
             # scheduler ticks); back off to real sleeps for paced runs
             await asyncio.sleep(0.0 if spins < 64 else 0.001)
         await self.flow.tracker.wait_quiescent()
+
+    # ------------------------------------------------------------------
+    async def rebalance_partitions(self, threshold: float) -> int:
+        """Skew-triggered hot-key rebalance of partitioned operators.
+
+        Scans every partition-parallel hosted query and, when observed
+        routing skew exceeds ``threshold``, reruns the greedy hot-key
+        override placement and redistributes clone state — under the
+        same pause → drain quiescence as a migration, so no in-flight
+        event can straddle the old and new partition function.  Returns
+        the number of deployments whose spec actually changed.
+        """
+        planner = self.runtime.planner
+        targets = []
+        for __, entity in sorted(planner.entities.items()):
+            for query_id, hosted in sorted(entity.hosted.items()):
+                deployment = hosted.partition
+                if deployment is None:
+                    continue
+                if (
+                    sum(deployment.router.partition_counts)
+                    and deployment.skew() > threshold
+                ):
+                    targets.append(deployment)
+        if not targets:
+            return 0
+        self.gate.close()
+        try:
+            await self._drain()
+            changed = sum(
+                1 for deployment in targets if deployment.rebalance()
+            )
+        finally:
+            self.gate.open()
+        self.metrics.record_rebalance(changed)
+        return changed
 
     # ------------------------------------------------------------------
     def _transfer(self, query_id: str, src_id: str, dst_id: str) -> None:
@@ -397,6 +440,9 @@ class AdaptationController:
     async def _round(self, now: float) -> None:
         """One control round; migrates only on observed overload."""
         planner = self.runtime.planner
+        await self.migrator.rebalance_partitions(
+            self.settings.partition_skew_threshold
+        )
         parts = len(planner.entities)
         if parts < 2 or not planner.queries:
             return
@@ -415,10 +461,22 @@ class AdaptationController:
             )
             return
         outcome = self.repartitioner.repartition(graph, current, parts)
+        # Partition-parallel queries are pinned: their fan-out wiring
+        # (router routes, spread placement) is entity-local state the
+        # chain-shaped transfer protocol cannot re-home; skew inside
+        # them is handled by rebalance_partitions instead.
+        pinned = {
+            query_id
+            for entity in planner.entities.values()
+            for query_id, hosted in entity.hosted.items()
+            if hosted.partition is not None
+        }
         moves = [
             (query_id, entity_ids[current[query_id]], entity_ids[part])
             for query_id, part in sorted(outcome.assignment.items())
-            if query_id in current and current[query_id] != part
+            if query_id in current
+            and query_id not in pinned
+            and current[query_id] != part
         ]
         pause = 0.0
         if moves and outcome.imbalance < imbalance:

@@ -39,6 +39,7 @@ from repro.streams.tuples import StreamTuple
 # Downstream descriptors for fragment outputs.
 TO_PROC = "proc"      # ("proc", proc_id, next_fragment_id)
 TO_RESULT = "result"  # ("result", query_id)
+TO_PARTS = "parts"    # ("parts", router, {dest: (proc_id, fragment_id)})
 
 
 class LiveClock:
@@ -610,6 +611,10 @@ class LiveProcessor:
             for full in self._result_batcher.add_many(items):
                 await self.transport.send(self.result_channel, full)
             return
+        if kind == TO_PARTS:
+            router, routes = rest
+            await self._route_partitions(router, routes, outputs)
+            return
         proc_id, next_fragment_id = rest
         if proc_id == self.proc_id:
             await self._run_fragment_batch(next_fragment_id, outputs)
@@ -646,6 +651,10 @@ class LiveProcessor:
                 if full is not None:
                     await self.transport.send(self.result_channel, full)
             return
+        if kind == TO_PARTS:
+            router, routes = rest
+            await self._route_partitions(router, routes, outputs)
+            return
         proc_id, next_fragment_id = rest
         if proc_id == self.proc_id:
             for out in outputs:
@@ -655,6 +664,32 @@ class LiveProcessor:
             full = self._proc_batchers[proc_id].add((next_fragment_id, out))
             if full is not None:
                 await self.transport.send(self.proc_channels[proc_id], full)
+
+    async def _route_partitions(
+        self, router, routes: dict, outputs: list[StreamTuple]
+    ) -> None:
+        """Fan a pre-stage fragment's outputs across partition fragments.
+
+        The router turns every output into sequenced partition events
+        plus merge-bound schedule controls; each goes to the processor
+        hosting the destination fragment.  Local destinations execute
+        inline, remote ones ride the per-processor batchers — per-link
+        order is preserved either way, and the merge protocol tolerates
+        any cross-link interleaving.
+        """
+        for out in outputs:
+            for dest, event in router.route(out):
+                proc_id, fragment_id = routes[dest]
+                if proc_id == self.proc_id:
+                    await self._run_fragment(fragment_id, event)
+                else:
+                    full = self._proc_batchers[proc_id].add(
+                        (fragment_id, event)
+                    )
+                    if full is not None:
+                        await self.transport.send(
+                            self.proc_channels[proc_id], full
+                        )
 
     async def _flush(self) -> None:
         for proc, batcher in self._proc_batchers.items():

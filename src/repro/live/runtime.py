@@ -36,7 +36,9 @@ from dataclasses import dataclass, field
 from repro.core.system import FederatedSystem, SystemConfig
 from repro.dissemination.tree import SOURCE, DisseminationTree
 from repro.live.channels import LAN, WAN, LiveChannel
+from repro.engine.partition import PartitionRouter
 from repro.live.entity_task import (
+    TO_PARTS,
     TO_PROC,
     TO_RESULT,
     LiveClock,
@@ -397,21 +399,55 @@ class LiveRuntime:
             head_routes: dict[str, list[tuple[str, str]]] = {}
             for hosted in entity.hosted.values():
                 chain = list(zip(hosted.fragments, hosted.chain_procs))
-                for index, (fragment, proc_id) in enumerate(chain):
+                for fragment, proc_id in chain:
                     fragment.reset_state()
                     fragments[proc_id][fragment.fragment_id] = fragment
-                    if index + 1 < len(chain):
-                        next_fragment, next_proc = chain[index + 1]
-                        downstream[proc_id][fragment.fragment_id] = (
+                if hosted.partition is not None:
+                    # Partition-parallel layout: pre fans out through
+                    # the router, partitions converge on the merge.
+                    deployment = hosted.partition
+                    deployment.router.reset()
+                    procs = hosted.chain_procs
+                    pre_proc = procs[0]
+                    part_procs = procs[1:-1]
+                    merge_proc = procs[-1]
+                    merge_id = deployment.merge.fragment_id
+                    routes: dict = {
+                        index: (proc, part.fragment_id)
+                        for index, (part, proc) in enumerate(
+                            zip(deployment.parts, part_procs)
+                        )
+                    }
+                    routes[PartitionRouter.MERGE] = (merge_proc, merge_id)
+                    downstream[pre_proc][deployment.pre.fragment_id] = (
+                        TO_PARTS,
+                        deployment.router,
+                        routes,
+                    )
+                    for part, proc in zip(deployment.parts, part_procs):
+                        downstream[proc][part.fragment_id] = (
                             TO_PROC,
-                            next_proc,
-                            next_fragment.fragment_id,
+                            merge_proc,
+                            merge_id,
                         )
-                    else:
-                        downstream[proc_id][fragment.fragment_id] = (
-                            TO_RESULT,
-                            hosted.spec.query_id,
-                        )
+                    downstream[merge_proc][merge_id] = (
+                        TO_RESULT,
+                        hosted.spec.query_id,
+                    )
+                else:
+                    for index, (fragment, proc_id) in enumerate(chain):
+                        if index + 1 < len(chain):
+                            next_fragment, next_proc = chain[index + 1]
+                            downstream[proc_id][fragment.fragment_id] = (
+                                TO_PROC,
+                                next_proc,
+                                next_fragment.fragment_id,
+                            )
+                        else:
+                            downstream[proc_id][fragment.fragment_id] = (
+                                TO_RESULT,
+                                hosted.spec.query_id,
+                            )
                 head_fragment, head_proc = chain[0]
                 for stream_id in hosted.spec.input_streams:
                     head_routes.setdefault(stream_id, []).append(

@@ -59,6 +59,7 @@ class AdaptationMetrics:
         self.pause_wall_seconds = 0.0
         self.audits = 0
         self.audit_violations = 0
+        self.partition_rebalances = 0
         self._rounds: list[AdaptationRound] = []
 
     # ------------------------------------------------------------------
@@ -86,6 +87,10 @@ class AdaptationMetrics:
         self.audits += 1
         self.audit_violations += violations
 
+    def record_rebalance(self, rebalanced: int) -> None:
+        """Account skew-triggered partition rebalances in one round."""
+        self.partition_rebalances += rebalanced
+
     # ------------------------------------------------------------------
     def build_report(self) -> "AdaptationReport":
         """Freeze the collected counters into an :class:`AdaptationReport`."""
@@ -106,6 +111,7 @@ class AdaptationMetrics:
             history=tuple(self._rounds),
             audits=self.audits,
             audit_violations=self.audit_violations,
+            partition_rebalances=self.partition_rebalances,
         )
 
 
@@ -133,6 +139,8 @@ class AdaptationReport:
         history: Per-round records, in round order.
         audits: Post-migration structural-invariant audits run.
         audit_violations: Violations those audits found (must stay 0).
+        partition_rebalances: Skew-triggered intra-operator partition
+            rebalances (hot-key overrides installed under quiescence).
     """
 
     strategy: str
@@ -150,6 +158,7 @@ class AdaptationReport:
     history: tuple[AdaptationRound, ...] = ()
     audits: int = 0
     audit_violations: int = 0
+    partition_rebalances: int = 0
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest (appended to the live run summary)."""
@@ -165,4 +174,5 @@ class AdaptationReport:
             f"final {self.final_imbalance:.2f}",
             f"invariant audits: {self.audits} run, "
             f"{self.audit_violations} violations",
+            f"partition rebalances: {self.partition_rebalances}",
         ]

@@ -33,6 +33,11 @@ class PlacementJob:
         delegate_proc: The delegation processor of the query's dominant
             input stream (traffic anchor for the head fragment).
         distribution_limit: Max distinct processors for this query.
+        parallel_group: Fragment ids of a partitioned stage's parallel
+            instances (empty for plain chain-fragmented queries).  Group
+            members share the stage's input rate, want *distinct*
+            processors, and widen the distribution limit into a
+            per-partition budget.
     """
 
     query_id: str
@@ -41,6 +46,7 @@ class PlacementJob:
     input_byte_rate: float
     delegate_proc: str
     distribution_limit: int = 2
+    parallel_group: tuple[str, ...] = ()
 
 
 @dataclass
@@ -70,12 +76,42 @@ class PlacementPlan:
         return max(loads) / mean
 
 
+def _effective_limit(job: PlacementJob) -> int:
+    """Distinct-processor budget: per-partition when partitioned.
+
+    The paper's per-query ``distribution_limit`` bounds how far one
+    query spreads; a k-way partitioned stage legitimately *wants* k
+    processors, so the limit scales with the group size.
+    """
+    if job.parallel_group:
+        return job.distribution_limit * len(job.parallel_group)
+    return job.distribution_limit
+
+
 def _fragment_rates(job: PlacementJob) -> list[tuple[float, float]]:
-    """Per-fragment ``(input tuple rate, input byte rate)``."""
+    """Per-fragment ``(input tuple rate, input byte rate)``.
+
+    Parallel-group members split the stage's input evenly (the router
+    fans the branch rate across the partitions); the fragment after the
+    group — the merge — resumes the chain at branch rate times one
+    partition's selectivity.
+    """
     rates = []
     rate = job.input_rate
     byte_rate = job.input_byte_rate
+    group = set(job.parallel_group)
+    fan = max(1, len(group))
+    group_sel: float | None = None
     for fragment in job.fragments:
+        if fragment.fragment_id in group:
+            rates.append((rate / fan, byte_rate / fan))
+            if group_sel is None:
+                group_sel = fragment.selectivity()
+            continue
+        if group_sel is not None:
+            rate *= group_sel
+            byte_rate *= group_sel
+            group_sel = None
         rates.append((rate, byte_rate))
         sel = fragment.selectivity()
         rate *= sel
@@ -135,11 +171,21 @@ class PRPlacer:
     # ------------------------------------------------------------------
     def _place_job(self, job: PlacementJob, plan: PlacementPlan) -> None:
         rates = _fragment_rates(job)
+        group = set(job.parallel_group)
         used: set[str] = set()
+        group_used: set[str] = set()
         upstream_proc = job.delegate_proc
+        group_upstream: str | None = None
         for fragment, (rate, byte_rate) in zip(job.fragments, rates):
+            in_group = fragment.fragment_id in group
+            if in_group and group_upstream is None:
+                # all partitions anchor to the pre-stage processor
+                group_upstream = upstream_proc
+            anchor = group_upstream if in_group else upstream_proc
             load = fragment.estimated_load(rate)
-            candidates = self._candidates(job, used)
+            candidates = self._candidates(
+                job, used, exclude=group_used if in_group else frozenset()
+            )
             load_score = {
                 p: (plan.predicted_load[p] + load) / self.processors[p]
                 for p in candidates
@@ -154,7 +200,7 @@ class PRPlacer:
             proc = min(
                 near_balanced,
                 key=lambda p: (
-                    0.0 if p == upstream_proc else byte_rate,
+                    0.0 if p == anchor else byte_rate,
                     load_score[p],
                     p,
                 ),
@@ -162,12 +208,25 @@ class PRPlacer:
             plan.assignment[fragment.fragment_id] = proc
             plan.predicted_load[proc] += load
             used.add(proc)
+            if in_group:
+                group_used.add(proc)
             upstream_proc = proc
 
-    def _candidates(self, job: PlacementJob, used: set[str]) -> list[str]:
-        if len(used) >= job.distribution_limit:
-            return sorted(used)
-        return sorted(self.processors)
+    def _candidates(
+        self,
+        job: PlacementJob,
+        used: set[str],
+        *,
+        exclude: set[str] | frozenset[str] = frozenset(),
+    ) -> list[str]:
+        if len(used) >= _effective_limit(job):
+            pool = sorted(used)
+        else:
+            pool = sorted(self.processors)
+        # spread constraint: partitions of one stage avoid processors
+        # already holding a sibling — unless the pool is too small
+        spread = [p for p in pool if p not in exclude]
+        return spread or pool
 
     # ------------------------------------------------------------------
     def _total_traffic(
@@ -176,6 +235,9 @@ class PRPlacer:
         """Predicted LAN bytes/second crossing processor boundaries."""
         traffic = 0.0
         for job in jobs:
+            if job.parallel_group:
+                traffic += self._partitioned_traffic(job, plan)
+                continue
             upstream = job.delegate_proc
             for fragment, (__, byte_rate) in zip(
                 job.fragments, _fragment_rates(job)
@@ -186,6 +248,40 @@ class PRPlacer:
                 if proc != upstream:
                     traffic += byte_rate
                 upstream = proc
+        return traffic
+
+    def _partitioned_traffic(
+        self, job: PlacementJob, plan: PlacementPlan
+    ) -> float:
+        """Fan-out/fan-in traffic for a partitioned job.
+
+        The chain model charges one upstream edge per fragment; a
+        partitioned stage instead has pre→partition edges (each at the
+        partition's share of the branch rate) and partition→merge
+        fan-in edges (each at a share of the merge input rate).
+        """
+        rates = _fragment_rates(job)
+        group = set(job.parallel_group)
+        fan = max(1, len(group))
+        traffic = 0.0
+        upstream = job.delegate_proc
+        part_procs: list[str] = []
+        for index, fragment in enumerate(job.fragments):
+            proc = plan.assignment.get(fragment.fragment_id)
+            if proc is None:
+                continue
+            if fragment.fragment_id in group:
+                if proc != upstream:  # pre → partition fan-out edge
+                    traffic += rates[index][1]
+                part_procs.append(proc)
+                continue
+            if part_procs:  # the merge: fan-in edge per partition
+                share = rates[index][1] / fan
+                traffic += share * sum(1 for p in part_procs if p != proc)
+                part_procs = []
+            elif proc != upstream:
+                traffic += rates[index][1]
+            upstream = proc
         return traffic
 
     def _traffic_at(self, job: PlacementJob, plan: PlacementPlan, index: int,
@@ -209,9 +305,13 @@ class PRPlacer:
     ) -> bool:
         """Lower max normalised load + traffic by single-fragment moves."""
         improved = False
+        # Partitioned jobs are excluded: the chain-shaped traffic/limit
+        # reasoning below doesn't hold for fan-out groups, and moving a
+        # single partition would break the spread constraint silently.
         by_fragment = {
             f.fragment_id: (job, f, rates, i)
             for job in jobs
+            if not job.parallel_group
             for i, (f, rates) in enumerate(
                 zip(job.fragments, _fragment_rates(job))
             )

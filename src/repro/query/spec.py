@@ -27,21 +27,34 @@ from repro.streams.catalog import StreamCatalog
 
 @dataclass(frozen=True, slots=True)
 class JoinSpec:
-    """Join the spec's two input streams on ``attribute``."""
+    """Join the spec's two input streams on ``attribute``.
+
+    ``cost`` optionally overrides the default nominal CPU seconds per
+    tuple (still scaled by the query's ``cost_multiplier``) — probes and
+    expensive match predicates make joins far heavier than filters, and
+    the per-stage cost is what intra-operator parallelism spreads.
+    """
 
     attribute: str
     window: float = 5.0
     tolerance: float = 0.0
+    cost: float | None = None
 
 
 @dataclass(frozen=True, slots=True)
 class AggregateSpec:
-    """Tumbling-window aggregate over ``attribute``."""
+    """Tumbling-window aggregate over ``attribute``.
+
+    ``cost`` optionally overrides the default nominal CPU seconds per
+    tuple (still scaled by ``cost_multiplier``) for heavy aggregation
+    functions whose stage cost dwarfs the upstream filters.
+    """
 
     attribute: str
     fn: str = "avg"
     window: float = 10.0
     group_by: str | None = None
+    cost: float | None = None
 
 
 @dataclass(frozen=True)
@@ -120,6 +133,18 @@ class QuerySpec:
             return None
         return needed
 
+    @property
+    def partitionable(self) -> bool:
+        """Whether the compiled plan has a partition-parallel stage.
+
+        Exact-match window joins partition by join key; grouped
+        aggregates partition by group.  Band joins (``tolerance > 0``)
+        and ungrouped aggregates keep global state and stay sequential.
+        """
+        if self.join is not None and self.join.tolerance == 0.0:
+            return True
+        return self.aggregate is not None and self.aggregate.group_by is not None
+
     # ------------------------------------------------------------------
     # Analytics used by allocation and placement
     # ------------------------------------------------------------------
@@ -170,7 +195,10 @@ class QuerySpec:
                     self.join.attribute,
                     window=self.join.window,
                     tolerance=self.join.tolerance,
-                    cost_per_tuple=2e-4 * self.cost_multiplier,
+                    cost_per_tuple=(
+                        2e-4 if self.join.cost is None else self.join.cost
+                    )
+                    * self.cost_multiplier,
                 )
             )
         elif len(self.interests) > 1:
@@ -185,7 +213,12 @@ class QuerySpec:
                     fn=self.aggregate.fn,
                     window=self.aggregate.window,
                     group_by=self.aggregate.group_by,
-                    cost_per_tuple=6e-5 * self.cost_multiplier,
+                    cost_per_tuple=(
+                        6e-5
+                        if self.aggregate.cost is None
+                        else self.aggregate.cost
+                    )
+                    * self.cost_multiplier,
                 )
             )
         if self.project is not None:

@@ -19,6 +19,7 @@ from repro.workloads.scenarios import (
     financial_scenario,
     network_monitoring_scenario,
     parity_workload,
+    partition_workload,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "financial_scenario",
     "network_monitoring_scenario",
     "parity_workload",
+    "partition_workload",
 ]

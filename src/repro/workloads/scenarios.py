@@ -29,10 +29,16 @@ def financial_scenario(
     rate: float = 200.0,
     hot_fraction: float = 0.7,
     join_fraction: float = 0.1,
+    zipf_s: float = 1.1,
     seed: int = 0,
 ) -> Scenario:
-    """Stock-market monitoring: Zipf-hot symbols, clustered interests."""
-    catalog = stock_catalog(exchanges=exchanges, rate=rate)
+    """Stock-market monitoring: Zipf-hot symbols, clustered interests.
+
+    ``zipf_s`` steepens the symbol popularity curve — the skew knob the
+    partitioned-operator experiments turn up to concentrate a stage's
+    traffic onto a few hot keys.
+    """
+    catalog = stock_catalog(exchanges=exchanges, rate=rate, zipf_s=zipf_s)
     workload = generate_workload(
         catalog,
         WorkloadConfig(
@@ -101,5 +107,72 @@ def parity_workload(seed: int = 0, *, rate: float = 40.0):
             client_y=0.9 - 0.1 * i,
         )
         for i, (lo, hi) in enumerate(ranges)
+    ]
+    return catalog, config, queries
+
+
+def partition_workload(
+    seed: int = 0,
+    *,
+    rate: float = 40.0,
+    parallelism: int = 4,
+    zipf_s: float = 1.3,
+    agg_cost: float | None = None,
+):
+    """The partitioned-operator parity workload: grouped aggregates.
+
+    Per-symbol grouped aggregates over a skewed (Zipf) stock tape are
+    the partitionable stage whose results are runtime-independent: the
+    aggregate watermark advances on ``created_at`` alone, so sim, live,
+    distributed, and partitioned-live runs must deliver the identical
+    result-tuple set per seed.  Selection queries ride along so the
+    workload also exercises plain chains next to partitioned ones.
+    ``agg_cost`` overrides the aggregates' nominal CPU seconds per
+    tuple — the E19 benchmark raises it to make the partitioned stage
+    CPU-bound.  Returns ``(catalog, config, queries)`` with
+    ``config.partition_parallelism`` set to ``parallelism``.
+    """
+    from repro.core.system import SystemConfig
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import AggregateSpec, QuerySpec
+
+    catalog = stock_catalog(exchanges=2, rate=rate, zipf_s=zipf_s)
+    config = SystemConfig(
+        entity_count=4,
+        processors_per_entity=max(2, parallelism),
+        seed=seed,
+        partition_parallelism=parallelism,
+    )
+    queries = [
+        QuerySpec(
+            query_id=f"agg{i}",
+            interests=(
+                StreamInterest.on(
+                    f"exchange-{i % 2}.trades", price=(50.0, 900.0)
+                ),
+            ),
+            aggregate=AggregateSpec(
+                attribute="price",
+                fn=("sum", "avg", "max")[i % 3],
+                window=0.25,
+                group_by="symbol",
+                cost=agg_cost,
+            ),
+            client_x=0.15 * i,
+            client_y=0.8 - 0.1 * i,
+        )
+        for i in range(4)
+    ] + [
+        QuerySpec(
+            query_id=f"sel{i}",
+            interests=(
+                StreamInterest.on(
+                    f"exchange-{i % 2}.trades", price=(lo, hi)
+                ),
+            ),
+            client_x=0.2 + 0.1 * i,
+            client_y=0.2 + 0.1 * i,
+        )
+        for i, (lo, hi) in enumerate([(100.0, 400.0), (500.0, 950.0)])
     ]
     return catalog, config, queries
