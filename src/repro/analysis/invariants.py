@@ -24,6 +24,11 @@ The invariants come straight from the paper:
   layout: one fragment per partition in index order, a router whose
   spec matches the fragment fan-out, and (when the entity's cluster is
   wide enough) partitions spread across distinct processors (§4.1).
+* **sharing** — shared-computation groups stay well-formed: every
+  member is hosted, tagged, and holds exactly its tap fragment, and the
+  shared prefix fingerprints concatenated with each member's tap-suffix
+  fingerprints reconstruct the member's own canonical pipeline, so the
+  multi-query rewrite provably evaluates the same queries.
 """
 
 from __future__ import annotations
@@ -262,6 +267,86 @@ def check_partitions(entity: "Entity") -> list[InvariantViolation]:
     return violations
 
 
+def check_sharing(entity: "Entity") -> list[InvariantViolation]:
+    """Shared-computation layout consistency for one entity.
+
+    For every shared group: at least two members, each hosted at this
+    entity, tagged with the group id, holding exactly its tap fragment,
+    with a tap processor assigned; the shared fragment's member list
+    matches; and — semantically — the shared prefix fingerprints
+    concatenated with each member's tap-suffix fingerprints must equal
+    the member's own canonical fingerprint sequence, so the rewrite is
+    provably evaluating the same query.  Conversely every hosted query
+    tagged with a group id must appear in exactly that group.
+    """
+    violations: list[InvariantViolation] = []
+
+    def bad(subject: str, detail: str) -> None:
+        violations.append(InvariantViolation("sharing", subject, detail))
+
+    seen_members: dict[str, str] = {}
+    for gid, deployment in sorted(entity.shared.items()):
+        group = deployment.group
+        if gid != group.group_id:
+            bad(gid, f"deployment key differs from group id {group.group_id}")
+        if len(group.members) < 2:
+            bad(gid, f"group has {len(group.members)} member(s), needs >= 2")
+        if tuple(group.shared.members) != tuple(group.members):
+            bad(
+                gid,
+                "shared fragment member list "
+                f"{list(group.shared.members)} != group members "
+                f"{list(group.members)}",
+            )
+        prefix_fps = tuple(
+            op.fingerprint() for op in group.shared.operators
+        )
+        for qid in group.members:
+            prev = seen_members.setdefault(qid, gid)
+            if prev != gid:
+                bad(qid, f"member of two groups: {prev} and {gid}")
+            hosted = entity.hosted.get(qid)
+            if hosted is None:
+                bad(gid, f"member {qid} is not hosted at {entity.entity_id}")
+                continue
+            if hosted.shared_group != gid:
+                bad(
+                    qid,
+                    f"hosted query tagged {hosted.shared_group}, group "
+                    f"says {gid}",
+                )
+            tap = group.taps.get(qid)
+            if tap is None:
+                bad(gid, f"member {qid} has no tap fragment")
+                continue
+            if qid not in deployment.tap_procs:
+                bad(gid, f"member {qid} has no tap processor assigned")
+            if hosted.fragments != [tap]:
+                bad(
+                    qid,
+                    "member's fragments are not exactly its tap fragment",
+                )
+            suffix_fps = tuple(
+                op.fingerprint() for op in tap.operators[1:]
+            )
+            if prefix_fps + suffix_fps != hosted.spec.operator_fingerprints():
+                bad(
+                    qid,
+                    "shared prefix + tap suffix fingerprints do not "
+                    "reconstruct the member's canonical pipeline",
+                )
+    for query_id, hosted in sorted(entity.hosted.items()):
+        gid = hosted.shared_group
+        if gid is None:
+            continue
+        deployment = entity.shared.get(gid)
+        if deployment is None:
+            bad(query_id, f"tagged with unknown group {gid}")
+        elif query_id not in deployment.group.members:
+            bad(query_id, f"tagged with group {gid} but not a member of it")
+    return violations
+
+
 def check_allocation_balance(
     graph: "QueryGraph",
     assignment: dict[str, str],
@@ -382,6 +467,7 @@ def audit_federation(
         if entity_id not in exclude_set:
             violations.extend(check_delegation(entity))
             violations.extend(check_partitions(entity))
+            violations.extend(check_sharing(entity))
     violations.extend(_check_hosting(system, trees, exclude_set))
     if graph is not None and parts is not None and parts > 0:
         assignment = (
@@ -423,6 +509,79 @@ def selfcheck(
         parts=len(system.entities),
         balance_threshold=3.0,
     )
+
+
+def run_sharing_smoke(
+    *, seed: int = 0, duration: float = 2.0
+) -> list[InvariantViolation]:
+    """Run the sharing workload shared and unshared; audit and compare.
+
+    A shared-execution sim run must form at least one shared group
+    (otherwise the smoke exercises nothing), pass the ``sharing``
+    structural audit, and deliver exactly the result-tuple set of an
+    unshared run of the same seed — the multi-query rewrite must be
+    invisible in results.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.system import FederatedSystem
+    from repro.workloads import sharing_workload
+
+    catalog, config, queries = sharing_workload(seed)
+
+    def run(shared: bool):
+        system = FederatedSystem(
+            catalog, _replace(config, shared_execution=shared)
+        )
+        system.submit(queries)
+        observed: set[tuple[str, str, int]] = set()
+
+        def wrap(handler):
+            def wrapped(query_id, tup):
+                observed.add((query_id, tup.stream_id, tup.seq))
+                handler(query_id, tup)
+
+            return wrapped
+
+        for entity in system.entities.values():
+            if entity.result_handler is not None:
+                entity.result_handler = wrap(entity.result_handler)
+        system.run(duration=duration)
+        system.sim.run()
+        return system, observed
+
+    shared_system, shared_keys = run(True)
+    __, unshared_keys = run(False)
+    violations = audit_federation(shared_system)
+    groups = sum(
+        len(entity.shared) for entity in shared_system.entities.values()
+    )
+    if groups == 0:
+        violations.append(
+            InvariantViolation(
+                "sharing-smoke",
+                "federation",
+                "the overlap workload formed no shared group",
+            )
+        )
+    if not shared_keys:
+        violations.append(
+            InvariantViolation(
+                "sharing-smoke",
+                "federation",
+                "the shared smoke run delivered zero results",
+            )
+        )
+    if shared_keys != unshared_keys:
+        violations.append(
+            InvariantViolation(
+                "sharing-smoke",
+                "federation",
+                f"shared run delivered {len(shared_keys)} result keys, "
+                f"unshared {len(unshared_keys)} — sets differ",
+            )
+        )
+    return violations
 
 
 def run_partition_smoke(

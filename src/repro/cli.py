@@ -56,6 +56,16 @@ EXPERIMENTS = [
         "distributed throughput scaling",
         "bench_distributed_throughput.py",
     ),
+    (
+        "E19",
+        "partitioned joins/aggregates",
+        "bench_partitioned_operators.py",
+    ),
+    (
+        "E20",
+        "multi-query shared computation",
+        "bench_shared_computation.py",
+    ),
 ]
 
 
@@ -458,7 +468,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     """Audit the paper's structural invariants on a demo federation."""
-    from repro.analysis.invariants import run_partition_smoke, selfcheck
+    from repro.analysis.invariants import (
+        run_partition_smoke,
+        run_sharing_smoke,
+        selfcheck,
+    )
 
     violations = selfcheck(
         seed=args.seed,
@@ -466,11 +480,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         query_count=args.queries,
     )
     violations += run_partition_smoke(seed=args.seed)
+    violations += run_sharing_smoke(seed=args.seed)
     checks = (
         "coordinator cluster bounds, dissemination tree + interest "
         "coverage, delegation totality, hosting consistency, "
         "allocation balance, partitioned stage layout after skew "
-        "rebalance"
+        "rebalance, shared-computation group layout + shared/unshared "
+        "result parity"
     )
     if args.distributed:
         from repro.distributed import run_distributed_smoke

@@ -19,6 +19,7 @@ from repro.engine.partition import (
     plan_partitioned,
 )
 from repro.engine.plan import Fragment, QueryPlan
+from repro.engine.sharing import SharedDeployment, SharedGroup, plan_shared
 from repro.interest.predicates import StreamInterest
 from repro.placement.delegation import DelegationScheme
 from repro.placement.factory import make_placer
@@ -45,6 +46,19 @@ class HostedQuery:
     # Set when the query's hottest stage is deployed partition-parallel;
     # None means the plain linear fragment chain.
     partition: PartitionedDeployment | None = None
+    # Group id when the query executes behind a shared prefix fragment
+    # (its own ``fragments`` then hold just the tap fragment).
+    shared_group: str | None = None
+    # The canonical-order compilation used under shared execution; built
+    # lazily and kept across redeploys so stateful suffix operators
+    # survive re-sharing.
+    canonical_plan: QueryPlan | None = None
+
+    def canonical(self, catalog: StreamCatalog) -> QueryPlan:
+        """The cached canonical plan (sharing-comparable operator order)."""
+        if self.canonical_plan is None:
+            self.canonical_plan = self.spec.build_canonical_plan(catalog)
+        return self.canonical_plan
 
     @property
     def inherent_complexity(self) -> float:
@@ -91,6 +105,7 @@ class Entity:
             self.engines[node.node_id] = LocalEngine(sim, proc)
         self.delegation = DelegationScheme(sorted(self.processors))
         self.hosted: dict[str, HostedQuery] = {}
+        self.shared: dict[str, SharedDeployment] = {}
         self.result_handler: ResultHandler | None = None
         self.tuples_received = 0
         self.results_emitted = 0
@@ -100,6 +115,7 @@ class Entity:
         self._last_limit = 2
         self._last_seed = 0
         self._last_parallelism = 1
+        self._last_shared = False
 
     # ------------------------------------------------------------------
     # Query hosting
@@ -152,6 +168,7 @@ class Entity:
         distribution_limit: int = 2,
         seed: int = 0,
         partition_parallelism: int = 1,
+        shared_execution: bool = False,
     ) -> PlacementPlan:
         """(Re)deploy every hosted query onto the cluster.
 
@@ -159,31 +176,66 @@ class Entity:
         a partitionable stage (exact-match window join, grouped
         aggregate) are deployed as partitioned operator fragments —
         pre-stage, N parallel partitions, order-preserving merge —
-        instead of a linear chain.  Returns the placement plan so
-        callers can inspect predicted load and traffic.
+        instead of a linear chain.  With ``shared_execution``, plain
+        chain queries whose canonical fingerprint prefixes coincide are
+        rewritten into one shared prefix fragment fanning out to
+        per-query taps (:mod:`repro.engine.sharing`).  Returns the
+        placement plan so callers can inspect predicted load and
+        traffic.
         """
         self._last_placer = placer
         self._last_limit = distribution_limit
         self._last_seed = seed
         self._last_parallelism = partition_parallelism
+        self._last_shared = shared_execution
         for engine in self.engines.values():
             for fragment_id in engine.fragment_ids:
                 engine.uninstall(fragment_id)
         self._head_routes.clear()
+        self.shared.clear()
 
-        jobs: list[PlacementJob] = []
+        limit = max(1, distribution_limit)
+        sharable: list[HostedQuery] = []
         for hosted in self.hosted.values():
-            limit = max(1, distribution_limit)
+            hosted.shared_group = None
             hosted.partition = (
                 plan_partitioned(hosted.plan, partition_parallelism)
                 if partition_parallelism > 1
                 else None
             )
+            if hosted.partition is None and shared_execution:
+                sharable.append(hosted)
+
+        groups: list[SharedGroup] = []
+        if sharable:
+            groups = plan_shared(
+                [h.spec for h in sharable],
+                {h.spec.query_id: h.canonical(self.catalog) for h in sharable},
+                self.catalog,
+            )
+            for group in groups:
+                for qid in group.members:
+                    self.hosted[qid].shared_group = group.group_id
+
+        jobs: list[PlacementJob] = []
+        for hosted in self.hosted.values():
             if hosted.partition is not None:
                 hosted.fragments = hosted.partition.fragments
                 parallel_group = tuple(
                     f.fragment_id for f in hosted.partition.parts
                 )
+            elif hosted.shared_group is not None:
+                # the member's only private fragment is its tap; the
+                # shared prefix gets its own placement job below
+                hosted.fragments = []
+                parallel_group = ()
+            elif shared_execution:
+                # canonical compilation even when unshared, so a later
+                # re-share can adopt this query's suffix instances
+                hosted.fragments = fragment_plan(
+                    hosted.canonical(self.catalog), limit
+                )
+                parallel_group = ()
             else:
                 hosted.fragments = fragment_plan(hosted.plan, limit)
                 parallel_group = ()
@@ -193,6 +245,8 @@ class Entity:
             for stream_id in streams:
                 schema = self.catalog.schema(stream_id)
                 self.delegation.assign(stream_id, schema.bytes_per_second)
+            if hosted.shared_group is not None:
+                continue
             jobs.append(
                 PlacementJob(
                     query_id=hosted.spec.query_id,
@@ -206,13 +260,100 @@ class Entity:
                     parallel_group=parallel_group,
                 )
             )
+        jobs.extend(self._shared_jobs(groups, limit))
 
         speeds = {p: proc.speed for p, proc in self.processors.items()}
         plan = make_placer(placer, speeds, seed=seed).place(jobs)
         for hosted in self.hosted.values():
-            self._wire_query(hosted, plan)
+            if hosted.shared_group is None:
+                self._wire_query(hosted, plan)
+        for group in groups:
+            self._wire_shared(group, plan)
         self._deployed = True
         return plan
+
+    def _shared_jobs(
+        self, groups: list[SharedGroup], limit: int
+    ) -> list[PlacementJob]:
+        """Placement jobs for shared prefixes and their member taps.
+
+        The shared fragment anchors at the dominant stream's delegation
+        processor like any head fragment; each member's tap is a
+        separate single-fragment job at the prefix's output rate, so the
+        placer spreads the private suffix work normally.
+        """
+        jobs: list[PlacementJob] = []
+        for group in groups:
+            rates = {
+                s: self.catalog.schema(s).rate for s in group.input_streams
+            }
+            byte_rate = sum(
+                self.catalog.schema(s).bytes_per_second
+                for s in group.input_streams
+            )
+            input_rate = sum(rates.values())
+            dominant = max(group.input_streams, key=lambda s: rates[s])
+            anchor = self.delegation.delegate_of(dominant)
+            jobs.append(
+                PlacementJob(
+                    query_id=group.group_id,
+                    fragments=[group.shared],
+                    input_rate=input_rate,
+                    input_byte_rate=byte_rate,
+                    delegate_proc=anchor,
+                    distribution_limit=1,
+                )
+            )
+            tap_rate = input_rate * group.shared.selectivity()
+            tap_byte_rate = byte_rate * group.shared.selectivity()
+            for qid in group.members:
+                tap = group.taps[qid]
+                self.hosted[qid].fragments = [tap]
+                jobs.append(
+                    PlacementJob(
+                        query_id=qid,
+                        fragments=[tap],
+                        input_rate=tap_rate,
+                        input_byte_rate=tap_byte_rate,
+                        delegate_proc=anchor,
+                        distribution_limit=limit,
+                    )
+                )
+        return jobs
+
+    def _wire_shared(self, group: SharedGroup, plan: PlacementPlan) -> None:
+        """Install shared prefix → per-member tap fan-out → results.
+
+        The delegate routes each input tuple to the shared fragment
+        *once*; its outputs hop to every member's tap, which relabels
+        and runs the member's private suffix before the result hop.
+        """
+        shared_proc = plan.assignment[group.shared.fragment_id]
+        tap_procs: dict[str, str] = {}
+        hops = []
+        for qid in group.members:
+            tap = group.taps[qid]
+            proc = plan.assignment[tap.fragment_id]
+            tap_procs[qid] = proc
+            self.engines[proc].install(
+                tap, downstream=self._make_result_hop(proc, qid)
+            )
+            hops.append(self._make_hop(shared_proc, proc, tap.fragment_id))
+            hosted = self.hosted[qid]
+            hosted.chain_procs = [proc]
+
+        def fan_out(tup: StreamTuple) -> None:
+            for hop in hops:
+                hop(tup)
+
+        self.engines[shared_proc].install(group.shared, downstream=fan_out)
+        for stream_id in group.input_streams:
+            self._head_routes.setdefault(stream_id, []).append(
+                (group.shared.fragment_id, shared_proc)
+            )
+        self.shared[group.group_id] = SharedDeployment(
+            group, shared_proc, tap_procs
+        )
 
     def _wire_query(self, hosted: HostedQuery, plan: PlacementPlan) -> None:
         procs = [plan.assignment[f.fragment_id] for f in hosted.fragments]
@@ -383,12 +524,15 @@ class Entity:
                 fragment.reset_state()
             if hosted.partition is not None:
                 hosted.partition.router.reset()
+        for deployment in self.shared.values():
+            deployment.group.shared.reset_state()
         if self._deployed and self.hosted:
             self.deploy(
                 placer=self._last_placer,
                 distribution_limit=self._last_limit,
                 seed=self._last_seed,
                 partition_parallelism=self._last_parallelism,
+                shared_execution=self._last_shared,
             )
 
     # ------------------------------------------------------------------

@@ -85,6 +85,11 @@ class SystemConfig:
     # window joins, grouped aggregates) split across this many parallel
     # fragment instances.  1 = plain linear chains.
     partition_parallelism: int = 1
+    # Multi-query shared computation: colocated queries with equal
+    # fingerprint prefixes execute one shared prefix fragment feeding
+    # per-query taps (repro.engine.sharing).  Off by default; results
+    # are bit-identical either way.
+    shared_execution: bool = False
 
     def __post_init__(self) -> None:
         if self.dissemination not in DISSEMINATION_NAMES:
@@ -224,6 +229,7 @@ class FederatedSystem:
                     distribution_limit=self.config.distribution_limit,
                     seed=self.config.seed,
                     partition_parallelism=self.config.partition_parallelism,
+                    shared_execution=self.config.shared_execution,
                 )
                 entity.result_handler = self._deliver_result
         self._build_dissemination()
@@ -255,6 +261,7 @@ class FederatedSystem:
             distribution_limit=self.config.distribution_limit,
             seed=self.config.seed,
             partition_parallelism=self.config.partition_parallelism,
+            shared_execution=self.config.shared_execution,
         )
         entity.result_handler = self._deliver_result
         self._build_dissemination()
@@ -280,6 +287,7 @@ class FederatedSystem:
                     distribution_limit=self.config.distribution_limit,
                     seed=self.config.seed,
                     partition_parallelism=self.config.partition_parallelism,
+                    shared_execution=self.config.shared_execution,
                 )
                 entity.result_handler = self._deliver_result
         self.portal.router.release(
@@ -430,6 +438,7 @@ class FederatedSystem:
                 distribution_limit=self.config.distribution_limit,
                 seed=self.config.seed,
                 partition_parallelism=self.config.partition_parallelism,
+                shared_execution=self.config.shared_execution,
             )
             entity.result_handler = self._deliver_result
         self._build_dissemination()

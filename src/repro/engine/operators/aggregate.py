@@ -145,6 +145,15 @@ class WindowAggregateOperator(Operator):
                     acc[3] = value
         return out
 
+    def fingerprint(self) -> tuple:
+        """Structural shape: attribute, function, window and grouping.
+
+        Cost overrides are excluded — two aggregates with equal shape
+        produce identical output sequences regardless of their nominal
+        CPU charge.
+        """
+        return ("agg", self.attribute, self.fn, self.window, self.group_by)
+
     def advance_window(self, window_index: int) -> list[StreamTuple]:
         """Close windows up to ``window_index`` (exclusive) and emit.
 

@@ -105,6 +105,19 @@ class Operator:
             return self.estimated_selectivity
         return observed
 
+    def fingerprint(self) -> tuple:
+        """Canonical structural fingerprint of this operator.
+
+        Two operators with equal fingerprints are guaranteed to produce
+        identical output sequences on identical input sequences, so the
+        shared-computation optimizer may evaluate one instance on behalf
+        of both.  The base fingerprint embeds the instance name (which
+        carries the owning query id) and therefore never matches across
+        queries — operators must opt in to sharing by overriding this
+        with a name-free structural shape.
+        """
+        return ("opaque", type(self).__name__, self.name)
+
     def advance_window(self, window_index: int) -> list[StreamTuple]:
         """Advance to ``window_index``, emitting any closing outputs.
 

@@ -46,6 +46,15 @@ class FilterOperator(Operator):
         self._interest = interest
         self._match = compile_interest(interest)
 
+    def fingerprint(self) -> tuple:
+        """Structural shape: the interest's canonical constraint tuple.
+
+        Constraint order is normalised inside the interest fingerprint
+        (conjunction commutes), so equal selections across different
+        queries fingerprint equal and can share one evaluation.
+        """
+        return ("filter", *self._interest.fingerprint())
+
     def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
         if tup.stream_id != self._interest.stream_id:
             # Tuples of other streams pass through untouched (a filter

@@ -71,6 +71,23 @@ class WindowJoinOperator(Operator):
         """Current number of buffered tuples for one input stream."""
         return len(self._windows[stream_id])
 
+    def fingerprint(self) -> tuple:
+        """Structural shape: streams (sided), key, window and tolerance.
+
+        Left/right order is part of the shape — swapping sides renames
+        the ``left.``/``right.`` output attributes, so mirrored joins
+        must not share one instance.  Costs are excluded: they scale
+        accounting, never outputs.
+        """
+        return (
+            "join",
+            self.left_stream,
+            self.right_stream,
+            self.attribute,
+            self.window,
+            self.tolerance,
+        )
+
     def cost(self, tup: StreamTuple) -> float:
         other = (
             self.right_stream

@@ -30,6 +30,14 @@ class ProjectOperator(Operator):
         self.attributes = list(attributes)
         self.bytes_per_attribute = bytes_per_attribute
 
+    def fingerprint(self) -> tuple:
+        """Structural shape: kept attributes (ordered) and output sizing."""
+        return (
+            "project",
+            tuple(self.attributes),
+            self.bytes_per_attribute,
+        )
+
     def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
         kept = [a for a in self.attributes if a in tup.values]
         if not kept:

@@ -29,6 +29,14 @@ class UnionOperator(Operator):
             raise ValueError("union needs at least two input streams")
         self.input_streams = list(input_streams)
 
+    def fingerprint(self) -> tuple:
+        """Structural shape: the merged stream set (order-free).
+
+        Relabelling depends only on membership, so unions over the same
+        streams in any declaration order fingerprint equal.
+        """
+        return ("union", tuple(sorted(self.input_streams)))
+
     def process(self, tup: StreamTuple, now: float) -> list[StreamTuple]:
         if tup.stream_id not in self.input_streams:
             return [tup]

@@ -46,6 +46,16 @@ class QueryPlan:
     def __len__(self) -> int:
         return len(self.operators)
 
+    def fingerprints(self) -> tuple[tuple, ...]:
+        """Per-operator canonical structural fingerprints, upstream first.
+
+        The shared-computation optimizer aligns these sequences across
+        colocated queries: the longest common prefix of two plans'
+        fingerprints is exactly the pipeline segment one shared instance
+        may evaluate for both queries.
+        """
+        return tuple(op.fingerprint() for op in self.operators)
+
     # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------

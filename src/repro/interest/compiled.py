@@ -26,7 +26,8 @@ refresh that rebuilt an equal aggregate) is a dict hit.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import TYPE_CHECKING, Callable, Iterable
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple
 
 from repro.interest.predicates import IntervalSet, StreamInterest
 
@@ -38,38 +39,55 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 # attribute value (including None).
 _MISSING = object()
 
-# Compiled-kernel cache, keyed by the canonical interest shape.  Bounded
-# only by the variety of interests a process ever compiles; cleared via
-# clear_cache() (tests) and pruned wholesale if it ever grows absurd.
-_CACHE: dict[tuple, Callable[[dict], bool]] = {}
-_CACHE_LIMIT = 8192
+# Compiled-kernel LRU cache, keyed by the canonical interest fingerprint
+# (``StreamInterest.fingerprint``).  A hit moves the kernel to the MRU
+# end; inserting past the limit evicts from the LRU end one at a time,
+# so a long-running process with drifting interests keeps its hot
+# kernels instead of periodically recompiling everything.
+_CACHE: OrderedDict[tuple, Callable[[dict], bool]] = OrderedDict()
+_CACHE_LIMIT = 4096
+_HITS = 0
+_MISSES = 0
+_EVICTIONS = 0
 
 MatchFn = Callable[[dict], bool]
+
+
+class CacheInfo(NamedTuple):
+    """Counters of the compiled-kernel LRU cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
 
 
 def interest_key(interest: StreamInterest) -> tuple:
     """The canonical, hashable shape of an interest.
 
-    Two interests with equal stream and equal per-attribute interval
-    sets share one compiled kernel.
+    Delegates to :meth:`StreamInterest.fingerprint` — the same canonical
+    form the shared-computation optimizer groups filter operators by, so
+    equal predicates across different queries share one kernel.
     """
-    return (
-        interest.stream_id,
-        tuple(
-            (name, interest.constraints[name].intervals)
-            for name in sorted(interest.constraints)
-        ),
-    )
+    return interest.fingerprint()
 
 
 def clear_cache() -> None:
-    """Drop every cached kernel (test isolation)."""
+    """Drop every cached kernel and reset counters (test isolation)."""
+    global _HITS, _MISSES, _EVICTIONS
     _CACHE.clear()
+    _HITS = _MISSES = _EVICTIONS = 0
 
 
 def cache_size() -> int:
     """Number of kernels currently cached."""
     return len(_CACHE)
+
+
+def cache_info() -> CacheInfo:
+    """Hit/miss/eviction counters plus current and maximum size."""
+    return CacheInfo(_HITS, _MISSES, _EVICTIONS, len(_CACHE), _CACHE_LIMIT)
 
 
 def _codegen(interest: StreamInterest) -> MatchFn:
@@ -128,12 +146,18 @@ def compile_interest(interest: StreamInterest) -> MatchFn:
     The kernel is output-identical to ``interest.matches_values`` and is
     cached: compiling an equal interest again returns the same function.
     """
+    global _HITS, _MISSES, _EVICTIONS
     key = interest_key(interest)
     fn = _CACHE.get(key)
-    if fn is None:
-        if len(_CACHE) >= _CACHE_LIMIT:
-            _CACHE.clear()
-        fn = _CACHE[key] = _codegen(interest)
+    if fn is not None:
+        _HITS += 1
+        _CACHE.move_to_end(key)
+        return fn
+    _MISSES += 1
+    fn = _CACHE[key] = _codegen(interest)
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        _EVICTIONS += 1
     return fn
 
 

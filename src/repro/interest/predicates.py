@@ -210,6 +210,23 @@ class StreamInterest:
         """Whether any constraint is unsatisfiable."""
         return any(ivs.is_empty for ivs in self.constraints.values())
 
+    def fingerprint(self) -> tuple:
+        """Canonical, hashable structural shape of this interest.
+
+        Constraints are listed in sorted attribute order (conjunction is
+        commutative) with their normalised interval tuples, so two
+        interests selecting the same data on the same stream always
+        fingerprint equal — the key under which compiled kernels and
+        shared filter prefixes are deduplicated.
+        """
+        return (
+            self.stream_id,
+            tuple(
+                (name, self.constraints[name].intervals)
+                for name in sorted(self.constraints)
+            ),
+        )
+
     def matches_values(self, values: dict[str, float]) -> bool:
         """Whether a tuple's values satisfy every constraint.
 

@@ -47,7 +47,14 @@ from repro.allocation.repartition import (
     make_repartitioner,
 )
 from repro.dissemination.tree import SOURCE, DisseminationTree
-from repro.live.entity_task import TO_PROC, TO_RESULT, FeedGate
+from repro.engine.plan import Fragment
+from repro.engine.sharing import (
+    SharedDeployment,
+    collect_stats,
+    plan_shared,
+    reinforce_query_graph,
+)
+from repro.live.entity_task import TO_PROC, TO_RESULT, TO_TAPS, FeedGate
 from repro.live.metrics import LiveMetrics, LiveReport
 from repro.live.runtime import LiveDataflow, LiveRuntime, LiveSettings
 from repro.monitoring.adaptation import (
@@ -143,13 +150,27 @@ class QueryMigrator:
 
     # ------------------------------------------------------------------
     async def execute(self, moves: list[tuple[str, str, str]]) -> float:
-        """Run the protocol for ``moves``; returns pause wall seconds."""
+        """Run the protocol for ``moves``; returns pause wall seconds.
+
+        Under the same pause → drain quiescence, every entity touched by
+        a move gets its shared-computation groups recomputed afterwards
+        (a member migrating out splits its group; the arrival may open a
+        new sharing opportunity at the target).
+        """
         started = time.perf_counter()
         self.gate.close()
         try:
             await self._drain()
             for query_id, src_id, dst_id in sorted(moves):
                 self._transfer(query_id, src_id, dst_id)
+            if self.runtime.config.shared_execution:
+                touched = sorted(
+                    {src for __, src, __dst in moves}
+                    | {dst for __, __src, dst in moves}
+                )
+                for entity_id in touched:
+                    self._reshare_entity(entity_id)
+                self.metrics.record_reshare(len(touched))
             self._refresh_trees()
         finally:
             self.gate.open()
@@ -224,6 +245,12 @@ class QueryMigrator:
             return
         dst.hosted[query_id] = hosted
         planner.allocation_result.assignment[query_id] = dst_id
+        if hosted.shared_group is not None:
+            # Split the member out of its shared group before the chain
+            # transfer: it leaves with a standalone canonical chain
+            # (private suffix instances keep their state; the stateless
+            # prefix is rebuilt fresh, which is output-identical).
+            self._detach_shared(src_id, src, hosted)
         streams = hosted.spec.input_streams
 
         # -- uninstall at the source ----------------------------------
@@ -291,6 +318,227 @@ class QueryMigrator:
                 (head_id, head_proc)
             )
         self.metrics.record_transfer(len(hosted.fragments))
+
+    # ------------------------------------------------------------------
+    # Shared-computation surgery (all under the closed gate)
+    # ------------------------------------------------------------------
+    def _head_route_table(self, entity_id: str) -> dict:
+        """The entity's head-route dict (shared by all its processors)."""
+        planner = self.runtime.planner
+        proc_id = sorted(planner.entities[entity_id].processors)[0]
+        return self.flow.processors[(entity_id, proc_id)].head_routes
+
+    def _pop_fragment(
+        self, entity_id: str, proc_id: str, fragment_id: str
+    ) -> None:
+        task = self.flow.processors[(entity_id, proc_id)]
+        task.fragments.pop(fragment_id, None)
+        task.downstream.pop(fragment_id, None)
+
+    def _drop_head_routes(self, entity_id: str, fragment_id: str) -> None:
+        routes = self._head_route_table(entity_id)
+        for stream_id, entries in routes.items():
+            routes[stream_id] = [
+                r for r in entries if r[0] != fragment_id
+            ]
+
+    def _standalone_fragment(self, hosted) -> Fragment:
+        """One-fragment canonical chain for a query leaving a group.
+
+        Wraps the query's cached canonical plan instances: the private
+        suffix operators (which executed inside the tap fragment) keep
+        their window state; the prefix operators were shadowed by the
+        shared instance and are stateless filters, so running them fresh
+        is output-identical.
+        """
+        query_id = hosted.spec.query_id
+        ops = hosted.canonical(self.runtime.planner.catalog).operators
+        return Fragment(
+            fragment_id=f"{query_id}#f0",
+            query_id=query_id,
+            index=0,
+            operators=list(ops),
+        )
+
+    def _detach_shared(self, src_id: str, src, hosted) -> None:
+        """Remove one member from its shared group (gate closed).
+
+        The member's tap fragment is uninstalled and the group's fan-out
+        shrinks around it; the member itself continues as a standalone
+        canonical chain, which the caller's transfer then re-homes.  The
+        remaining group (possibly down to one member) is rebuilt by the
+        post-move :meth:`_reshare_entity` pass over the source entity.
+        """
+        gid = hosted.shared_group
+        query_id = hosted.spec.query_id
+        deployment = src.shared.get(gid)
+        if deployment is not None:
+            group = deployment.group
+            if group.stateful:
+                raise ValueError(
+                    f"cannot migrate {query_id}: member of stateful "
+                    f"shared group {gid}"
+                )
+            tap = group.taps.pop(query_id, None)
+            tap_proc = deployment.tap_procs.pop(query_id, None)
+            if tap is not None and tap_proc is not None:
+                self._pop_fragment(src_id, tap_proc, tap.fragment_id)
+            group.members = tuple(
+                m for m in group.members if m != query_id
+            )
+            group.shared.members = group.members
+            shared_task = self.flow.processors[
+                (src_id, deployment.shared_proc)
+            ]
+            shared_task.downstream[group.shared.fragment_id] = (
+                TO_TAPS,
+                tuple(
+                    (deployment.tap_procs[m], group.taps[m].fragment_id)
+                    for m in group.members
+                ),
+            )
+        hosted.shared_group = None
+        hosted.fragments = [self._standalone_fragment(hosted)]
+
+    def _reshare_entity(self, entity_id: str) -> None:
+        """Recompute one entity's sharing groups at quiescence.
+
+        Every stateless-prefix group is torn down and the optimizer
+        rerun (``allow_stateful=False`` — a re-share must not fabricate
+        shared window state mid-stream); queries that fall out of every
+        group get standalone canonical chains.  Stateful groups formed
+        at deploy time are left untouched — their members are pinned
+        against migration, so their wiring cannot have changed.
+        """
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        affected: set[str] = set()
+        for gid in sorted(entity.shared):
+            deployment = entity.shared[gid]
+            if deployment.group.stateful:
+                continue
+            del entity.shared[gid]
+            group = deployment.group
+            self._pop_fragment(
+                entity_id,
+                deployment.shared_proc,
+                group.shared.fragment_id,
+            )
+            self._drop_head_routes(entity_id, group.shared.fragment_id)
+            for qid, tap_proc in deployment.tap_procs.items():
+                tap = group.taps.get(qid)
+                if tap is not None:
+                    self._pop_fragment(
+                        entity_id, tap_proc, tap.fragment_id
+                    )
+                member = entity.hosted.get(qid)
+                if member is not None:
+                    member.shared_group = None
+                    affected.add(qid)
+        candidates = [
+            h
+            for h in entity.hosted.values()
+            if h.partition is None and h.shared_group is None
+        ]
+        groups = (
+            plan_shared(
+                [h.spec for h in candidates],
+                {
+                    h.spec.query_id: h.canonical(planner.catalog)
+                    for h in candidates
+                },
+                planner.catalog,
+                allow_stateful=False,
+            )
+            if len(candidates) >= 2
+            else []
+        )
+        for group in groups:
+            for qid in group.members:
+                self._uninstall_chain(entity_id, entity.hosted[qid])
+                affected.discard(qid)
+            self._install_shared(entity_id, group)
+        for qid in sorted(affected):
+            self._install_standalone(entity_id, entity.hosted[qid])
+
+    def _uninstall_chain(self, entity_id: str, hosted) -> None:
+        """Drop a query's current (unshared) chain from the dataflow."""
+        if hosted.fragments:
+            self._drop_head_routes(
+                entity_id, hosted.fragments[0].fragment_id
+            )
+        for fragment, proc_id in zip(
+            hosted.fragments, hosted.chain_procs
+        ):
+            self._pop_fragment(entity_id, proc_id, fragment.fragment_id)
+
+    def _anchor_proc(self, entity, input_streams) -> str:
+        """The delegation processor of the dominant input stream."""
+        catalog = self.runtime.planner.catalog
+        dominant = max(
+            input_streams, key=lambda s: catalog.schema(s).rate
+        )
+        procs = sorted(entity.processors)
+        delegate = entity.delegation.delegate_of(dominant)
+        return delegate if delegate in procs else procs[0]
+
+    def _install_shared(self, entity_id: str, group) -> None:
+        """Wire a freshly built group onto the entity's processors."""
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        procs = sorted(entity.processors)
+        shared_proc = self._anchor_proc(entity, group.input_streams)
+        start = procs.index(shared_proc)
+        tap_list = []
+        tap_procs: dict[str, str] = {}
+        for offset, qid in enumerate(group.members):
+            tap = group.taps[qid]
+            tap_proc = procs[(start + 1 + offset) % len(procs)]
+            tap_procs[qid] = tap_proc
+            # no reset: the tap slices the member's live suffix
+            # instances, whose window state must survive the re-share
+            task = self.flow.processors[(entity_id, tap_proc)]
+            task.fragments[tap.fragment_id] = tap
+            task.downstream[tap.fragment_id] = (TO_RESULT, qid)
+            tap_list.append((tap_proc, tap.fragment_id))
+            hosted = entity.hosted[qid]
+            hosted.shared_group = group.group_id
+            hosted.fragments = [tap]
+            hosted.chain_procs = [tap_proc]
+        shared_task = self.flow.processors[(entity_id, shared_proc)]
+        group.shared.reset_state()
+        shared_task.fragments[group.shared.fragment_id] = group.shared
+        shared_task.downstream[group.shared.fragment_id] = (
+            TO_TAPS,
+            tuple(tap_list),
+        )
+        routes = self._head_route_table(entity_id)
+        for stream_id in group.input_streams:
+            routes.setdefault(stream_id, []).append(
+                (group.shared.fragment_id, shared_proc)
+            )
+        entity.shared[group.group_id] = SharedDeployment(
+            group, shared_proc, tap_procs
+        )
+
+    def _install_standalone(self, entity_id: str, hosted) -> None:
+        """Wire an ex-member's standalone canonical chain."""
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        fragment = self._standalone_fragment(hosted)
+        query_id = hosted.spec.query_id
+        proc_id = self._anchor_proc(entity, hosted.spec.input_streams)
+        hosted.shared_group = None
+        hosted.fragments = [fragment]
+        hosted.chain_procs = [proc_id]
+        task = self.flow.processors[(entity_id, proc_id)]
+        task.fragments[fragment.fragment_id] = fragment
+        task.downstream[fragment.fragment_id] = (TO_RESULT, query_id)
+        routes = self._head_route_table(entity_id)
+        for stream_id in hosted.spec.input_streams:
+            routes.setdefault(stream_id, []).append(
+                (fragment.fragment_id, proc_id)
+            )
 
     # ------------------------------------------------------------------
     def _refresh_trees(self) -> None:
@@ -424,6 +672,17 @@ class AdaptationController:
         for query_id, rate in observed.items():
             if query_id in graph.vertex_weights:
                 graph.vertex_weights[query_id] = rate
+        # Realized sharing raises member-pair edge weights: separating
+        # a group re-evaluates the prefix per query and re-ships data,
+        # so the partitioner should prefer cutting elsewhere.
+        reinforce_query_graph(
+            graph,
+            {
+                entity_id: entity.shared
+                for entity_id, entity in planner.entities.items()
+            },
+            planner.catalog,
+        )
         entity_ids = sorted(planner.entities)
         part_of = {
             entity_id: part for part, entity_id in enumerate(entity_ids)
@@ -471,6 +730,17 @@ class AdaptationController:
             for query_id, hosted in entity.hosted.items()
             if hosted.partition is not None
         }
+        # Members of stateful shared groups are pinned too: splitting
+        # their group would need a per-member copy of the shared
+        # join/aggregate window state.  Stateless groups stay movable —
+        # the migrator splits and re-shares them under quiescence.
+        pinned |= {
+            query_id
+            for entity in planner.entities.values()
+            for deployment in entity.shared.values()
+            if deployment.group.stateful
+            for query_id in deployment.group.members
+        }
         moves = [
             (query_id, entity_ids[current[query_id]], entity_ids[part])
             for query_id, part in sorted(outcome.assignment.items())
@@ -494,6 +764,15 @@ class AdaptationController:
         else:
             applied = 0
             after = imbalance
+        self.metrics.record_sharing(
+            collect_stats(
+                {
+                    entity_id: entity.shared
+                    for entity_id, entity in planner.entities.items()
+                },
+                planner.catalog,
+            )
+        )
         self.metrics.record_round(
             AdaptationRound(
                 virtual_time=now,

@@ -40,6 +40,7 @@ from repro.streams.tuples import StreamTuple
 TO_PROC = "proc"      # ("proc", proc_id, next_fragment_id)
 TO_RESULT = "result"  # ("result", query_id)
 TO_PARTS = "parts"    # ("parts", router, {dest: (proc_id, fragment_id)})
+TO_TAPS = "taps"      # ("taps", ((proc_id, tap_fragment_id), ...))
 
 
 class LiveClock:
@@ -588,6 +589,20 @@ class LiveProcessor:
                         )
             start = end
 
+    def _record_busy(self, fragment: Fragment, cost: float) -> None:
+        """Account fragment CPU, splitting a shared prefix fragment's
+        cost evenly across its member queries (its own ``query_id`` is
+        the group id, not a query)."""
+        members = getattr(fragment, "members", None)
+        if members:
+            share = cost / len(members)
+            for qid in members:
+                self.metrics.record_busy(self.entity_id, share, query_id=qid)
+            return
+        self.metrics.record_busy(
+            self.entity_id, cost, query_id=fragment.query_id
+        )
+
     async def _run_fragment_batch(
         self, fragment_id: str, batch: list[StreamTuple]
     ) -> None:
@@ -596,15 +611,15 @@ class LiveProcessor:
         fragment = self.fragments.get(fragment_id)
         if fragment is None:
             return
-        self.metrics.record_busy(
-            self.entity_id,
-            fragment.cost_for_batch(batch),
-            query_id=fragment.query_id,
-        )
+        self._record_busy(fragment, fragment.cost_for_batch(batch))
         outputs = fragment.run_batch(batch, self.clock.now)
         if not outputs:
             return
         kind, *rest = self.downstream[fragment_id]
+        if kind == TO_TAPS:
+            (taps,) = rest
+            await self._fan_to_taps_batch(taps, outputs)
+            return
         if kind == TO_RESULT:
             (query_id,) = rest
             items = [(query_id, out) for out in outputs]
@@ -633,17 +648,46 @@ class LiveProcessor:
                 if full is not None:
                     await self.transport.send(self.proc_channels[proc], full)
 
+    async def _fan_to_taps_batch(
+        self, taps: tuple, outputs: list[StreamTuple]
+    ) -> None:
+        """Fan a shared prefix's outputs to every member tap.
+
+        Tuples are immutable, so the same output batch is handed to each
+        tap; local taps run inline, remote ones ride the per-processor
+        batchers (per-link order preserved).
+        """
+        for proc_id, tap_id in taps:
+            if proc_id == self.proc_id:
+                await self._run_fragment_batch(tap_id, outputs)
+            else:
+                items = [(tap_id, out) for out in outputs]
+                for full in self._proc_batchers[proc_id].add_many(items):
+                    await self.transport.send(self.proc_channels[proc_id], full)
+
     async def _run_fragment(self, fragment_id: str, tup: StreamTuple) -> None:
         fragment = self.fragments.get(fragment_id)
         if fragment is None:
             return
-        self.metrics.record_busy(
-            self.entity_id, fragment.cost_for(tup), query_id=fragment.query_id
-        )
+        self._record_busy(fragment, fragment.cost_for(tup))
         outputs = fragment.run(tup, self.clock.now)
         if not outputs:
             return
         kind, *rest = self.downstream[fragment_id]
+        if kind == TO_TAPS:
+            (taps,) = rest
+            for proc_id, tap_id in taps:
+                if proc_id == self.proc_id:
+                    for out in outputs:
+                        await self._run_fragment(tap_id, out)
+                else:
+                    for out in outputs:
+                        full = self._proc_batchers[proc_id].add((tap_id, out))
+                        if full is not None:
+                            await self.transport.send(
+                                self.proc_channels[proc_id], full
+                            )
+            return
         if kind == TO_RESULT:
             (query_id,) = rest
             for out in outputs:

@@ -41,6 +41,7 @@ from repro.live.entity_task import (
     TO_PARTS,
     TO_PROC,
     TO_RESULT,
+    TO_TAPS,
     LiveClock,
     LiveGateway,
     LiveProcessor,
@@ -398,6 +399,9 @@ class LiveRuntime:
             }
             head_routes: dict[str, list[tuple[str, str]]] = {}
             for hosted in entity.hosted.values():
+                if hosted.shared_group is not None:
+                    # wired below through the entity's shared deployments
+                    continue
                 chain = list(zip(hosted.fragments, hosted.chain_procs))
                 for fragment, proc_id in chain:
                     fragment.reset_state()
@@ -452,6 +456,31 @@ class LiveRuntime:
                 for stream_id in hosted.spec.input_streams:
                     head_routes.setdefault(stream_id, []).append(
                         (head_fragment.fragment_id, head_proc)
+                    )
+
+            # Shared-computation groups: one shared prefix fragment per
+            # group (registered as the single head route for the group's
+            # input streams) fanning out to per-member tap fragments.
+            for deployment in entity.shared.values():
+                group = deployment.group
+                shared = group.shared
+                shared.reset_state()
+                fragments[deployment.shared_proc][shared.fragment_id] = shared
+                tap_list = []
+                for qid in group.members:
+                    tap = group.taps[qid]
+                    tap.reset_state()
+                    tap_proc = deployment.tap_procs[qid]
+                    fragments[tap_proc][tap.fragment_id] = tap
+                    downstream[tap_proc][tap.fragment_id] = (TO_RESULT, qid)
+                    tap_list.append((tap_proc, tap.fragment_id))
+                downstream[deployment.shared_proc][shared.fragment_id] = (
+                    TO_TAPS,
+                    tuple(tap_list),
+                )
+                for stream_id in group.input_streams:
+                    head_routes.setdefault(stream_id, []).append(
+                        (shared.fragment_id, deployment.shared_proc)
                     )
 
             forwarder = TreeForwarder(

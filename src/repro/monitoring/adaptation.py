@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.sharing import SharingStats
+
 
 @dataclass(frozen=True)
 class AdaptationRound:
@@ -60,6 +62,8 @@ class AdaptationMetrics:
         self.audits = 0
         self.audit_violations = 0
         self.partition_rebalances = 0
+        self.reshares = 0
+        self.sharing = SharingStats()
         self._rounds: list[AdaptationRound] = []
 
     # ------------------------------------------------------------------
@@ -91,6 +95,15 @@ class AdaptationMetrics:
         """Account skew-triggered partition rebalances in one round."""
         self.partition_rebalances += rebalanced
 
+    def record_reshare(self, entities: int) -> None:
+        """Account entities whose sharing groups were recomputed after
+        a migration round."""
+        self.reshares += entities
+
+    def record_sharing(self, stats: SharingStats) -> None:
+        """Snapshot the federation's currently realized sharing."""
+        self.sharing = stats
+
     # ------------------------------------------------------------------
     def build_report(self) -> "AdaptationReport":
         """Freeze the collected counters into an :class:`AdaptationReport`."""
@@ -112,6 +125,8 @@ class AdaptationMetrics:
             audits=self.audits,
             audit_violations=self.audit_violations,
             partition_rebalances=self.partition_rebalances,
+            reshares=self.reshares,
+            sharing=self.sharing,
         )
 
 
@@ -141,6 +156,10 @@ class AdaptationReport:
         audit_violations: Violations those audits found (must stay 0).
         partition_rebalances: Skew-triggered intra-operator partition
             rebalances (hot-key overrides installed under quiescence).
+        reshares: Entities whose shared-computation groups were
+            recomputed after a migration round.
+        sharing: Latest realized sharing snapshot (shared fragments,
+            member counts, estimated CPU saved).
     """
 
     strategy: str
@@ -159,6 +178,8 @@ class AdaptationReport:
     audits: int = 0
     audit_violations: int = 0
     partition_rebalances: int = 0
+    reshares: int = 0
+    sharing: SharingStats = SharingStats()
 
     def summary_lines(self) -> list[str]:
         """Human-readable digest (appended to the live run summary)."""
@@ -175,4 +196,6 @@ class AdaptationReport:
             f"invariant audits: {self.audits} run, "
             f"{self.audit_violations} violations",
             f"partition rebalances: {self.partition_rebalances}",
+            f"sharing: {self.sharing.summary()} "
+            f"(reshared entities: {self.reshares})",
         ]

@@ -9,7 +9,7 @@ complexity" — the ``p_k`` the Performance Ratio normalises by (§4.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.engine.operators import (
     FilterOperator,
@@ -132,6 +132,80 @@ class QuerySpec:
             # so every attribute must survive
             return None
         return needed
+
+    @property
+    def canonical_interests(self) -> tuple[StreamInterest, ...]:
+        """The interests in canonical (sharing-comparable) order.
+
+        Filters commute, so interest order is normalised by fingerprint
+        — except for join queries, where the declared order fixes the
+        ``left.``/``right.`` output sides and must be preserved.
+        """
+        if self.join is not None:
+            return self.interests
+        return tuple(sorted(self.interests, key=lambda i: i.fingerprint()))
+
+    def operator_fingerprints(self) -> tuple[tuple, ...]:
+        """Canonical per-operator fingerprints of the compiled pipeline.
+
+        Derived from the spec alone (no catalog needed) and guaranteed
+        equal to ``build_canonical_plan(catalog).fingerprints()`` —
+        commutative predicate order is normalised, window parameters and
+        join/aggregate shapes are embedded, cost knobs are excluded.
+        The shared-computation optimizer groups colocated queries by
+        common prefixes of this sequence.
+        """
+        interests = self.canonical_interests
+        fps: list[tuple] = [
+            ("filter", *interest.fingerprint()) for interest in interests
+        ]
+        streams = [i.stream_id for i in interests]
+        if self.join is not None:
+            left, right = streams
+            fps.append(
+                (
+                    "join",
+                    left,
+                    right,
+                    self.join.attribute,
+                    self.join.window,
+                    self.join.tolerance,
+                )
+            )
+        elif len(interests) > 1:
+            fps.append(("union", tuple(sorted(streams))))
+        if self.aggregate is not None:
+            fps.append(
+                (
+                    "agg",
+                    self.aggregate.attribute,
+                    self.aggregate.fn,
+                    self.aggregate.window,
+                    self.aggregate.group_by,
+                )
+            )
+        if self.project is not None:
+            fps.append(("project", tuple(self.project), 8.0))
+        return tuple(fps)
+
+    def build_canonical_plan(
+        self, catalog: StreamCatalog, *, query_id: str | None = None
+    ) -> QueryPlan:
+        """Compile the spec with interests in canonical order.
+
+        Output-identical to :meth:`build_plan` (filters commute), but
+        the operator sequence aligns positionally with
+        :meth:`operator_fingerprints`, which is what lets the sharing
+        optimizer slice a common prefix off several queries' plans.
+        ``query_id`` optionally renames the plan's operators (used to
+        build a shared prefix under the group's own id).
+        """
+        spec = replace(
+            self,
+            interests=self.canonical_interests,
+            query_id=query_id if query_id is not None else self.query_id,
+        )
+        return spec.build_plan(catalog)
 
     @property
     def partitionable(self) -> bool:

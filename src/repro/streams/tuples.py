@@ -42,6 +42,10 @@ class StreamTuple:
         )
         return replace(self, values=kept, size=new_size)
 
+    def relabel(self, stream_id: str) -> "StreamTuple":
+        """Return a copy carried under another stream id."""
+        return replace(self, stream_id=stream_id)
+
     def with_values(self, **updates: float) -> "StreamTuple":
         """Return a copy with some attribute values replaced/added."""
         merged = dict(self.values)

@@ -20,6 +20,7 @@ from repro.workloads.scenarios import (
     network_monitoring_scenario,
     parity_workload,
     partition_workload,
+    sharing_workload,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "network_monitoring_scenario",
     "parity_workload",
     "partition_workload",
+    "sharing_workload",
 ]

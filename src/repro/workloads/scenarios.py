@@ -111,6 +111,74 @@ def parity_workload(seed: int = 0, *, rate: float = 40.0):
     return catalog, config, queries
 
 
+def sharing_workload(
+    seed: int = 0,
+    *,
+    overlap: float = 0.8,
+    query_count: int = 10,
+    rate: float = 40.0,
+    filter_cost_multiplier: float = 1.0,
+):
+    """The shared-computation workload: controlled fingerprint overlap.
+
+    ``overlap`` is the fraction of queries carrying an *identical*
+    leading filter on the hot stream — under ``shared_execution`` those
+    colocated queries collapse into one shared prefix fragment, while
+    their suffixes (rotating projections) stay private taps.  The
+    remaining queries subscribe to disjoint ranges on the second stream
+    and never share.  Selection/projection results are timestamp-free,
+    so shared and unshared runs (and all three runtimes) must deliver
+    the identical result-tuple set per seed.  Returns ``(catalog,
+    config, queries)`` with ``config.shared_execution`` enabled.
+    """
+    from repro.core.system import SystemConfig
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import QuerySpec
+
+    catalog = stock_catalog(exchanges=2, rate=rate)
+    config = SystemConfig(
+        entity_count=2,
+        processors_per_entity=2,
+        seed=seed,
+        shared_execution=True,
+    )
+    overlapping = max(0, min(query_count, round(query_count * overlap)))
+    suffixes = (None, ("price",), ("price", "symbol"))
+    queries = [
+        QuerySpec(
+            query_id=f"ov{i}",
+            interests=(
+                StreamInterest.on(
+                    "exchange-0.trades", price=(100.0, 600.0)
+                ),
+            ),
+            project=suffixes[i % len(suffixes)],
+            cost_multiplier=filter_cost_multiplier,
+            client_x=0.1 + 0.05 * i,
+            client_y=0.9 - 0.05 * i,
+        )
+        for i in range(overlapping)
+    ] + [
+        QuerySpec(
+            query_id=f"lone{i}",
+            interests=(
+                StreamInterest.on(
+                    "exchange-1.trades",
+                    price=(
+                        1.0 + 90.0 * i,
+                        80.0 + 90.0 * i,
+                    ),
+                ),
+            ),
+            cost_multiplier=filter_cost_multiplier,
+            client_x=0.8,
+            client_y=0.2 + 0.05 * i,
+        )
+        for i in range(query_count - overlapping)
+    ]
+    return catalog, config, queries
+
+
 def partition_workload(
     seed: int = 0,
     *,

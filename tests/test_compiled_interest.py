@@ -11,6 +11,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.interest.compiled import (
+    cache_info,
     cache_size,
     clear_cache,
     compile_batch_filter,
@@ -124,3 +125,66 @@ def test_empty_constraint_rejects_present_attribute():
     assert match({}) == interest.matches_values({})
     assert match({"price": 1.0}) == interest.matches_values({"price": 1.0})
     assert not match({"price": 1.0})
+
+
+def test_cache_info_counts_hits_misses():
+    """cache_info() tracks hits and misses across compilations."""
+    clear_cache()
+    a = StreamInterest.on("s", price=(1.0, 2.0))
+    compile_interest(a)
+    compile_interest(a)
+    compile_interest(StreamInterest.on("s", price=(3.0, 4.0)))
+    info = cache_info()
+    assert (info.hits, info.misses, info.evictions) == (1, 2, 0)
+    assert info.currsize == 2
+    clear_cache()
+    info = cache_info()
+    assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+
+def test_cache_evicts_least_recently_used(monkeypatch):
+    """Past the limit, the LRU kernel is evicted — not the hottest."""
+    import repro.interest.compiled as compiled
+
+    clear_cache()
+    monkeypatch.setattr(compiled, "_CACHE_LIMIT", 2)
+    hot = StreamInterest.on("s", price=(0.0, 1.0))
+    cold = StreamInterest.on("s", price=(2.0, 3.0))
+    hot_fn = compile_interest(hot)
+    compile_interest(cold)
+    compile_interest(hot)  # refresh hot -> cold becomes LRU
+    compile_interest(StreamInterest.on("s", price=(4.0, 5.0)))
+    assert cache_info().evictions == 1
+    assert cache_size() == 2
+    assert interest_key(hot) in compiled._CACHE
+    assert interest_key(cold) not in compiled._CACHE
+    assert compile_interest(hot) is hot_fn
+    clear_cache()
+
+
+def test_cross_query_kernel_sharing():
+    """Distinct queries with equal interests share one compiled kernel
+    — the cache key is the interest fingerprint, not the query."""
+    from repro.query.spec import QuerySpec
+    from repro.streams.catalog import stock_catalog
+
+    clear_cache()
+    catalog = stock_catalog(exchanges=1, rate=10.0)
+    specs = [
+        QuerySpec(
+            query_id=f"q{i}",
+            interests=(
+                StreamInterest.on(
+                    "exchange-0.trades", price=(100.0, 600.0)
+                ),
+            ),
+        )
+        for i in range(3)
+    ]
+    for spec in specs:
+        spec.build_plan(catalog)
+    info = cache_info()
+    assert info.misses <= 2  # query filter + at most one routing filter
+    assert info.hits >= len(specs) - 1
+    assert cache_size() == info.misses
+    clear_cache()

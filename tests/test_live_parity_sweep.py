@@ -34,11 +34,13 @@ import pytest
 from repro.core.system import FederatedSystem
 from repro.distributed import DistributedCoordinator
 from repro.live import LiveRuntime, LiveSettings
-from repro.workloads import parity_workload, partition_workload
+from repro.workloads import parity_workload, partition_workload, sharing_workload
 
 SEEDS = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
 DISTRIBUTED_SWEEP = [(3, 2), (7, 4), (19, 2), (29, 3)]  # (seed, workers)
 PARTITIONED_SEEDS = [2, 7, 19, 29]
+SHARED_SEEDS = [2, 7, 19, 29]
+SHARED_DISTRIBUTED_SWEEP = [(7, 2), (29, 3)]  # (seed, workers)
 DURATION = 1.5
 
 
@@ -165,3 +167,85 @@ def test_partitioned_legs_match_single_fragment_simulator(seed):
     assert base, f"seed {seed}: partition workload produced no results"
     assert partition_sim_keys(seed, parallelism=4) == base
     assert partition_live_keys(seed) == base
+
+
+# ---------------------------------------------------------------------------
+# Shared leg: the multi-query optimizer must be result-invisible
+# ---------------------------------------------------------------------------
+def sharing_sim_keys(seed, *, shared):
+    catalog, config, queries = sharing_workload(seed)
+    system = FederatedSystem(catalog, replace(config, shared_execution=shared))
+    system.submit(queries)
+    observed = set()
+
+    def wrap(handler):
+        def wrapped(query_id, tup):
+            observed.add((query_id, tup.stream_id, tup.seq))
+            handler(query_id, tup)
+
+        return wrapped
+
+    for entity in system.entities.values():
+        if entity.result_handler is not None:
+            entity.result_handler = wrap(entity.result_handler)
+    system.run(duration=DURATION)
+    system.sim.run()
+    if shared:
+        groups = sum(len(e.shared) for e in system.entities.values())
+        assert groups >= 1, f"seed {seed}: no shared group formed"
+    return observed
+
+
+def sharing_live_keys(seed):
+    catalog, config, queries = sharing_workload(seed)
+    runtime = LiveRuntime(
+        catalog, config, LiveSettings(duration=DURATION, batch_size=4)
+    )
+    runtime.submit(queries)
+    report = runtime.run()
+    assert report.dropped_tuples == 0
+    assert report.negative_latency_samples == 0
+    return {
+        (query_id, tup.stream_id, tup.seq)
+        for query_id, tups in runtime.results.items()
+        for tup in tups
+    }
+
+
+def sharing_distributed_keys(seed, workers):
+    catalog, config, queries = sharing_workload(seed)
+    coordinator = DistributedCoordinator(
+        catalog,
+        config,
+        queries,
+        LiveSettings(duration=DURATION, batch_size=4),
+        workers=workers,
+    )
+    report = coordinator.run()
+    assert report.dropped_tuples == 0
+    assert coordinator.violations == []
+    return {
+        (query_id, tup.stream_id, tup.seq)
+        for query_id, tups in coordinator.results.items()
+        for tup in tups
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SHARED_SEEDS)
+def test_shared_legs_match_unshared_simulator(seed):
+    """Sim (unshared) == sim (shared) == live (shared)."""
+    base = sharing_sim_keys(seed, shared=False)
+    assert base, f"seed {seed}: sharing workload produced no results"
+    assert sharing_sim_keys(seed, shared=True) == base
+    assert sharing_live_keys(seed) == base
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed,workers", SHARED_DISTRIBUTED_SWEEP)
+def test_shared_distributed_matches_unshared_simulator(seed, workers):
+    """Workers re-planning shared groups from ASSIGN specs deliver the
+    identical result set as an unshared sim run."""
+    base = sharing_sim_keys(seed, shared=False)
+    assert base, f"seed {seed}: sharing workload produced no results"
+    assert sharing_distributed_keys(seed, workers) == base
