@@ -629,3 +629,83 @@ def run_partition_smoke(
             )
         )
     return violations
+
+
+def run_control_smoke(
+    *, seed: int = 7, duration: float = 2.0
+) -> list[InvariantViolation]:
+    """Run a short live churn under the control plane and audit it.
+
+    Every scripted lifecycle event must be accounted for (each arrival
+    admitted, deferred-then-admitted, rejected, or still queued; each
+    departure honoured), the post-churn federation must pass the full
+    structural audit, and the run must deliver results for more than
+    one tenant — a churn smoke that admits nothing proves nothing.
+    """
+    from repro.control import ControlRuntime
+    from repro.live import LiveSettings
+    from repro.workloads import churn_workload
+
+    catalog, config, queries, events = churn_workload(
+        seed=seed,
+        duration=duration,
+        churn_per_minute=240.0,
+        quota_rate=200.0,
+    )
+    runtime = ControlRuntime(
+        catalog, config, LiveSettings(duration=duration), events=events
+    )
+    runtime.submit(queries)
+    report = runtime.run()
+    violations = audit_federation(
+        runtime.planner, trees=runtime.dataflow.trees
+    )
+    control = report.control
+    registers = sum(1 for e in events if e.action == "register")
+    if control.arrivals != registers:
+        violations.append(
+            InvariantViolation(
+                "control-smoke",
+                "federation",
+                f"{registers} scripted arrivals but the plane saw "
+                f"{control.arrivals}",
+            )
+        )
+    settled = (
+        control.registered + control.rejected + control.stranded_in_queue
+    )
+    if settled != control.arrivals:
+        violations.append(
+            InvariantViolation(
+                "control-smoke",
+                "federation",
+                f"{control.arrivals} arrivals but only {settled} "
+                "admitted + rejected + still queued",
+            )
+        )
+    if control.departures != len(events) - registers:
+        violations.append(
+            InvariantViolation(
+                "control-smoke",
+                "federation",
+                f"{len(events) - registers} scripted departures but "
+                f"the plane saw {control.departures}",
+            )
+        )
+    if control.registered == 0:
+        violations.append(
+            InvariantViolation(
+                "control-smoke",
+                "federation",
+                "the churn smoke admitted no arrivals",
+            )
+        )
+    if len(control.delivered_by_tenant) < 2:
+        violations.append(
+            InvariantViolation(
+                "control-smoke",
+                "federation",
+                "fewer than two tenants delivered results",
+            )
+        )
+    return violations

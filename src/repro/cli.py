@@ -11,6 +11,10 @@ Commands:
 * ``adapt`` — run the live runtime with the closed adaptation loop
   under a drifting-rate workload and print the migration/adaptation
   report alongside the usual run summary;
+* ``control`` — run the live runtime with the multi-tenant control
+  plane: a scripted churn of query registrations/teardowns under
+  admission control and per-tenant fair quotas (``--smoke`` runs the
+  short audited churn used by CI);
 * ``launch`` — run a federation across N worker OS processes connected
   by the binary wire protocol and print the merged federation report;
 * ``serve`` — join a distributed federation as a worker process
@@ -65,6 +69,11 @@ EXPERIMENTS = [
         "E20",
         "multi-query shared computation",
         "bench_shared_computation.py",
+    ),
+    (
+        "E21",
+        "multi-tenant control-plane churn",
+        "bench_control_churn.py",
     ),
 ]
 
@@ -273,6 +282,58 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         print(f"  {line}")
     print("per-entity queues:")
     for line in report.queue_lines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.control import ControlRuntime, ControlSettings
+    from repro.live import LiveSettings
+    from repro.workloads import churn_workload
+
+    if args.smoke:
+        from repro.analysis.invariants import run_control_smoke
+
+        violations = run_control_smoke(seed=args.seed)
+        if violations:
+            for violation in violations:
+                print(violation.render())
+            print(f"{len(violations)} invariant violation(s)")
+            return 1
+        print(
+            "control smoke passed: churn script fully accounted, "
+            "structural audit clean, multi-tenant delivery"
+        )
+        return 0
+    try:
+        catalog, config, queries, events = churn_workload(
+            seed=args.seed,
+            duration=args.duration,
+            churn_per_minute=args.churn,
+            quota_rate=args.quota_rate,
+        )
+        settings = LiveSettings(
+            duration=args.duration,
+            time_scale=args.time_scale,
+            batch_size=args.batch_size,
+        )
+        control = ControlSettings(retry_period=args.retry_period)
+    except ValueError as exc:
+        print(f"invalid control settings: {exc}", file=sys.stderr)
+        return 2
+    runtime = ControlRuntime(
+        catalog, config, settings, control=control, events=events
+    )
+    runtime.submit(queries)
+    report = runtime.run()
+    registers = sum(1 for e in events if e.action == "register")
+    print(
+        f"control run: {len(queries)} base queries, "
+        f"{registers} arrivals + {len(events) - registers} departures "
+        f"scripted over {args.duration:g}s "
+        f"({args.churn:g} lifecycle events per virtual minute)"
+    )
+    for line in report.summary_lines():
         print(f"  {line}")
     return 0
 
@@ -628,6 +689,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable adaptation (baseline under the same drift)",
     )
     adapt.set_defaults(handler=_cmd_adapt)
+
+    control = sub.add_parser(
+        "control",
+        help="run the live runtime with the multi-tenant control plane",
+    )
+    control.add_argument("--seed", type=int, default=7)
+    control.add_argument("--duration", type=float, default=5.0)
+    control.add_argument(
+        "--churn",
+        type=float,
+        default=240.0,
+        help="query lifecycle events (arrivals+departures) per virtual minute",
+    )
+    control.add_argument(
+        "--quota-rate",
+        type=float,
+        default=200.0,
+        help="aggregate tenant quota in tuples per virtual second "
+        "(weighted-fair across tenants)",
+    )
+    control.add_argument(
+        "--retry-period",
+        type=float,
+        default=0.25,
+        help="virtual seconds between admission-queue retries",
+    )
+    control.add_argument("--batch-size", type=int, default=8)
+    control.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="wall seconds per virtual second (0 = as fast as possible)",
+    )
+    control.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the short audited churn smoke used by CI and exit",
+    )
+    control.set_defaults(handler=_cmd_control)
 
     launch = sub.add_parser(
         "launch",

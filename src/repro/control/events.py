@@ -1,0 +1,51 @@
+"""Scripted churn: timed register/teardown events for a control run.
+
+A churn script is data (not callbacks) so the same sequence can drive
+all three legs — the live control plane, the discrete-event simulator,
+and (as pre-start spec deltas) the distributed coordinator — and so
+chaos runs can replay it deterministically under crash injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.spec import QuerySpec
+
+REGISTER = "register"
+TEARDOWN = "teardown"
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One lifecycle event at a virtual time.
+
+    Attributes:
+        at: Virtual seconds into the run.
+        action: ``"register"`` (spec required) or ``"teardown"``
+            (query_id required).
+        spec: The arriving query, for registrations.
+        query_id: The departing query, for teardowns.
+    """
+
+    at: float
+    action: str
+    spec: QuerySpec | None = None
+    query_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.action == REGISTER:
+            if self.spec is None:
+                raise ValueError("register events need a spec")
+        elif self.action == TEARDOWN:
+            if self.query_id is None:
+                raise ValueError("teardown events need a query_id")
+        else:
+            raise ValueError(f"unknown control action {self.action!r}")
+        if self.at < 0:
+            raise ValueError("event time must be >= 0")
+
+    @property
+    def subject(self) -> str:
+        """The query id the event concerns."""
+        return self.spec.query_id if self.spec is not None else self.query_id

@@ -90,6 +90,18 @@ class SystemConfig:
     # per-query taps (repro.engine.sharing).  Off by default; results
     # are bit-identical either way.
     shared_execution: bool = False
+    # Multi-tenant control plane (repro.control).  admission_queue_limit
+    # > 0 turns on cost-model admission control for dynamic arrivals:
+    # a query whose predicted load would push the best-case placement
+    # past admission_imbalance_threshold × ideal waits in a bounded
+    # queue (and is rejected when the queue is full).  tenant_quota_rate
+    # is the federation-wide intake budget (tuples/second) split across
+    # tenants by tenant_weights (weighted-fair token buckets at the
+    # gateways); None disables throttling.
+    admission_queue_limit: int = 0
+    admission_imbalance_threshold: float = 1.5
+    tenant_quota_rate: float | None = None
+    tenant_weights: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.dissemination not in DISSEMINATION_NAMES:
@@ -104,6 +116,22 @@ class SystemConfig:
             raise ValueError("need at least one entity and one processor")
         if self.partition_parallelism < 1:
             raise ValueError("partition_parallelism must be >= 1")
+        if self.admission_queue_limit < 0:
+            raise ValueError("admission_queue_limit must be >= 0")
+        if self.admission_imbalance_threshold < 1.0:
+            raise ValueError("admission_imbalance_threshold must be >= 1.0")
+        if self.tenant_quota_rate is not None and self.tenant_quota_rate <= 0:
+            raise ValueError("tenant_quota_rate must be positive")
+        # JSON round-trips (distributed ASSIGN specs) deliver the weight
+        # table as lists; normalise so equality and hashing behave.
+        object.__setattr__(
+            self,
+            "tenant_weights",
+            tuple((str(t), float(w)) for t, w in self.tenant_weights),
+        )
+        for _, weight in self.tenant_weights:
+            if weight <= 0:
+                raise ValueError("tenant weights must be positive")
 
 
 class FederatedSystem:
@@ -265,6 +293,58 @@ class FederatedSystem:
         )
         entity.result_handler = self._deliver_result
         self._build_dissemination()
+        return entity_id
+
+    def adopt_query(self, query: QuerySpec) -> str:
+        """Route and record a dynamically arriving query — bookkeeping
+        only, no deployment.
+
+        The live control plane wires arrivals into an already-running
+        dataflow itself (under a closed feed gate, reusing the migration
+        protocol's installer), so this path must NOT call
+        ``entity.deploy`` (that would build fresh ``Fragment`` objects
+        diverging from the live ones) nor rebuild dissemination (the
+        running feeds hold references to the current tree objects; the
+        migrator refreshes them in place).  Returns the hosting entity.
+        """
+        if query.query_id in self._query_index:
+            raise ValueError(f"{query.query_id} already submitted")
+        self._queries.append(query)
+        self._query_index[query.query_id] = query
+        if self.allocation_result is None:
+            from repro.core.portal import AllocationResult
+
+            self.allocation_result = AllocationResult(
+                assignment={}, cut=0.0, imbalance=1.0, routing_messages=0
+            )
+        entity_id = self.portal.route_one(query)
+        hosted = self.entities[entity_id].host(query)
+        self.tracker.set_complexity(query.query_id, hosted.inherent_complexity)
+        self._add_client_node(query)
+        self.allocation_result.assignment[query.query_id] = entity_id
+        return entity_id
+
+    def drop_query(self, query_id: str) -> str | None:
+        """Forget a departing query — bookkeeping only, no redeploy.
+
+        Counterpart of :meth:`adopt_query` for the live control plane's
+        teardown path: the caller has already detached the query's live
+        fragments under a closed gate, so the entity must not redeploy
+        and the dissemination trees must not be rebuilt here.  Returns
+        the entity that hosted the query (``None`` if it had none).
+        """
+        spec = self._query_index.pop(query_id, None)
+        if spec is None:
+            raise KeyError(query_id)
+        self._queries = [q for q in self._queries if q.query_id != query_id]
+        entity_id = self.allocation_result.assignment.pop(query_id, None)
+        if entity_id is not None and entity_id in self.entities:
+            entity = self.entities[entity_id]
+            if query_id in entity.hosted:
+                entity.unhost(query_id)
+        self.portal.router.release(
+            query_id, spec.estimated_load(self.catalog)
+        )
         return entity_id
 
     def withdraw(self, query_id: str) -> None:

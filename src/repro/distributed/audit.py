@@ -75,6 +75,29 @@ def audit_drain(worker_metrics: dict[int, dict]) -> list[InvariantViolation]:
     return violations
 
 
+def audit_credits(worker_metrics: dict[int, dict]) -> list[InvariantViolation]:
+    """No sender saw more credits returned than it ever handed out.
+
+    ``CreditGate`` caps its pool at the initial window and counts the
+    overflow; a nonzero count means a peer sent duplicate or stray
+    CREDIT frames — a flow-control protocol violation even though the
+    cap kept the window itself honest.
+    """
+    violations: list[InvariantViolation] = []
+    for worker_id in sorted(worker_metrics):
+        excess = worker_metrics[worker_id].get("excess_credit_returns", 0)
+        if excess:
+            violations.append(
+                InvariantViolation(
+                    "distributed-credits",
+                    f"worker-{worker_id}",
+                    f"{excess} credit returns exceeded the initial "
+                    "flow-control window",
+                )
+            )
+    return violations
+
+
 def audit_ledger(worker_metrics: dict[int, dict]) -> list[InvariantViolation]:
     """Federation-wide tuple conservation across sockets."""
     sent = sum(m.get("sent", 0) for m in worker_metrics.values())
@@ -100,6 +123,7 @@ def audit_distributed_run(
     return (
         audit_links(required_links, worker_metrics)
         + audit_drain(worker_metrics)
+        + audit_credits(worker_metrics)
         + audit_ledger(worker_metrics)
     )
 

@@ -62,6 +62,8 @@ SHUTDOWN = 10    # coordinator -> worker: federation is quiescent
 METRICS = 11     # worker -> coordinator: the worker's frozen LiveReport
 BYE = 12         # worker -> coordinator: closing the connection
 PEER_HELLO = 13  # worker -> worker: {"worker_id": int} after dialing
+ADMIT = 14       # coordinator -> worker: one admitted query spec (JSON)
+RETIRE = 15      # coordinator -> worker: {"query_id": str} to withdraw
 
 FRAME_TYPE_NAMES = {
     HELLO: "HELLO",
@@ -77,6 +79,8 @@ FRAME_TYPE_NAMES = {
     METRICS: "METRICS",
     BYE: "BYE",
     PEER_HELLO: "PEER_HELLO",
+    ADMIT: "ADMIT",
+    RETIRE: "RETIRE",
 }
 
 # Frame header: u32 payload length + u8 frame type, little endian.

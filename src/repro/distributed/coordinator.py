@@ -36,7 +36,11 @@ from repro.distributed.placement import (
     place_entities,
     place_feeds,
 )
-from repro.distributed.specs import assignment_to_spec
+from repro.distributed.specs import (
+    apply_deltas,
+    assignment_to_spec,
+    delta_to_spec,
+)
 from repro.live.metrics import LiveReport
 from repro.live.runtime import LiveSettings
 from repro.query.spec import QuerySpec
@@ -120,9 +124,12 @@ class DistributedCoordinator:
         duration: float | None = None,
         probe_interval: float = 0.02,
         python: str | None = None,
+        ship_deltas: str = "assign",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if ship_deltas not in ("assign", "frames"):
+            raise ValueError("ship_deltas must be 'assign' or 'frames'")
         self.catalog = catalog
         self.config = config
         self.queries = queries
@@ -133,6 +140,8 @@ class DistributedCoordinator:
         )
         self.probe_interval = probe_interval
         self.python = python or sys.executable
+        self.ship_deltas = ship_deltas
+        self.deltas: list[dict] = []
         # Filled during/after the run.
         self.entity_workers: dict[str, int] = {}
         self.feed_workers: dict[str, int] = {}
@@ -154,6 +163,24 @@ class DistributedCoordinator:
         self._ran = False
 
     # ------------------------------------------------------------------
+    def admit_query(self, query: QuerySpec) -> None:
+        """Register one dynamic arrival before the run launches.
+
+        The delta ships to every worker (inline in ASSIGN or as an
+        ADMIT frame, per ``ship_deltas``) and is applied after the base
+        workload, so all processes re-derive the identical plan.
+        """
+        if self._ran:
+            raise RuntimeError("lifecycle deltas must precede run()")
+        self.deltas.append(delta_to_spec("admit", query))
+
+    def retire_query(self, query_id: str) -> None:
+        """Register one dynamic departure before the run launches."""
+        if self._ran:
+            raise RuntimeError("lifecycle deltas must precede run()")
+        self.deltas.append(delta_to_spec("retire", query_id))
+
+    # ------------------------------------------------------------------
     def run(self) -> LiveReport:
         """Blocking façade: spawn, execute, aggregate, audit."""
         if self._ran:
@@ -167,6 +194,9 @@ class DistributedCoordinator:
     async def _run(self) -> LiveReport:
         planner = FederatedSystem(self.catalog, self.config)
         planner.submit(self.queries)
+        # The placement must reflect the *effective* query set — the
+        # same deltas every worker replays after its base submit.
+        apply_deltas(planner, self.deltas)
         self.entity_workers = place_entities(
             entity_loads(planner), self.workers
         )
@@ -197,6 +227,7 @@ class DistributedCoordinator:
                 }
                 for worker_id in sorted(self._hello)
             ]
+            inline = self.ship_deltas == "assign"
             for worker_id, conn in enumerate(self._conns):
                 conn.send_json(
                     codec.ASSIGN,
@@ -210,8 +241,19 @@ class DistributedCoordinator:
                         duration=self.duration,
                         entity_workers=self.entity_workers,
                         feed_workers=self.feed_workers,
+                        deltas=self.deltas if inline else None,
+                        delta_count=0 if inline else len(self.deltas),
                     ),
                 )
+                if not inline:
+                    for delta in self.deltas:
+                        if delta["action"] == "admit":
+                            conn.send_json(codec.ADMIT, delta["query"])
+                        else:
+                            conn.send_json(
+                                codec.RETIRE,
+                                {"query_id": delta["query_id"]},
+                            )
             await self._wait(
                 lambda: len(self._ready) == self.workers,
                 HANDSHAKE_TIMEOUT,

@@ -50,6 +50,7 @@ class CreditGate:
         self.initial = credits
         self._credits = credits
         self._cond = asyncio.Condition()
+        self.excess_credit_returns = 0
 
     @property
     def available(self) -> int:
@@ -73,8 +74,19 @@ class CreditGate:
             self._credits -= n
 
     async def release(self, n: int = 1) -> None:
-        """Return ``n`` credits (called when CREDIT frames arrive)."""
+        """Return ``n`` credits (called when CREDIT frames arrive).
+
+        The pool never grows past ``initial``: a duplicate or stray
+        CREDIT frame must not widen the flow-control window beyond the
+        receiver's inbox capacity.  Overflow is swallowed and counted
+        in ``excess_credit_returns`` so the audit can flag the protocol
+        violation instead of the window silently inflating.
+        """
         async with self._cond:
+            headroom = self.initial - self._credits
+            if n > headroom:
+                self.excess_credit_returns += n - headroom
+                n = headroom
             self._credits += n
             self._cond.notify_all()
 

@@ -114,6 +114,7 @@ def query_to_spec(query: QuerySpec) -> dict:
         "cost_multiplier": query.cost_multiplier,
         "client_x": query.client_x,
         "client_y": query.client_y,
+        "tenant": query.tenant,
     }
 
 
@@ -134,7 +135,38 @@ def query_from_spec(spec: dict) -> QuerySpec:
         cost_multiplier=spec["cost_multiplier"],
         client_x=spec["client_x"],
         client_y=spec["client_y"],
+        tenant=spec.get("tenant", "default"),
     )
+
+
+# --- lifecycle deltas -------------------------------------------------
+def delta_to_spec(action: str, payload: "QuerySpec | str") -> dict:
+    """One lifecycle delta: ``("admit", QuerySpec)`` or
+    ``("retire", query_id)`` as a JSON-able dict."""
+    if action == "admit":
+        return {"action": "admit", "query": query_to_spec(payload)}
+    if action == "retire":
+        return {"action": "retire", "query_id": payload}
+    raise ValueError(f"unknown delta action {action!r}")
+
+
+def apply_deltas(planner, deltas: list[dict]) -> None:
+    """Replay lifecycle deltas against a planner, in sequence order.
+
+    Every worker (and the coordinator) runs this after the base
+    ``submit``, so the effective query set — and therefore the whole
+    deterministic plan — is identical across processes.  A retire of a
+    query that was never admitted is a no-op, matching the live control
+    plane's moot-teardown semantics.
+    """
+    for delta in deltas:
+        if delta["action"] == "admit":
+            planner.submit_one(query_from_spec(delta["query"]))
+        else:
+            try:
+                planner.withdraw(delta["query_id"])
+            except KeyError:
+                pass
 
 
 # --- the full ASSIGN payload ------------------------------------------
@@ -149,8 +181,17 @@ def assignment_to_spec(
     duration: float,
     entity_workers: dict[str, int],
     feed_workers: dict[str, int],
+    deltas: list[dict] | None = None,
+    delta_count: int = 0,
 ) -> dict:
-    """The complete federation spec one worker needs to participate."""
+    """The complete federation spec one worker needs to participate.
+
+    ``deltas`` carries plan-time lifecycle operations inline;
+    ``delta_count`` instead announces how many ADMIT/RETIRE frames
+    follow the ASSIGN, which the worker must collect (in order) and
+    apply before re-planning.  Both carriers produce the identical
+    re-derived query set.
+    """
     return {
         "worker_id": worker_id,
         "peers": peers,
@@ -161,4 +202,6 @@ def assignment_to_spec(
         "duration": duration,
         "entity_workers": entity_workers,
         "feed_workers": feed_workers,
+        "deltas": list(deltas or []),
+        "delta_count": delta_count,
     }

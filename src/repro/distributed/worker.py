@@ -34,6 +34,7 @@ from repro.distributed.links import (
     RemoteOutbox,
 )
 from repro.distributed.specs import (
+    apply_deltas,
     catalog_from_spec,
     config_from_spec,
     query_from_spec,
@@ -202,9 +203,12 @@ class DistributedWorker:
         self.feed_workers: dict[str, int] = {}
         self.runtime: DistributedRuntime | None = None
         self.feeds_done = False
+        self.delta_frames: list[dict] = []
         self.start_event = asyncio.Event()
         self.shutdown_event = asyncio.Event()
         self._mesh_event = asyncio.Event()
+        self._deltas_event = asyncio.Event()
+        self._deltas_expected: int | None = None
         # None until ASSIGN names the peer set: a peer may dial in
         # before our own ASSIGN is processed, and an "empty set is
         # satisfied" check would declare the mesh complete prematurely.
@@ -244,6 +248,22 @@ class DistributedWorker:
                     self._lifecycle_task = asyncio.create_task(
                         self._lifecycle(spec), name="dist:lifecycle"
                     )
+                elif frame_type == codec.ADMIT:
+                    self._buffer_delta(
+                        {
+                            "action": "admit",
+                            "query": codec.decode_json(payload),
+                        }
+                    )
+                elif frame_type == codec.RETIRE:
+                    self._buffer_delta(
+                        {
+                            "action": "retire",
+                            "query_id": codec.decode_json(payload)[
+                                "query_id"
+                            ],
+                        }
+                    )
                 elif frame_type == codec.PROBE:
                     probe = codec.decode_json(payload)
                     self.coord.send_json(
@@ -257,6 +277,15 @@ class DistributedWorker:
                     return
         except ConnectionError:
             return
+
+    def _buffer_delta(self, delta: dict) -> None:
+        """Collect one ADMIT/RETIRE frame; ASSIGN announced how many."""
+        self.delta_frames.append(delta)
+        if (
+            self._deltas_expected is not None
+            and len(self.delta_frames) >= self._deltas_expected
+        ):
+            self._deltas_event.set()
 
     def _status(self, probe_round: int) -> dict:
         flow = self.runtime.dataflow if self.runtime is not None else None
@@ -310,6 +339,16 @@ class DistributedWorker:
                 self._reader_tasks.append(task)
         await self._mesh_event.wait()
 
+        # Lifecycle deltas ride inline in ASSIGN or as ADMIT/RETIRE
+        # frames; with frames, ASSIGN announces the count so re-planning
+        # waits until the full, ordered sequence has arrived.
+        deltas = list(spec.get("deltas", []))
+        self._deltas_expected = spec.get("delta_count", 0)
+        if len(self.delta_frames) >= self._deltas_expected:
+            self._deltas_event.set()
+        await self._deltas_event.wait()
+        deltas.extend(self.delta_frames[: self._deltas_expected])
+
         # Re-plan locally from the shipped inputs (deterministic).
         catalog = catalog_from_spec(spec["catalog"])
         config = config_from_spec(spec["config"])
@@ -319,6 +358,7 @@ class DistributedWorker:
             catalog, config, settings, worker=self
         )
         self.runtime.submit(queries)
+        apply_deltas(self.runtime.planner, deltas)
         flow = self.runtime.prepare(spec["duration"])
 
         for peer_id in sorted(self.peer_conns):
@@ -343,6 +383,7 @@ class DistributedWorker:
         report_dict = asdict(report)
         report_dict.pop("recovery", None)
         report_dict.pop("adaptation", None)
+        report_dict.pop("control", None)
         self.coord.send_json(
             codec.METRICS,
             {
@@ -351,6 +392,10 @@ class DistributedWorker:
                 "undrained_frames": undrained,
                 "sent": self.counters.sent,
                 "received": self.counters.received,
+                "excess_credit_returns": sum(
+                    gate.excess_credit_returns
+                    for gate in self.gates.values()
+                ),
                 "peer_counts": {
                     str(peer): count
                     for peer, count in sorted(self.peer_counts.items())

@@ -158,20 +158,37 @@ class QueryMigrator:
         new sharing opportunity at the target).
         """
         started = time.perf_counter()
+        applied: list[tuple[str, str, str]] = []
         self.gate.close()
         try:
-            await self._drain()
-            for query_id, src_id, dst_id in sorted(moves):
-                self._transfer(query_id, src_id, dst_id)
-            if self.runtime.config.shared_execution:
-                touched = sorted(
-                    {src for __, src, __dst in moves}
-                    | {dst for __, __src, dst in moves}
-                )
-                for entity_id in touched:
-                    self._reshare_entity(entity_id)
-                self.metrics.record_reshare(len(touched))
-            self._refresh_trees()
+            try:
+                await self._drain()
+                for query_id, src_id, dst_id in sorted(moves):
+                    applied.append((query_id, src_id, dst_id))
+                    self._transfer(query_id, src_id, dst_id)
+                if self.runtime.config.shared_execution:
+                    touched = sorted(
+                        {src for __, src, __dst in moves}
+                        | {dst for __, __src, dst in moves}
+                    )
+                    for entity_id in touched:
+                        self._reshare_entity(entity_id)
+                    self.metrics.record_reshare(len(touched))
+                self._refresh_trees()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A failure between close-gate and resume must not leave
+                # the dataflow half-migrated behind a permanently closed
+                # gate: repair the moves that started to a consistent
+                # placement, then let the finally reopen the feeds.  A
+                # round that died before its first transfer (e.g. inside
+                # the drain, so quiescence cannot be assumed) left the
+                # wiring untouched — repairing untouched moves would
+                # re-home chains under live in-flight tuples.
+                if applied:
+                    self._abort_repair(applied)
+                self.metrics.record_abort()
         finally:
             self.gate.open()
         return time.perf_counter() - started
@@ -196,6 +213,106 @@ class QueryMigrator:
             # scheduler ticks); back off to real sleeps for paced runs
             await asyncio.sleep(0.0 if spins < 64 else 0.001)
         await self.flow.tracker.wait_quiescent()
+
+    # ------------------------------------------------------------------
+    # Public lifecycle surface (used by the control plane's dynamic
+    # registration/teardown; every call assumes the gate is closed and
+    # the dataflow drained — see :meth:`quiesce`)
+    # ------------------------------------------------------------------
+    async def quiesce(self) -> None:
+        """Wait for full quiescence (public alias of the drain step)."""
+        await self._drain()
+
+    def register_query(self, entity_id: str, hosted) -> None:
+        """Wire a freshly adopted query into the running dataflow.
+
+        The query arrives as a single-fragment canonical chain (dynamic
+        arrivals have no operator state to preserve and no placement
+        history to respect); delegation is extended to any input stream
+        the entity was not yet subscribed to, and the chain is anchored
+        at the dominant stream's delegate like any migrated query.
+        """
+        hosted.fragments = [self._standalone_fragment(hosted)]
+        hosted.shared_group = None
+        self._ensure_delegation(entity_id, hosted.spec.input_streams)
+        self._install_chain(entity_id, hosted)
+
+    def retire_query(self, entity_id: str, hosted) -> None:
+        """Detach a departing query from the running dataflow.
+
+        Colocated queries are undisturbed: a shared-group member only
+        loses its private tap (the group's fan-out shrinks around it;
+        the shared prefix — even a stateful one — keeps serving the
+        remaining members, and is removed only when the last member
+        leaves).  Standalone chains are simply uninstalled.  Delegation
+        for streams no other hosted query needs is released.
+        """
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        query_id = hosted.spec.query_id
+        if hosted.shared_group is not None:
+            gid = hosted.shared_group
+            deployment = entity.shared.get(gid)
+            if deployment is not None:
+                group = deployment.group
+                tap = group.taps.pop(query_id, None)
+                tap_proc = deployment.tap_procs.pop(query_id, None)
+                if tap is not None and tap_proc is not None:
+                    self._pop_fragment(
+                        entity_id, tap_proc, tap.fragment_id
+                    )
+                group.members = tuple(
+                    m for m in group.members if m != query_id
+                )
+                group.shared.members = group.members
+                if group.members:
+                    shared_task = self.flow.processors[
+                        (entity_id, deployment.shared_proc)
+                    ]
+                    shared_task.downstream[group.shared.fragment_id] = (
+                        TO_TAPS,
+                        tuple(
+                            (
+                                deployment.tap_procs[m],
+                                group.taps[m].fragment_id,
+                            )
+                            for m in group.members
+                        ),
+                    )
+                else:
+                    self._pop_fragment(
+                        entity_id,
+                        deployment.shared_proc,
+                        group.shared.fragment_id,
+                    )
+                    self._drop_head_routes(
+                        entity_id, group.shared.fragment_id
+                    )
+                    del entity.shared[gid]
+            hosted.shared_group = None
+            hosted.fragments = []
+        else:
+            self._uninstall_chain(entity_id, hosted)
+        still_needed = {
+            s
+            for other_id, other in entity.hosted.items()
+            if other_id != query_id
+            for s in other.spec.input_streams
+        }
+        for stream_id in hosted.spec.input_streams:
+            if stream_id not in still_needed:
+                schema = planner.catalog.schema(stream_id)
+                entity.delegation.release(
+                    stream_id, schema.bytes_per_second
+                )
+
+    def reshare(self, entity_id: str) -> None:
+        """Recompute one entity's sharing groups (public wrapper)."""
+        self._reshare_entity(entity_id)
+
+    def refresh_trees(self) -> None:
+        """Re-derive tree membership/filters (public wrapper)."""
+        self._refresh_trees()
 
     # ------------------------------------------------------------------
     async def rebalance_partitions(self, threshold: float) -> int:
@@ -285,19 +402,36 @@ class QueryMigrator:
         for stream_id in streams:
             schema = planner.catalog.schema(stream_id)
             dst.delegation.assign(stream_id, schema.bytes_per_second)
+        self._install_chain(dst_id, hosted)
+        self.metrics.record_transfer(len(hosted.fragments))
+
+    def _install_chain(self, entity_id: str, hosted) -> None:
+        """Wire a hosted query's fragment chain onto an entity.
+
+        Re-derives the processor chain from the entity's delegation
+        (head at the dominant stream's delegate, successors round-robin)
+        and installs fragments, intra-chain routing, and head routes.
+        The fragment objects are installed as-is — operator state moves
+        with them.  Shared with the control plane's dynamic
+        registration and the migration abort repair.
+        """
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        query_id = hosted.spec.query_id
+        streams = hosted.spec.input_streams
         dominant = max(
             streams, key=lambda s: planner.catalog.schema(s).rate
         )
-        dst_procs = sorted(dst.processors)
-        delegate = dst.delegation.delegate_of(dominant)
-        start = dst_procs.index(delegate) if delegate in dst_procs else 0
+        procs = sorted(entity.processors)
+        delegate = entity.delegation.delegate_of(dominant)
+        start = procs.index(delegate) if delegate in procs else 0
         hosted.chain_procs = [
-            dst_procs[(start + i) % len(dst_procs)]
+            procs[(start + i) % len(procs)]
             for i in range(len(hosted.fragments))
         ]
         chain = list(zip(hosted.fragments, hosted.chain_procs))
         for index, (fragment, proc_id) in enumerate(chain):
-            task = flow.processors[(dst_id, proc_id)]
+            task = self.flow.processors[(entity_id, proc_id)]
             task.fragments[fragment.fragment_id] = fragment
             if index + 1 < len(chain):
                 next_fragment, next_proc = chain[index + 1]
@@ -311,13 +445,95 @@ class QueryMigrator:
                     TO_RESULT,
                     query_id,
                 )
-        dst_routes = flow.processors[(dst_id, dst_procs[0])].head_routes
-        head_proc = hosted.chain_procs[0]
+        routes = self._head_route_table(entity_id)
+        head = (hosted.fragments[0].fragment_id, hosted.chain_procs[0])
         for stream_id in streams:
-            dst_routes.setdefault(stream_id, []).append(
-                (head_id, head_proc)
+            routes.setdefault(stream_id, []).append(head)
+
+    # ------------------------------------------------------------------
+    # Abort repair (gate still closed)
+    # ------------------------------------------------------------------
+    def _scrub_query(self, entity_id: str, query_id: str) -> None:
+        """Remove every trace of one query from an entity's dataflow.
+
+        Pops all of the query's private fragments (shared prefixes carry
+        the group id, so they are untouched) and drops any head-route
+        entries pointing at them — tolerant of partially applied
+        transfers where routes and fragments disagree.
+        """
+        entity = self.runtime.planner.entities[entity_id]
+        dropped: set[str] = set()
+        for proc_id in sorted(entity.processors):
+            task = self.flow.processors[(entity_id, proc_id)]
+            stale = [
+                fragment_id
+                for fragment_id, fragment in task.fragments.items()
+                if fragment.query_id == query_id
+            ]
+            for fragment_id in stale:
+                task.fragments.pop(fragment_id, None)
+                task.downstream.pop(fragment_id, None)
+                dropped.add(fragment_id)
+        hosted = entity.hosted.get(query_id)
+        if hosted is not None and hosted.fragments:
+            dropped.add(hosted.fragments[0].fragment_id)
+        routes = self._head_route_table(entity_id)
+        for stream_id, entries in routes.items():
+            routes[stream_id] = [
+                r for r in entries if r[0] not in dropped
+            ]
+
+    def _ensure_delegation(self, entity_id: str, streams) -> None:
+        """Assign a delegate for any input stream missing one."""
+        planner = self.runtime.planner
+        entity = planner.entities[entity_id]
+        for stream_id in streams:
+            if entity.delegation.delegate_of(stream_id) is None:
+                schema = planner.catalog.schema(stream_id)
+                entity.delegation.assign(
+                    stream_id, schema.bytes_per_second
+                )
+
+    def _abort_repair(self, moves: list[tuple[str, str, str]]) -> None:
+        """Roll a failed migration round back to a consistent placement.
+
+        Each moved query is re-anchored at whichever entity currently
+        records it as hosted: its wiring is scrubbed from both endpoints
+        and a fresh chain installed there (live fragment objects keep
+        their operator state).  Members still inside a shared group
+        simply return to the source untouched.  Sharing groups on every
+        touched entity are then recomputed — re-attaching any taps a
+        partial detach left dangling — and the trees re-derived.
+        """
+        planner = self.runtime.planner
+        for query_id, src_id, dst_id in sorted(moves):
+            src = planner.entities[src_id]
+            dst = planner.entities[dst_id]
+            hosted = dst.hosted.get(query_id) or src.hosted.get(query_id)
+            if hosted is None:
+                continue
+            if hosted.shared_group is not None:
+                # The member never left its group: the group wiring at
+                # the source is intact, only the hosting bookkeeping
+                # may have moved.  Put it back.
+                dst.hosted.pop(query_id, None)
+                src.hosted[query_id] = hosted
+                planner.allocation_result.assignment[query_id] = src_id
+                continue
+            host_id = dst_id if query_id in dst.hosted else src_id
+            planner.allocation_result.assignment[query_id] = host_id
+            for entity_id in sorted({src_id, dst_id}):
+                self._scrub_query(entity_id, query_id)
+            self._ensure_delegation(host_id, hosted.spec.input_streams)
+            self._install_chain(host_id, hosted)
+        if self.runtime.config.shared_execution:
+            touched = sorted(
+                {src for __, src, __dst in moves}
+                | {dst for __, __src, dst in moves}
             )
-        self.metrics.record_transfer(len(hosted.fragments))
+            for entity_id in touched:
+                self._reshare_entity(entity_id)
+        self._refresh_trees()
 
     # ------------------------------------------------------------------
     # Shared-computation surgery (all under the closed gate)

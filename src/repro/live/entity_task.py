@@ -138,12 +138,19 @@ class FeedGate:
     it.  Feeds await the gate before every emission, so while it is
     closed no new tuple enters the federation and quiescence is
     reachable.
+
+    Close/open pairs nest: the adaptation loop and the control plane
+    both quiesce the same dataflow from independent tasks, so the gate
+    counts closers and only reopens when the last one has finished.
+    Both protocols drain before mutating anything, which makes their
+    interleavings safe once the gate cannot be reopened prematurely.
     """
 
     def __init__(self) -> None:
         self._open = asyncio.Event()
         self._open.set()
         self._waiting = 0
+        self._closers = 0
 
     @property
     def is_open(self) -> bool:
@@ -157,11 +164,14 @@ class FeedGate:
 
     def close(self) -> None:
         """Stop all feeds at their next emission point."""
+        self._closers += 1
         self._open.clear()
 
     def open(self) -> None:
-        """Let the feeds resume."""
-        self._open.set()
+        """Release one closer; feeds resume when none remain."""
+        self._closers = max(0, self._closers - 1)
+        if self._closers == 0:
+            self._open.set()
 
     async def wait_open(self) -> None:
         """Feed side: block while the gate is closed."""
@@ -517,6 +527,10 @@ class LiveProcessor:
         self.metrics = metrics
         self.clock = clock
         self.control = TaskControl()
+        # Optional per-tenant intake throttle (the control plane's
+        # weighted-fair token buckets).  None — the default — keeps the
+        # delegate-routing hot path allocation- and branch-free.
+        self.throttle = None
         self._proc_batchers = {
             proc: Batcher(batch_size)
             for proc in proc_channels
@@ -579,10 +593,19 @@ class LiveProcessor:
                 end += 1
             sub = run[start:end]
             for fragment_id, proc in self.head_routes.get(stream_id, []):
+                admitted = (
+                    sub
+                    if self.throttle is None
+                    else self.throttle.admit(
+                        fragment_id, sub, self.clock.now
+                    )
+                )
+                if not admitted:
+                    continue
                 if proc == self.proc_id:
-                    await self._run_fragment_batch(fragment_id, sub)
+                    await self._run_fragment_batch(fragment_id, admitted)
                 else:
-                    items = [(fragment_id, tup) for tup in sub]
+                    items = [(fragment_id, tup) for tup in admitted]
                     for full in self._proc_batchers[proc].add_many(items):
                         await self.transport.send(
                             self.proc_channels[proc], full
@@ -641,6 +664,10 @@ class LiveProcessor:
     async def _intake(self, tup: StreamTuple) -> None:
         """Delegate routing: raw stream tuple to every head fragment."""
         for fragment_id, proc in self.head_routes.get(tup.stream_id, []):
+            if self.throttle is not None and not self.throttle.admit(
+                fragment_id, [tup], self.clock.now
+            ):
+                continue
             if proc == self.proc_id:
                 await self._run_fragment(fragment_id, tup)
             else:

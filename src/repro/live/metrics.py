@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.monitoring.adaptation import AdaptationReport
+from repro.monitoring.control import ControlReport
 from repro.monitoring.recovery import RecoveryReport
 from repro.monitoring.reports import LoadReport, SubtreeLoad
 from repro.streams.tuples import StreamTuple
@@ -79,11 +80,12 @@ class LiveMetrics:
         latency = virtual_now - tup.created_at
         if latency < 0.0:
             # A negative delay means a virtual timestamp was compared
-            # against the wrong clock; clamp for the aggregate, but
-            # count the clamp so parity tests can fail loudly instead
-            # of averaging the bug away.
+            # against the wrong clock; count the clamp so parity tests
+            # can fail loudly, and keep the bogus sample out of the
+            # latency aggregates entirely — a clamped zero is a clock
+            # artefact, not a measurement.
             self.negative_latency_samples += 1
-            latency = 0.0
+            return
         self.entity_latency_sum[entity_id] = (
             self.entity_latency_sum.get(entity_id, 0.0) + latency
         )
@@ -107,13 +109,16 @@ class LiveMetrics:
     ) -> None:
         """Account one result tuple reaching the collector."""
         self.results_by_query.setdefault(query_id, []).append(tup)
+        self.result_count += 1
         latency = virtual_now - tup.created_at
         if latency < 0.0:
+            # The result still counts; its latency sample does not —
+            # including clamped zeros would deflate the reported mean
+            # and p95 tail.
             self.negative_latency_samples += 1
-            latency = 0.0
+            return
         self.result_latency_sum += latency
         self.result_latencies.append(latency)
-        self.result_count += 1
 
     # ------------------------------------------------------------------
     def build_report(
@@ -141,8 +146,8 @@ class LiveMetrics:
             tuples_delivered=delivered,
             results=self.result_count,
             mean_result_latency=(
-                self.result_latency_sum / self.result_count
-                if self.result_count
+                self.result_latency_sum / len(self.result_latencies)
+                if self.result_latencies
                 else 0.0
             ),
             p95_result_latency=p95,
@@ -198,6 +203,9 @@ class LiveReport:
             the chaos harness; ``None`` for plain live runs.
         adaptation: Control-loop metrics when the run executed under the
             adaptive runtime; ``None`` for static runs.
+        control: Multi-tenant control-plane metrics (admission, quotas,
+            churn) when the run executed under the control runtime;
+            ``None`` otherwise.
     """
 
     duration: float
@@ -225,6 +233,7 @@ class LiveReport:
     results_by_query: dict[str, int] = field(default_factory=dict)
     recovery: RecoveryReport | None = None
     adaptation: AdaptationReport | None = None
+    control: ControlReport | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -306,6 +315,8 @@ class LiveReport:
             self.recovery.summary_lines() if self.recovery else []
         ) + (
             self.adaptation.summary_lines() if self.adaptation else []
+        ) + (
+            self.control.summary_lines() if self.control else []
         )
 
     def queue_lines(self) -> list[str]:

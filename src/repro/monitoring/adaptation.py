@@ -63,6 +63,7 @@ class AdaptationMetrics:
         self.audit_violations = 0
         self.partition_rebalances = 0
         self.reshares = 0
+        self.aborted_migrations = 0
         self.sharing = SharingStats()
         self._rounds: list[AdaptationRound] = []
 
@@ -100,6 +101,11 @@ class AdaptationMetrics:
         a migration round."""
         self.reshares += entities
 
+    def record_abort(self) -> None:
+        """Account one migration round that failed mid-protocol and was
+        rolled back to a consistent placement before resuming feeds."""
+        self.aborted_migrations += 1
+
     def record_sharing(self, stats: SharingStats) -> None:
         """Snapshot the federation's currently realized sharing."""
         self.sharing = stats
@@ -126,6 +132,7 @@ class AdaptationMetrics:
             audit_violations=self.audit_violations,
             partition_rebalances=self.partition_rebalances,
             reshares=self.reshares,
+            aborted_migrations=self.aborted_migrations,
             sharing=self.sharing,
         )
 
@@ -158,6 +165,9 @@ class AdaptationReport:
             rebalances (hot-key overrides installed under quiescence).
         reshares: Entities whose shared-computation groups were
             recomputed after a migration round.
+        aborted_migrations: Migration rounds that raised mid-protocol
+            and were repaired back to a consistent placement (feeds
+            resumed, sharing re-attached) instead of crashing the run.
         sharing: Latest realized sharing snapshot (shared fragments,
             member counts, estimated CPU saved).
     """
@@ -179,6 +189,7 @@ class AdaptationReport:
     audit_violations: int = 0
     partition_rebalances: int = 0
     reshares: int = 0
+    aborted_migrations: int = 0
     sharing: SharingStats = SharingStats()
 
     def summary_lines(self) -> list[str]:
@@ -195,7 +206,8 @@ class AdaptationReport:
             f"final {self.final_imbalance:.2f}",
             f"invariant audits: {self.audits} run, "
             f"{self.audit_violations} violations",
-            f"partition rebalances: {self.partition_rebalances}",
+            f"partition rebalances: {self.partition_rebalances}, "
+            f"aborted migrations: {self.aborted_migrations}",
             f"sharing: {self.sharing.summary()} "
             f"(reshared entities: {self.reshares})",
         ]

@@ -1,0 +1,168 @@
+"""Accounting for the multi-tenant control plane.
+
+:class:`ControlMetrics` is the mutable collector the live control plane
+writes into — one entry per lifecycle decision plus quota counters —
+and :meth:`ControlMetrics.build_report` freezes it into a
+:class:`ControlReport` attached to the run's
+:class:`~repro.live.metrics.LiveReport`.
+
+Admission latency is measured in *virtual* seconds from the arrival
+event to the moment the query's fragments were installed behind the
+reopened gate — the client-visible wait, independent of replay speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ControlMetrics:
+    """Monotone counters shared by the control plane."""
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.departures = 0
+        self.registered = 0
+        self.torn_down = 0
+        self.deferred = 0
+        self.rejected = 0
+        self.queue_peak = 0
+        self.quiesce_windows = 0
+        self.admission_latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    def record_arrival(self) -> None:
+        """One registration event reached the control plane."""
+        self.arrivals += 1
+
+    def record_departure(self) -> None:
+        """One teardown event reached the control plane."""
+        self.departures += 1
+
+    def record_admitted(self, waited: float) -> None:
+        """One arrival admitted after ``waited`` virtual seconds."""
+        self.registered += 1
+        self.admission_latencies.append(waited)
+
+    def record_torn_down(self) -> None:
+        """One departure detached (or cancelled from the queue)."""
+        self.torn_down += 1
+
+    def record_deferred(self, queue_depth: int) -> None:
+        """One arrival parked in the admission queue."""
+        self.deferred += 1
+        if queue_depth > self.queue_peak:
+            self.queue_peak = queue_depth
+
+    def record_rejected(self) -> None:
+        """One arrival refused outright (admission queue full)."""
+        self.rejected += 1
+
+    def record_window(self) -> None:
+        """One pause→drain→apply→resume batch of lifecycle changes."""
+        self.quiesce_windows += 1
+
+    # ------------------------------------------------------------------
+    def build_report(
+        self,
+        *,
+        shed_by_tenant: dict[str, int] | None = None,
+        delivered_by_tenant: dict[str, int] | None = None,
+        stranded_in_queue: int = 0,
+    ) -> "ControlReport":
+        """Freeze the collected counters into a :class:`ControlReport`."""
+        waits = sorted(self.admission_latencies)
+        p95 = waits[min(len(waits) - 1, int(0.95 * len(waits)))] if waits else 0.0
+        mean = sum(waits) / len(waits) if waits else 0.0
+        return ControlReport(
+            arrivals=self.arrivals,
+            departures=self.departures,
+            registered=self.registered,
+            torn_down=self.torn_down,
+            deferred=self.deferred,
+            rejected=self.rejected,
+            stranded_in_queue=stranded_in_queue,
+            queue_peak=self.queue_peak,
+            quiesce_windows=self.quiesce_windows,
+            mean_admission_latency=mean,
+            p95_admission_latency=p95,
+            shed_by_tenant=dict(shed_by_tenant or {}),
+            delivered_by_tenant=dict(delivered_by_tenant or {}),
+        )
+
+
+@dataclass(frozen=True)
+class ControlReport:
+    """Aggregated control-plane metrics of one live run.
+
+    Attributes:
+        arrivals / departures: Lifecycle events the plane processed.
+        registered: Arrivals admitted and wired into the dataflow.
+        torn_down: Departures detached from the dataflow.
+        deferred: Arrivals that waited in the admission queue at least
+            once (the balance constraint refused immediate placement).
+        rejected: Arrivals refused outright (queue full).
+        stranded_in_queue: Arrivals still queued when the run ended.
+        queue_peak: Deepest the admission queue ever got.
+        quiesce_windows: Pause→drain→apply→resume batches executed
+            (several due events share one window).
+        mean_admission_latency / p95_admission_latency: Virtual seconds
+            from arrival to installed, over admitted queries.
+        shed_by_tenant: Tuples the fair-quota throttle shed per tenant
+            (empty when quotas are off).
+        delivered_by_tenant: Result tuples delivered per tenant — the
+            fairness numerators the E21 bench gates on.
+    """
+
+    arrivals: int = 0
+    departures: int = 0
+    registered: int = 0
+    torn_down: int = 0
+    deferred: int = 0
+    rejected: int = 0
+    stranded_in_queue: int = 0
+    queue_peak: int = 0
+    quiesce_windows: int = 0
+    mean_admission_latency: float = 0.0
+    p95_admission_latency: float = 0.0
+    shed_by_tenant: dict = field(default_factory=dict)
+    delivered_by_tenant: dict = field(default_factory=dict)
+
+    def fairness_ratio(self) -> float:
+        """Max/min delivered throughput across tenants (1.0 = fair;
+        0.0 when fewer than two tenants delivered anything)."""
+        counts = [c for c in self.delivered_by_tenant.values() if c > 0]
+        if len(counts) < 2:
+            return 0.0
+        return max(counts) / min(counts)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest (appended to the live run summary)."""
+        lines = [
+            f"control: {self.arrivals} arrivals "
+            f"({self.registered} admitted, {self.deferred} deferred, "
+            f"{self.rejected} rejected, {self.stranded_in_queue} stranded), "
+            f"{self.torn_down}/{self.departures} teardowns",
+            f"admission latency: mean "
+            f"{self.mean_admission_latency * 1000:.1f} ms, p95 "
+            f"{self.p95_admission_latency * 1000:.1f} ms (virtual); "
+            f"queue peak {self.queue_peak}, "
+            f"{self.quiesce_windows} quiesce windows",
+        ]
+        if self.shed_by_tenant:
+            shed = ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(self.shed_by_tenant.items())
+            )
+            lines.append(f"quota shed: {shed}")
+        if self.delivered_by_tenant:
+            delivered = ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(self.delivered_by_tenant.items())
+            )
+            ratio = self.fairness_ratio()
+            lines.append(
+                f"delivered by tenant: {delivered} "
+                f"(fairness ratio {ratio:.2f})"
+            )
+        return lines

@@ -71,6 +71,10 @@ class QuerySpec:
             inherent complexity across queries.
         client_x, client_y: Client position in the WAN plane (result
             delivery latency).
+        tenant: Owning tenant, for per-tenant fair quotas and admission
+            accounting at the control plane.  Deliberately excluded from
+            :meth:`operator_fingerprints` — two tenants running the same
+            pipeline still share computation.
     """
 
     query_id: str
@@ -81,6 +85,7 @@ class QuerySpec:
     cost_multiplier: float = 1.0
     client_x: float = 0.5
     client_y: float = 0.5
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if not self.interests:

@@ -16,6 +16,7 @@ from repro.workloads.drifting import (
 from repro.workloads.rates import constant_rate, diurnal, ramp, square_burst
 from repro.workloads.scenarios import (
     Scenario,
+    churn_workload,
     financial_scenario,
     network_monitoring_scenario,
     parity_workload,
@@ -34,6 +35,7 @@ __all__ = [
     "diurnal",
     "ramp",
     "Scenario",
+    "churn_workload",
     "financial_scenario",
     "network_monitoring_scenario",
     "parity_workload",

@@ -179,6 +179,129 @@ def sharing_workload(
     return catalog, config, queries
 
 
+def churn_workload(
+    seed: int = 0,
+    *,
+    rate: float = 40.0,
+    tenants: int = 3,
+    base_queries: int = 4,
+    churn_per_minute: float = 120.0,
+    duration: float = 5.0,
+    warmup: float = 0.5,
+    queue_limit: int = 32,
+    imbalance_threshold: float = 2.0,
+    quota_rate: float | None = None,
+    spike_tenant: str | None = None,
+    spike_factor: float = 1.0,
+):
+    """The multi-tenant churn workload: scripted arrivals/departures.
+
+    Generates a deterministic churn script of query registrations and
+    teardowns spread over ``[warmup, duration)`` at ``churn_per_minute``
+    lifecycle events per virtual minute, round-robined across
+    ``tenants`` tenants.  Every registered query is torn down a short,
+    seed-derived lifetime later (teardowns past ``duration`` are
+    dropped — those queries simply outlive the run).  ``spike_tenant``
+    optionally multiplies one tenant's stream rate by ``spike_factor``
+    — the E21 fairness scenario where quotas must keep the other
+    tenants' delivered throughput within the gate.  Returns
+    ``(catalog, config, queries, events)``.
+    """
+    import random
+
+    from repro.control.events import ControlEvent
+    from repro.core.system import SystemConfig
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import QuerySpec
+    from repro.streams.schema import Attribute, StreamSchema
+
+    names = [f"tenant-{chr(ord('a') + i)}" for i in range(tenants)]
+    catalog = StreamCatalog()
+    for i in range(tenants):
+        stream_rate = rate * (
+            spike_factor
+            if spike_tenant is not None and names[i] == spike_tenant
+            else 1.0
+        )
+        catalog.register(
+            StreamSchema(
+                stream_id=f"exchange-{i}.trades",
+                attributes=(
+                    Attribute("symbol", 0, 499, "zipf", 1.1),
+                    Attribute("price", 1.0, 1000.0),
+                    Attribute("volume", 1.0, 10_000.0),
+                ),
+                tuple_size=48.0,
+                rate=stream_rate,
+            )
+        )
+    config = SystemConfig(
+        entity_count=4,
+        processors_per_entity=2,
+        seed=seed,
+        admission_queue_limit=queue_limit,
+        admission_imbalance_threshold=imbalance_threshold,
+        tenant_quota_rate=quota_rate,
+        tenant_weights=tuple((name, 1.0) for name in names)
+        if quota_rate is not None
+        else (),
+    )
+    rng = random.Random(seed)
+
+    def spec(index: int, tenant_slot: int) -> QuerySpec:
+        lo = 20.0 + 90.0 * ((index * 7) % 10)
+        return QuerySpec(
+            query_id=f"churn{index}",
+            interests=(
+                StreamInterest.on(
+                    f"exchange-{tenant_slot}.trades",
+                    price=(lo, lo + 250.0),
+                ),
+            ),
+            tenant=names[tenant_slot],
+            client_x=0.05 + 0.09 * (index % 10),
+            client_y=0.95 - 0.09 * (index % 10),
+        )
+
+    queries = [
+        QuerySpec(
+            query_id=f"base{i}",
+            interests=(
+                StreamInterest.on(
+                    f"exchange-{i % tenants}.trades",
+                    price=(50.0, 800.0),
+                ),
+            ),
+            tenant=names[i % tenants],
+            client_x=0.1 + 0.2 * i,
+            client_y=0.9 - 0.2 * i,
+        )
+        for i in range(base_queries)
+    ]
+    # Each arrival later produces one teardown, so arrivals alone run
+    # at half the requested lifecycle-event rate.  Lifetimes fit inside
+    # the run (arrivals stop a `tail` before the end) so the script
+    # really delivers churn_per_minute lifecycle events per minute.
+    arrivals = max(1, round(churn_per_minute / 60.0 * duration / 2.0))
+    tail = min(0.5, max(duration - warmup, 0.1) / 4.0)
+    window = max(duration - warmup - tail, 0.1)
+    events = []
+    for i in range(arrivals):
+        slot = i % tenants
+        at = warmup + window * i / arrivals
+        events.append(
+            ControlEvent(at=at, action="register", spec=spec(i, slot))
+        )
+        leave = at + rng.uniform(0.3, 0.95) * tail
+        events.append(
+            ControlEvent(
+                at=leave, action="teardown", query_id=f"churn{i}"
+            )
+        )
+    events.sort(key=lambda e: (e.at, e.subject))
+    return catalog, config, queries, events
+
+
 def partition_workload(
     seed: int = 0,
     *,

@@ -1,0 +1,316 @@
+"""Unit and cross-leg tests for the multi-tenant control plane.
+
+Covers the pure pieces (admission policy, token-bucket quotas, churn
+events, config/spec round-trips) and the cross-leg contract: the
+discrete-event leg and the live control plane make the same admission
+decisions on the same script, and tearing a member out of a shared
+group leaves the remaining members' results untouched.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.invariants import audit_federation, run_control_smoke
+from repro.cli import main
+from repro.control import (
+    AdmissionPolicy,
+    ControlEvent,
+    ControlRuntime,
+    TenantThrottle,
+    predicted_imbalance,
+    run_control_sim,
+)
+from repro.control.admission import ADMIT, DEFER, REJECT
+from repro.core.system import SystemConfig
+from repro.distributed.specs import (
+    config_from_spec,
+    config_to_spec,
+    query_from_spec,
+    query_to_spec,
+)
+from repro.interest.predicates import StreamInterest
+from repro.live import LiveSettings
+from repro.query.spec import QuerySpec
+from repro.streams.tuples import StreamTuple
+from repro.workloads import churn_workload, sharing_workload
+
+
+# ----------------------------------------------------------------------
+# predicted_imbalance: the §3.2.2 balance constraint, looking forward
+# ----------------------------------------------------------------------
+def test_predicted_imbalance_best_case_placement():
+    loads = {"e0": 3.0, "e1": 1.0}
+    # placed on e1 (lightest): peak stays 3, ideal becomes 2.5
+    assert predicted_imbalance(loads, 1.0) == pytest.approx(3.0 / 2.5)
+    # a heavy arrival makes the lightest entity the new peak
+    assert predicted_imbalance(loads, 9.0) == pytest.approx(10.0 / 6.5)
+
+
+def test_predicted_imbalance_degenerate_inputs():
+    assert predicted_imbalance({}, 5.0) == 1.0
+    assert predicted_imbalance({"e0": 0.0, "e1": 0.0}, 0.0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# AdmissionPolicy: admit / defer / reject + FIFO drain
+# ----------------------------------------------------------------------
+def _spec(query_id, lo=100.0, hi=200.0):
+    return QuerySpec(
+        query_id=query_id,
+        interests=(
+            StreamInterest.on("exchange-0.trades", price=(lo, hi)),
+        ),
+    )
+
+
+def test_admission_disabled_admits_everything():
+    policy = AdmissionPolicy(queue_limit=0, imbalance_threshold=1.01)
+    assert policy.decide(1e9, {"e0": 1.0}) == ADMIT
+
+
+def test_admission_defers_then_rejects_when_queue_full():
+    policy = AdmissionPolicy(queue_limit=2, imbalance_threshold=1.1)
+    loads = {"e0": 10.0, "e1": 1.0}
+    assert policy.decide(0.01, loads) == DEFER  # skew, not the arrival
+    policy.park(_spec("p0"), now=0.0)
+    policy.park(_spec("p1"), now=0.1)
+    assert policy.decide(0.01, loads) == REJECT
+    assert len(policy.queue) == 2
+
+
+def test_admission_drain_is_fifo_with_head_of_line_blocking(stock):
+    catalog = stock
+    policy = AdmissionPolicy(queue_limit=4, imbalance_threshold=1.5)
+    heavy = _spec("heavy", 1.0, 999.0)  # wide range => high load
+    light = _spec("light", 490.0, 510.0)
+    policy.park(heavy, now=0.0)
+    policy.park(light, now=0.1)
+    # nothing drains while even the head would break the constraint
+    skewed = {"e0": heavy.estimated_load(catalog) * 4, "e1": 0.0}
+    blocked = policy.drain_admissible(dict(skewed), catalog)
+    assert blocked == []
+    assert [p.spec.query_id for p in policy.queue] == ["heavy", "light"]
+    # with balanced room both drain, head first, loads updated in place
+    loads = {"e0": 5.0, "e1": 5.0}
+    drained = policy.drain_admissible(loads, catalog)
+    assert [p.spec.query_id for p in drained] == ["heavy", "light"]
+    assert not policy.queue
+    assert sum(loads.values()) > 10.0  # admissions were charged
+
+
+@pytest.fixture()
+def stock():
+    from repro.streams.catalog import stock_catalog
+
+    return stock_catalog(exchanges=1, rate=50.0)
+
+
+# ----------------------------------------------------------------------
+# TenantThrottle: weighted-fair token buckets at the intake
+# ----------------------------------------------------------------------
+def _batch(n):
+    return [
+        StreamTuple(
+            stream_id="s", seq=i, created_at=0.0, values={}, size=1.0
+        )
+        for i in range(n)
+    ]
+
+
+def test_throttle_sheds_suffix_beyond_quota():
+    throttle = TenantThrottle(100.0, {"a": 1.0}, burst_seconds=0.1)
+    throttle.bind("f0", "a")
+    # capacity = 100 * 0.1 = 10 tokens at t=0
+    out = throttle.admit("f0", _batch(25), now=0.0)
+    assert len(out) == 10
+    assert [t.seq for t in out] == list(range(10))  # prefix, in order
+    assert throttle.shed_by_tenant["a"] == 15
+    assert throttle.admitted_by_tenant["a"] == 10
+    # refill is virtual-time driven but capped at the burst capacity
+    assert len(throttle.admit("f0", _batch(25), now=1.0)) == 10
+
+
+def test_throttle_rates_follow_weights():
+    throttle = TenantThrottle(90.0, {"a": 2.0, "b": 1.0}, burst_seconds=1.0)
+    throttle.bind("fa", "a")
+    throttle.bind("fb", "b")
+    granted_a = len(throttle.admit("fa", _batch(100), now=1.0))
+    granted_b = len(throttle.admit("fb", _batch(100), now=1.0))
+    assert granted_a == 2 * granted_b  # 60 vs 30
+
+
+def test_throttle_unbound_and_unknown_tenants_pass_through():
+    throttle = TenantThrottle(1.0, {"a": 1.0})
+    throttle.bind("mystery", "not-configured")  # no weight: no-op
+    assert len(throttle.admit("never-bound", _batch(50), now=0.0)) == 50
+    assert len(throttle.admit("mystery", _batch(50), now=0.0)) == 50
+    assert throttle.total_shed == 0
+
+
+def test_throttle_rebind_and_unbind_follow_fragments():
+    throttle = TenantThrottle(10.0, {"a": 1.0}, burst_seconds=0.1)
+    throttle.bind("old", "a")
+    throttle.rebind("old", "new")
+    assert len(throttle.admit("old", _batch(10), now=0.0)) == 10
+    assert len(throttle.admit("new", _batch(10), now=0.0)) == 1
+    throttle.unbind("new")
+    assert len(throttle.admit("new", _batch(10), now=0.0)) == 10
+
+
+def test_throttle_validates_inputs():
+    with pytest.raises(ValueError):
+        TenantThrottle(0.0, {"a": 1.0})
+    with pytest.raises(ValueError):
+        TenantThrottle(10.0, {})
+
+
+# ----------------------------------------------------------------------
+# ControlEvent and config/spec round-trips
+# ----------------------------------------------------------------------
+def test_control_event_validation():
+    with pytest.raises(ValueError):
+        ControlEvent(at=1.0, action="register")  # spec required
+    with pytest.raises(ValueError):
+        ControlEvent(at=1.0, action="teardown")  # query_id required
+    with pytest.raises(ValueError):
+        ControlEvent(at=1.0, action="vanish", query_id="q")
+    with pytest.raises(ValueError):
+        ControlEvent(at=-0.5, action="teardown", query_id="q")
+    assert ControlEvent(at=0.0, action="teardown", query_id="q").subject == "q"
+
+
+def test_config_spec_round_trip_keeps_control_knobs():
+    config = SystemConfig(
+        entity_count=3,
+        processors_per_entity=2,
+        seed=5,
+        admission_queue_limit=8,
+        admission_imbalance_threshold=1.8,
+        tenant_quota_rate=120.0,
+        tenant_weights=(("a", 2.0), ("b", 1.0)),
+    )
+    # through JSON, as the wire protocol ships it: tuples become lists
+    wire = json.loads(json.dumps(config_to_spec(config)))
+    assert config_from_spec(wire) == config
+
+
+def test_query_spec_round_trip_keeps_tenant():
+    query = QuerySpec(
+        query_id="q",
+        interests=(
+            StreamInterest.on("exchange-0.trades", price=(1.0, 2.0)),
+        ),
+        tenant="tenant-z",
+    )
+    wire = json.loads(json.dumps(query_to_spec(query)))
+    assert query_from_spec(wire).tenant == "tenant-z"
+    # omitted tenant defaults, for specs written before multi-tenancy
+    wire.pop("tenant")
+    assert query_from_spec(wire).tenant == "default"
+
+
+def test_system_config_validates_control_knobs():
+    with pytest.raises(ValueError):
+        SystemConfig(admission_queue_limit=-1)
+    with pytest.raises(ValueError):
+        SystemConfig(admission_imbalance_threshold=0.9)
+    with pytest.raises(ValueError):
+        SystemConfig(tenant_quota_rate=0.0)
+    with pytest.raises(ValueError):
+        SystemConfig(tenant_weights=(("a", -1.0),))
+    # list-of-lists input (e.g. parsed JSON) is coerced to tuples
+    config = SystemConfig(tenant_weights=[["a", 1], ["b", 2.0]])
+    assert config.tenant_weights == (("a", 1.0), ("b", 2.0))
+
+
+# ----------------------------------------------------------------------
+# Cross-leg: the sim leg and the live plane decide identically
+# ----------------------------------------------------------------------
+def test_sim_and_live_make_the_same_admission_decisions():
+    catalog, config, queries, events = churn_workload(
+        seed=3, duration=2.0, churn_per_minute=240.0
+    )
+    __, sim_control = run_control_sim(
+        catalog, config, queries, events, duration=2.0
+    )
+    live = ControlRuntime(
+        catalog, config, LiveSettings(duration=2.0, batch_size=8),
+        events=events,
+    )
+    live.submit(queries)
+    live_control = live.run().control
+    for field in (
+        "arrivals",
+        "departures",
+        "registered",
+        "rejected",
+        "torn_down",
+        "stranded_in_queue",
+    ):
+        assert getattr(sim_control, field) == getattr(
+            live_control, field
+        ), field
+
+
+def test_control_smoke_is_clean():
+    assert run_control_smoke(seed=7) == []
+
+
+# ----------------------------------------------------------------------
+# Teardown inside a shared group spares the other members
+# ----------------------------------------------------------------------
+def test_teardown_of_shared_member_keeps_other_members_results():
+    def run(events):
+        catalog, config, queries = sharing_workload(
+            seed=5, overlap=0.8, query_count=5, rate=60.0
+        )
+        runtime = ControlRuntime(
+            catalog, config, LiveSettings(duration=2.0, batch_size=8),
+            events=events,
+        )
+        runtime.submit(queries)
+        report = runtime.run()
+        return runtime, report
+
+    leaver = "ov1"
+    torn, torn_report = run(
+        [ControlEvent(at=1.0, action="teardown", query_id=leaver)]
+    )
+    intact, __ = run([])
+
+    def keys(runtime, query_id):
+        return {
+            (t.stream_id, t.seq)
+            for t in runtime.results.get(query_id, [])
+        }
+
+    assert torn_report.control.torn_down == 1
+    assert leaver not in torn.planner.allocation_result.assignment
+    # every surviving member of the group delivers the identical set
+    for query_id in ("ov0", "ov2", "ov3"):
+        assert keys(torn, query_id) == keys(intact, query_id), query_id
+    # the leaver stopped early: a strict prefix of its full-run set
+    assert keys(torn, leaver) < keys(intact, leaver)
+    assert (
+        audit_federation(torn.planner, trees=torn.dataflow.trees) == []
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_control_command_runs(capsys):
+    code = main(
+        ["control", "--duration", "1.5", "--churn", "160", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "control[" in out or "admission" in out
+
+
+def test_cli_control_smoke(capsys):
+    assert main(["control", "--smoke"]) == 0
+    assert "control smoke passed" in capsys.readouterr().out

@@ -43,6 +43,10 @@ def make_coordinator(seed, workers, duration=DURATION):
 
 def simulated_keys(seed, duration=DURATION):
     catalog, config, queries = parity_workload(seed)
+    return _sim_keys(catalog, config, queries, duration)
+
+
+def _sim_keys(catalog, config, queries, duration):
     system = FederatedSystem(catalog, config)
     system.submit(queries)
     observed = set()
@@ -283,3 +287,141 @@ def test_four_worker_parity_exercises_cross_links():
     )
     assert total_sent > 0  # batches really crossed sockets
     assert distributed_keys(coordinator) == simulated_keys(7)
+
+
+# ----------------------------------------------------------------------
+# CreditGate overflow cap: stray CREDIT frames cannot widen the window
+# ----------------------------------------------------------------------
+def test_credit_gate_release_capped_at_initial():
+    async def scenario():
+        gate = CreditGate(4)
+        await gate.acquire(3)
+        assert gate.available == 1
+        # return more than is outstanding: duplicate CREDIT frames
+        await gate.release(3)
+        await gate.release(2)  # the pool is already full here
+        assert gate.available == 4  # never above the initial window
+        assert gate.outstanding == 0
+        assert gate.excess_credit_returns == 2
+
+    asyncio.run(scenario())
+
+
+def test_credit_gate_exact_returns_count_no_excess():
+    async def scenario():
+        gate = CreditGate(2)
+        await gate.acquire(2)
+        await gate.release(1)
+        await gate.release(1)
+        assert gate.available == 2
+        assert gate.excess_credit_returns == 0
+
+    asyncio.run(scenario())
+
+
+def test_audit_flags_excess_credit_returns():
+    from repro.distributed.audit import audit_credits
+
+    clean = audit_credits({0: {"excess_credit_returns": 0}})
+    assert clean == []
+    flagged = audit_credits(
+        {0: {"excess_credit_returns": 0}, 1: {"excess_credit_returns": 3}}
+    )
+    assert len(flagged) == 1
+    assert "worker-1" in flagged[0].subject
+    assert "3" in flagged[0].detail
+
+
+# ----------------------------------------------------------------------
+# Pre-start query deltas: ADMIT/RETIRE reach every process identically
+# ----------------------------------------------------------------------
+def _extra_query():
+    from repro.interest.predicates import StreamInterest
+    from repro.query.spec import QuerySpec
+
+    return QuerySpec(
+        query_id="q6",
+        interests=(
+            StreamInterest.on("exchange-0.trades", price=(400.0, 800.0)),
+        ),
+        client_x=0.5,
+        client_y=0.5,
+    )
+
+
+def make_delta_coordinator(seed, workers, ship, duration=DURATION):
+    catalog, config, queries = parity_workload(seed)
+    coordinator = DistributedCoordinator(
+        catalog,
+        config,
+        queries,
+        LiveSettings(duration=duration, batch_size=4),
+        workers=workers,
+        ship_deltas=ship,
+    )
+    coordinator.admit_query(_extra_query())
+    coordinator.retire_query("q1")
+    return coordinator
+
+
+def effective_keys(seed, duration=DURATION):
+    """Simulator keys for the post-delta query set (q1 out, q6 in)."""
+    catalog, config, queries = parity_workload(seed)
+    effective = [q for q in queries if q.query_id != "q1"]
+    effective.append(_extra_query())
+    return _sim_keys(catalog, config, effective, duration)
+
+
+@pytest.mark.parametrize("ship", ["assign", "frames"])
+def test_delta_shipping_matches_simulator_of_effective_set(ship):
+    """Both transports — deltas inline in ASSIGN and deltas as
+    dedicated ADMIT/RETIRE frames — make every process re-derive the
+    same effective query set: results match a simulator run of that
+    set, the retired query is silent, the admitted one delivers."""
+    coordinator = make_delta_coordinator(seed=7, workers=1, ship=ship)
+    report = coordinator.run()
+    assert report.dropped_tuples == 0
+    assert coordinator.violations == []
+    keys = distributed_keys(coordinator)
+    assert keys == effective_keys(7)
+    delivered = {query_id for query_id, __, __seq in keys}
+    assert "q1" not in delivered
+    assert "q6" in delivered
+
+
+def test_deltas_rejected_after_run_starts():
+    coordinator = make_coordinator(seed=7, workers=1, duration=0.3)
+    coordinator.run()
+    with pytest.raises(RuntimeError):
+        coordinator.admit_query(_extra_query())
+    with pytest.raises(RuntimeError):
+        coordinator.retire_query("q0")
+
+
+def test_retire_of_unknown_query_is_a_noop():
+    from repro.distributed.specs import apply_deltas
+
+    catalog, config, queries = parity_workload(seed=7)
+    system = FederatedSystem(catalog, config)
+    system.submit(queries)
+    apply_deltas(system, [{"action": "retire", "query_id": "ghost"}])
+
+
+def test_delta_spec_rejects_unknown_action():
+    from repro.distributed.specs import delta_to_spec
+
+    with pytest.raises(ValueError):
+        delta_to_spec("vaporize", {"query_id": "q0"})
+
+
+@pytest.mark.slow
+def test_two_worker_delta_parity_both_transports():
+    """Deltas survive the real multi-process path: two workers, real
+    sockets, both shipping modes, identical effective result sets."""
+    expected = effective_keys(11)
+    for ship in ("assign", "frames"):
+        coordinator = make_delta_coordinator(seed=11, workers=2, ship=ship)
+        report = coordinator.run()
+        assert coordinator.violations == []
+        assert report.dropped_tuples == 0
+        assert distributed_keys(coordinator) == expected, ship

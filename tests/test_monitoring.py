@@ -136,3 +136,68 @@ def test_mean_cpu_load_property():
     assert view.mean_cpu_load == pytest.approx(0.5)
     empty = SubtreeLoad("m", 0, 0.0, 0.0, 0, 1.0)
     assert empty.mean_cpu_load == 0.0
+
+
+# ----------------------------------------------------------------------
+# Live-metrics latency clamp: negative samples are counted, not averaged
+# ----------------------------------------------------------------------
+def _live_metrics_report(metrics):
+    from repro.live.metrics import TransportStats
+
+    return metrics.build_report(
+        duration=1.0,
+        transport=TransportStats(),
+        entity_queue_depth={},
+        entity_queue_high_water={},
+        blocked_puts=0,
+        entity_query_count={},
+    )
+
+
+def _tuple_created_at(created_at):
+    from repro.streams.tuples import StreamTuple
+
+    return StreamTuple(
+        stream_id="s", seq=1, created_at=created_at, values={}, size=1.0
+    )
+
+
+def test_negative_result_latency_excluded_from_aggregates():
+    """A clock-skewed (negative) latency sample must be counted in
+    ``negative_latency_samples`` but excluded from mean/p95 — including
+    clamped zeros would deflate the reported tail."""
+    from repro.live.metrics import LiveMetrics
+
+    metrics = LiveMetrics()
+    # three honest samples at 100 ms, one bogus future-stamped tuple
+    for __ in range(3):
+        metrics.record_result("q", _tuple_created_at(0.0), 0.1)
+    metrics.record_result("q", _tuple_created_at(5.0), 0.1)
+    report = _live_metrics_report(metrics)
+    assert report.negative_latency_samples == 1
+    assert report.results == 4  # the result itself still counts
+    assert report.mean_result_latency == pytest.approx(0.1)
+    assert report.p95_result_latency == pytest.approx(0.1)
+
+
+def test_negative_delivery_latency_excluded_from_entity_sums():
+    from repro.live.metrics import LiveMetrics
+
+    metrics = LiveMetrics()
+    metrics.record_delivery("e0", _tuple_created_at(0.0), 0.2)
+    metrics.record_delivery("e0", _tuple_created_at(9.0), 0.2)
+    assert metrics.negative_latency_samples == 1
+    assert metrics.entity_tuples["e0"] == 2
+    assert metrics.entity_latency_sum["e0"] == pytest.approx(0.2)
+
+
+def test_all_negative_latencies_yield_zero_not_nan():
+    from repro.live.metrics import LiveMetrics
+
+    metrics = LiveMetrics()
+    metrics.record_result("q", _tuple_created_at(2.0), 0.0)
+    report = _live_metrics_report(metrics)
+    assert report.results == 1
+    assert report.negative_latency_samples == 1
+    assert report.mean_result_latency == 0.0
+    assert report.p95_result_latency == 0.0
