@@ -1,0 +1,54 @@
+"""Concurrency sanitizer: scheduled interleavings + happens-before races.
+
+Three cooperating pieces, all opt-in (production runtimes are untouched):
+
+``schedule``
+    :class:`ScheduledLoop` — a :class:`~repro.live.chaos.VirtualClockLoop`
+    whose ready queue is permuted by a seeded :class:`ScheduleController`,
+    turning asyncio task interleaving into a searchable, replayable input.
+``hb``
+    :class:`HBMonitor` — vector-clock happens-before tracking over shared
+    mutable runtime state, reporting ``DRD0xx`` findings through the
+    standard :class:`~repro.analysis.core.Finding` machinery.
+``instrument``
+    Wires a monitor into a live runtime: wraps gates/trackers/channels as
+    synchronization edges and shared dicts as :class:`TrackedState`.
+``explorer``
+    ``python -m repro race`` driver: explores N seeded interleavings of
+    the migration/rebalance/admission scenarios, validates invariants and
+    result-set parity, and writes replayable traces for any failure.
+"""
+
+from repro.analysis.concurrency.explorer import (
+    RaceExplorer,
+    RaceFailure,
+    RaceRunResult,
+    SCENARIOS,
+)
+from repro.analysis.concurrency.hb import DRD_RULES, HBMonitor, TrackedState
+from repro.analysis.concurrency.schedule import (
+    PreemptionBounded,
+    RandomWalk,
+    ScheduleController,
+    ScheduledLoop,
+    ScheduleTrace,
+    format_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "DRD_RULES",
+    "HBMonitor",
+    "PreemptionBounded",
+    "RaceExplorer",
+    "RaceFailure",
+    "RaceRunResult",
+    "RandomWalk",
+    "SCENARIOS",
+    "ScheduleController",
+    "ScheduleTrace",
+    "ScheduledLoop",
+    "TrackedState",
+    "format_trace",
+    "parse_trace",
+]

@@ -1,0 +1,440 @@
+"""Happens-before race detection over shared mutable runtime state.
+
+Vector clocks are kept per asyncio task; synchronization edges come from
+the runtime's real ordering devices — channel put/get, ``WorkTracker``
+done/wait_quiescent, ``FeedGate`` open/wait_open, credit acquisition —
+plus a "serialized" edge for the control-plane mutation sections that
+the single-threaded event loop executes atomically (no ``await`` inside;
+see ``docs/static_analysis.md`` for the scoping argument).
+
+Shared dicts are wrapped in :class:`TrackedState`; every access records
+the task, its clock snapshot, and the call site.  Races are reported as
+:class:`~repro.analysis.core.Finding` objects with ``DRD0xx`` rule ids
+and honour the standard ``# repro: allow[...]`` suppression grammar at
+the recorded call site.
+
+Rules:
+
+``DRD001``  unordered write/write on tracked state
+``DRD002``  dataflow read unordered with a control-plane write
+``DRD003``  quiesce-protected state written while the dataflow is live
+``DRD004``  credit window widened beyond the receiver's initial grant
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from collections.abc import Callable, Coroutine, Iterator, MutableMapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.core import Finding
+from repro.analysis.suppressions import Suppressions
+
+__all__ = ["DRD_RULES", "AccessSite", "HBMonitor", "TrackedState", "VectorClock"]
+
+#: Rule ids and one-line summaries for the dynamic race-detector pack.
+DRD_RULES: dict[str, str] = {
+    "DRD001": "unordered write/write on shared runtime state",
+    "DRD002": "dataflow read unordered with a control-plane write",
+    "DRD003": "quiesce-protected state written while dataflow is live",
+    "DRD004": "credit window widened beyond the initial grant",
+}
+
+#: Task-name prefixes whose reads count as dataflow reads for DRD002.
+#: Control-plane tasks read shared state too, but their synchronous
+#: blocks are serialized by the event loop and checked via DRD001 on
+#: the write side instead (see docs — this avoids the classic HB false
+#: positive on cooperative schedulers).
+DATAFLOW_TASK_PREFIXES: tuple[str, ...] = (
+    "live:src/",
+    "live:gateway/",
+    "live:proc/",
+    "live:results",
+    "race:dataflow",
+)
+
+_OWN_FILES = ("concurrency/hb.py", "concurrency/instrument.py")
+
+
+class VectorClock:
+    """Sparse vector clock keyed by monitor-assigned task id."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: dict[int, int] | None = None) -> None:
+        self._clock: dict[int, int] = dict(clock) if clock else {}
+
+    def copy(self) -> VectorClock:
+        """Return an independent copy of this clock."""
+        return VectorClock(self._clock)
+
+    def tick(self, tid: int) -> None:
+        """Advance task ``tid``'s own component."""
+        self._clock[tid] = self._clock.get(tid, 0) + 1
+
+    def join(self, other: VectorClock) -> None:
+        """Merge ``other`` into this clock (componentwise max)."""
+        for tid, stamp in other._clock.items():
+            if stamp > self._clock.get(tid, 0):
+                self._clock[tid] = stamp
+
+    def happened_before(self, other: VectorClock) -> bool:
+        """True if every event in ``self`` is visible in ``other``."""
+        return all(stamp <= other._clock.get(tid, 0) for tid, stamp in self._clock.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{tid}:{stamp}" for tid, stamp in sorted(self._clock.items()))
+        return f"VC({inner})"
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """Source location of a tracked-state access."""
+
+    path: str
+    line: int
+
+    def render(self) -> str:
+        """Format the access as ``task @ file:line``."""
+        return f"{self.path}:{self.line}"
+
+
+def _caller_site() -> AccessSite:
+    """First stack frame outside the sanitizer's own modules."""
+    depth = 2
+    while True:
+        # repro: allow[INV001] frame walking needs the CPython accessor
+        frame = sys._getframe(depth)
+        filename = frame.f_code.co_filename
+        # Skip our own frames and synthetic ones (``<frozen ...>``
+        # frames from the MutableMapping mixins, eval/exec shims).
+        if not filename.endswith(_OWN_FILES) and not filename.startswith("<"):
+            return AccessSite(path=filename, line=frame.f_lineno)
+        depth += 1
+
+
+@dataclass
+class _Access:
+    tid: int
+    task: str
+    clock: VectorClock
+    site: AccessSite
+
+
+@dataclass
+class _RaceEvent:
+    rule: str
+    state: str
+    key: object
+    message: str
+    site: AccessSite
+
+
+class _Cell:
+    """Per-key access history: the last write plus last read per task."""
+
+    __slots__ = ("last_write", "reads")
+
+    def __init__(self) -> None:
+        self.last_write: _Access | None = None
+        self.reads: dict[int, _Access] = {}
+
+
+class HBMonitor:
+    """Vector-clock happens-before monitor for one scheduled run."""
+
+    def __init__(self) -> None:
+        self._task_ids: dict[int, int] = {}
+        self._task_names: dict[int, str] = {0: "main"}
+        self._clocks: dict[int, VectorClock] = {0: VectorClock()}
+        self._next_tid = 1
+        # Tasks must stay alive for the monitor's lifetime: ``id()`` of
+        # a collected task is reused, and a recycled key would hand a
+        # brand-new task a dead task's (stale) clock.
+        self._retained: list[asyncio.Task[Any]] = []
+        self._sync: dict[int, VectorClock] = {}
+        self._cells: dict[tuple[str, object], _Cell] = {}
+        self._iter_cells: dict[str, _Cell] = {}
+        self._events: list[_RaceEvent] = []
+        self._seen: set[tuple[str, str, int, str]] = set()
+        #: State-name prefixes that must only be written under quiescence.
+        self.protected: set[str] = set()
+        #: Callable answering "is the dataflow quiescent right now?".
+        self.quiescent: Callable[[], bool] | None = None
+
+    # -- task identity --------------------------------------------------
+
+    def _tid_for(self, task: asyncio.Task[Any] | None) -> int:
+        if task is None:
+            return 0
+        key = id(task)
+        tid = self._task_ids.get(key)
+        if tid is None:
+            # A task created before the factory was installed (e.g. the
+            # runner's root task): register it with the main clock.
+            tid = self._register(task, self._clocks[0].copy())
+        return tid
+
+    def _register(self, task: asyncio.Task[Any], clock: VectorClock) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self._task_ids[id(task)] = tid
+        self._task_names[tid] = task.get_name()
+        clock.tick(tid)
+        self._clocks[tid] = clock
+        self._retained.append(task)
+        return tid
+
+    def _current(self) -> tuple[int, VectorClock]:
+        try:
+            task = asyncio.current_task()
+        except RuntimeError:
+            task = None
+        tid = self._tid_for(task)
+        name = task.get_name() if task is not None else "main"
+        self._task_names[tid] = name
+        return tid, self._clocks[tid]
+
+    def task_factory(
+        self, loop: asyncio.AbstractEventLoop, coro: Coroutine[Any, Any, Any], **kwargs: Any
+    ) -> asyncio.Task[Any]:
+        """Install via ``loop.set_task_factory`` for parent→child edges."""
+        tid, clock = self._current()
+        clock.tick(tid)
+        task: asyncio.Task[Any] = asyncio.Task(coro, loop=loop, **kwargs)
+        self._register(task, clock.copy())
+        return task
+
+    def task_name(self, tid: int) -> str:
+        """Human-readable name of a monitor-assigned task id."""
+        return self._task_names.get(tid, f"task-{tid}")
+
+    # -- synchronization edges ------------------------------------------
+
+    def sync_release(self, obj: object) -> None:
+        """Publish the current task's clock into ``obj``'s sync clock."""
+        tid, clock = self._current()
+        store = self._sync.setdefault(id(obj), VectorClock())
+        store.join(clock)
+        clock.tick(tid)
+
+    def sync_acquire(self, obj: object) -> None:
+        """Absorb ``obj``'s sync clock into the current task's clock."""
+        _, clock = self._current()
+        store = self._sync.get(id(obj))
+        if store is not None:
+            clock.join(store)
+
+    def serialized_enter(self, token: object) -> None:
+        """Start of an atomic (await-free) control-plane mutation block."""
+        self.sync_acquire(token)
+
+    def serialized_exit(self, token: object) -> None:
+        """End of an atomic control-plane mutation block."""
+        self.sync_release(token)
+
+    # -- tracked accesses -----------------------------------------------
+
+    def _is_dataflow(self, tid: int) -> bool:
+        name = self.task_name(tid)
+        return name.startswith(DATAFLOW_TASK_PREFIXES)
+
+    def _record(self, rule: str, state: str, key: object, message: str, site: AccessSite) -> None:
+        fingerprint = (rule, site.path, site.line, message)
+        if fingerprint in self._seen:
+            return
+        self._seen.add(fingerprint)
+        self._events.append(_RaceEvent(rule=rule, state=state, key=key, message=message, site=site))
+
+    def on_read(self, state: str, key: object) -> None:
+        """Record a read of ``state[key]`` by the current task."""
+        tid, clock = self._current()
+        site = _caller_site()
+        access = _Access(tid=tid, task=self.task_name(tid), clock=clock.copy(), site=site)
+        cell = self._cells.setdefault((state, key), _Cell())
+        self._check_read(state, key, cell, access)
+        cell.reads[tid] = access
+        if self._is_dataflow(tid):
+            iter_cell = self._iter_cells.setdefault(state, _Cell())
+            iter_cell.reads[tid] = access
+
+    def on_iterate(self, state: str) -> None:
+        """Whole-state read (iteration, len, copy)."""
+        tid, clock = self._current()
+        site = _caller_site()
+        access = _Access(tid=tid, task=self.task_name(tid), clock=clock.copy(), site=site)
+        iter_cell = self._iter_cells.setdefault(state, _Cell())
+        self._check_read(state, "*", iter_cell, access)
+        iter_cell.reads[tid] = access
+
+    def on_write(self, state: str, key: object) -> None:
+        """Record a write of ``state[key]``; check against prior accesses."""
+        tid, clock = self._current()
+        site = _caller_site()
+        access = _Access(tid=tid, task=self.task_name(tid), clock=clock.copy(), site=site)
+        cell = self._cells.setdefault((state, key), _Cell())
+        iter_cell = self._iter_cells.setdefault(state, _Cell())
+        self._check_write(state, key, cell, iter_cell, access)
+        cell.last_write = access
+        cell.reads.clear()
+        iter_cell.last_write = access
+        clock.tick(tid)
+
+    def _check_read(self, state: str, key: object, cell: _Cell, access: _Access) -> None:
+        write = cell.last_write
+        if (
+            write is not None
+            and write.tid != access.tid
+            and not write.clock.happened_before(access.clock)
+            and self._is_dataflow(access.tid)
+        ):
+            self._record(
+                "DRD002",
+                state,
+                key,
+                f"read of {state}[{key!r}] in task {access.task} races write "
+                f"in task {write.task} at {write.site.render()}",
+                access.site,
+            )
+
+    def _check_write(
+        self, state: str, key: object, cell: _Cell, iter_cell: _Cell, access: _Access
+    ) -> None:
+        write = cell.last_write
+        if (
+            write is not None
+            and write.tid != access.tid
+            and not write.clock.happened_before(access.clock)
+        ):
+            self._record(
+                "DRD001",
+                state,
+                key,
+                f"write to {state}[{key!r}] in task {access.task} races write "
+                f"in task {write.task} at {write.site.render()}",
+                access.site,
+            )
+        for readers in (cell.reads, iter_cell.reads):
+            for reader in readers.values():
+                if (
+                    reader.tid != access.tid
+                    and self._is_dataflow(reader.tid)
+                    and not reader.clock.happened_before(access.clock)
+                ):
+                    self._record(
+                        "DRD002",
+                        state,
+                        key,
+                        f"write to {state}[{key!r}] in task {access.task} races read "
+                        f"in task {reader.task} at {reader.site.render()}",
+                        access.site,
+                    )
+        if (
+            self.protected
+            and state.startswith(tuple(self.protected))
+            and self.quiescent is not None
+            and not self.quiescent()
+        ):
+            self._record(
+                "DRD003",
+                state,
+                key,
+                f"write to quiesce-protected {state}[{key!r}] in task {access.task} "
+                "while the dataflow is not quiescent",
+                access.site,
+            )
+
+    def on_credit_release(self, label: str, available: int, initial: int) -> None:
+        """Credit-window bound check (DRD004) for ``CreditGate.release``."""
+        if available > initial:
+            site = _caller_site()
+            self._record(
+                "DRD004",
+                "credit",
+                label,
+                f"credit window for {label} widened to {available} above the "
+                f"initial grant of {initial}",
+                site,
+            )
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        return len(self._events)
+
+    def findings(self, *, root: Path | None = None) -> list[Finding]:
+        """Render race events as findings, honouring ``# repro: allow``.
+
+        Suppressions are looked up in the source file each event was
+        recorded in, so an intentional unsynchronized access can be
+        annotated exactly like a static lint finding.
+        """
+        base = root or Path.cwd()
+        suppressions: dict[str, Suppressions] = {}
+        findings: list[Finding] = []
+        for event in self._events:
+            path = Path(event.site.path)
+            if path.as_posix() not in suppressions:
+                try:
+                    source = path.read_text(encoding="utf-8")
+                except OSError:
+                    source = ""
+                suppressions[path.as_posix()] = Suppressions.from_source(source)
+            if suppressions[path.as_posix()].is_suppressed(event.rule, event.site.line):
+                continue
+            try:
+                rel = path.relative_to(base).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            findings.append(
+                Finding(path=rel, line=event.site.line, col=1, rule=event.rule, message=event.message)
+            )
+        return sorted(set(findings))
+
+
+class TrackedState(MutableMapping[Any, Any]):
+    """Opt-in dict wrapper reporting every access to an :class:`HBMonitor`.
+
+    Implements the full ``MutableMapping`` protocol so it can replace a
+    plain dict anywhere in the runtime; the underlying storage is the
+    *original* dict object, so aliases that were captured before
+    wrapping still observe mutations (and vice versa).
+    """
+
+    __slots__ = ("_data", "_monitor", "_state")
+
+    def __init__(self, data: MutableMapping[Any, Any], monitor: HBMonitor, state: str) -> None:
+        self._data = data
+        self._monitor = monitor
+        self._state = state
+
+    def __getitem__(self, key: Any) -> Any:
+        self._monitor.on_read(self._state, key)
+        return self._data[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._monitor.on_write(self._state, key)
+        self._data[key] = value
+
+    def __delitem__(self, key: Any) -> None:
+        self._monitor.on_write(self._state, key)
+        del self._data[key]
+
+    def __contains__(self, key: Any) -> bool:
+        self._monitor.on_read(self._state, key)
+        return key in self._data
+
+    def __iter__(self) -> Iterator[Any]:
+        self._monitor.on_iterate(self._state)
+        return iter(list(self._data))
+
+    def __len__(self) -> int:
+        self._monitor.on_iterate(self._state)
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"TrackedState({self._state}, {self._data!r})"

@@ -1,0 +1,326 @@
+"""Deterministic interleaving control for the asyncio runtimes.
+
+The live runtimes are cooperative: every observable interleaving is a
+permutation of the event loop's ready queue at each pass.  The chaos
+harness already owns virtual time (:class:`VirtualClockLoop`); this
+module adds the other axis — *order* — by overriding the loop's
+``_reorder_ready`` hook with a seeded permutation strategy.
+
+Determinism contract: given the same code, scenario, strategy, and seed,
+the explored interleaving is bit-identical, so a failing schedule is
+replayed simply by re-running with the recorded parameters.  Each run
+additionally records a decision count and a CRC over the emitted
+permutations; replay verifies both so silent divergence (e.g. code
+drift) is reported instead of masquerading as a fixed bug.
+
+Trace files use the same ``key=value`` line grammar as the chaos
+scripts (:func:`repro.live.chaos.format_script`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import re
+import zlib
+from collections.abc import MutableSequence, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.live.chaos import VirtualClockLoop
+
+if TYPE_CHECKING:
+    from collections import deque
+
+__all__ = [
+    "PreemptionBounded",
+    "RandomWalk",
+    "STRATEGIES",
+    "ScheduleController",
+    "ScheduleStrategy",
+    "ScheduleTrace",
+    "ScheduledLoop",
+    "format_trace",
+    "parse_trace",
+    "task_label",
+]
+
+# Task-name fragments that mark control-plane critical sections: the
+# adaptation round (migration + rebalance), the control plane's
+# admission window, and the chaos script driver.  The preemption-bounded
+# strategy concentrates its perturbations on passes where one of these
+# is runnable — i.e. around the await points inside migration /
+# rebalance / admission critical sections.
+FOCUS_LABELS: tuple[str, ...] = (
+    "live:adaptation",
+    "live:control",
+    "chaos:script",
+    "dist:admission",
+    "race:",
+)
+
+
+def task_label(handle: asyncio.Handle) -> str:
+    """Stable, human-readable label for a ready-queue callback."""
+    # repro: allow-file[INV001] schedule control requires asyncio internals
+    callback = getattr(handle, "_callback", None)
+    owner = getattr(callback, "__self__", None)
+    if isinstance(owner, asyncio.Task):
+        return owner.get_name()
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return str(qualname)
+    return type(callback).__name__
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+class ScheduleStrategy:
+    """Seeded policy mapping a ready queue to a permutation.
+
+    ``reorder`` receives the labels of the runnable callbacks and
+    returns a permutation of their indices, or ``None`` to keep FIFO
+    order.  Strategies must be deterministic functions of their seed
+    and the observed label sequences.
+    """
+
+    name = "fifo"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def params(self) -> dict[str, str]:
+        """Strategy parameters serialized into trace files."""
+        return {}
+
+    def reorder(self, labels: Sequence[str]) -> Sequence[int] | None:
+        """Return a permutation of indices, or ``None`` for FIFO order."""
+        raise NotImplementedError
+
+
+class RandomWalk(ScheduleStrategy):
+    """Uniform random walk: shuffle the whole ready queue every pass."""
+
+    name = "random-walk"
+
+    def reorder(self, labels: Sequence[str]) -> Sequence[int] | None:
+        """Shuffle the whole ready queue."""
+        order = list(range(len(labels)))
+        self.rng.shuffle(order)
+        return order
+
+
+class PreemptionBounded(ScheduleStrategy):
+    """Mostly-FIFO with a bounded budget of targeted preemptions.
+
+    Random walks spread perturbation thinly over the whole run; most
+    schedule bugs need only a few misplaced wake-ups at the wrong await
+    point.  This strategy keeps FIFO order except when a control-plane
+    task (see :data:`FOCUS_LABELS`) is runnable, where with probability
+    ``rate`` it either promotes that task to the front (the critical
+    section preempts the dataflow) or demotes it to the back (the
+    dataflow barges into the critical section), until ``bound``
+    preemptions have been spent; the remaining budget falls back to
+    occasional full shuffles so tail diversity is preserved.
+    """
+
+    name = "preemption-bounded"
+
+    def __init__(self, seed: int, *, rate: float = 0.25, bound: int = 64) -> None:
+        super().__init__(seed)
+        self.rate = rate
+        self.bound = bound
+        self.spent = 0
+
+    def params(self) -> dict[str, str]:
+        """Serialize the preemption rate and budget for trace files."""
+        return {"rate": repr(self.rate), "bound": str(self.bound)}
+
+    def reorder(self, labels: Sequence[str]) -> Sequence[int] | None:
+        """Promote/demote a runnable focus task within the budget."""
+        focus = [
+            index
+            for index, label in enumerate(labels)
+            if any(label.startswith(prefix) or prefix in label for prefix in FOCUS_LABELS)
+        ]
+        if self.spent >= self.bound:
+            if self.rng.random() < 0.02:
+                order = list(range(len(labels)))
+                self.rng.shuffle(order)
+                return order
+            return None
+        if not focus or self.rng.random() >= self.rate:
+            return None
+        self.spent += 1
+        target = self.rng.choice(focus)
+        rest = [index for index in range(len(labels)) if index != target]
+        if self.rng.random() < 0.5:
+            return [target, *rest]
+        return [*rest, target]
+
+
+STRATEGIES: dict[str, type[ScheduleStrategy]] = {
+    RandomWalk.name: RandomWalk,
+    PreemptionBounded.name: PreemptionBounded,
+}
+
+
+def make_strategy(name: str, seed: int, params: dict[str, str] | None = None) -> ScheduleStrategy:
+    """Instantiate a registered strategy from its trace representation."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise ValueError(f"unknown schedule strategy {name!r} (known: {known})") from None
+    if cls is PreemptionBounded and params:
+        return PreemptionBounded(
+            seed,
+            rate=float(params.get("rate", "0.25")),
+            bound=int(params.get("bound", "64")),
+        )
+    return cls(seed)
+
+
+# ----------------------------------------------------------------------
+# Controller + loop
+# ----------------------------------------------------------------------
+
+
+class ScheduleController:
+    """Owns one run's schedule decisions and their replay fingerprint."""
+
+    def __init__(self, strategy: ScheduleStrategy) -> None:
+        self.strategy = strategy
+        self.decisions = 0
+        self.checksum = 0
+
+    def loop_factory(self) -> ScheduledLoop:
+        """``asyncio.Runner(loop_factory=controller.loop_factory)``."""
+        return ScheduledLoop(self)
+
+    def permute(self, ready: MutableSequence[asyncio.Handle]) -> None:
+        """Apply the strategy's reordering to the loop's ready queue."""
+        labels = [task_label(handle) for handle in ready]
+        order = self.strategy.reorder(labels)
+        if order is None:
+            return
+        if sorted(order) != list(range(len(ready))):
+            raise RuntimeError(
+                f"strategy {self.strategy.name} returned a non-permutation: {order!r}"
+            )
+        items = list(ready)
+        reordered = [items[index] for index in order]
+        ready.clear()
+        ready.extend(reordered)
+        self.decisions += 1
+        self.checksum = zlib.crc32(bytes(index % 256 for index in order), self.checksum)
+
+    def fingerprint(self) -> str:
+        """8-hex CRC over every reordering decision taken so far."""
+        return f"{self.checksum:08x}"
+
+
+class ScheduledLoop(VirtualClockLoop):
+    """Virtual-clock loop whose ready queue obeys a schedule controller."""
+
+    def __init__(self, controller: ScheduleController) -> None:
+        super().__init__()
+        self._controller = controller
+
+    def _reorder_ready(self) -> None:
+        ready: deque[asyncio.Handle] = self._ready
+        if len(ready) > 1:
+            self._controller.permute(ready)
+
+
+# ----------------------------------------------------------------------
+# Trace files
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleTrace:
+    """Everything needed to reproduce one explored interleaving."""
+
+    scenario: str
+    strategy: str
+    seed: int
+    decisions: int | None = None
+    checksum: str | None = None
+    params: dict[str, str] = field(default_factory=dict)
+    failure: str | None = None
+    #: Canonical result digest of the recorded (failing) run.
+    result_hash: str | None = None
+    #: The scenario's reference digest, for replaying parity failures.
+    reference_hash: str | None = None
+
+    def make_controller(self) -> ScheduleController:
+        """Rebuild the schedule controller this trace was recorded with."""
+        return ScheduleController(make_strategy(self.strategy, self.seed, self.params))
+
+
+_TRACE_LINE = re.compile(r"^(?P<key>[A-Za-z0-9_.-]+)=(?P<value>.*)$")
+
+
+def format_trace(trace: ScheduleTrace) -> str:
+    """Render a schedule trace in the chaos-script ``key=value`` grammar."""
+    lines = ["# repro race schedule trace"]
+    if trace.failure:
+        for part in trace.failure.splitlines():
+            lines.append(f"# failure: {part}")
+    lines.append(f"scenario={trace.scenario}")
+    lines.append(f"strategy={trace.strategy}")
+    lines.append(f"seed={trace.seed}")
+    for key in sorted(trace.params):
+        lines.append(f"param.{key}={trace.params[key]}")
+    if trace.decisions is not None:
+        lines.append(f"decisions={trace.decisions}")
+    if trace.checksum is not None:
+        lines.append(f"checksum={trace.checksum}")
+    if trace.result_hash is not None:
+        lines.append(f"result={trace.result_hash}")
+    if trace.reference_hash is not None:
+        lines.append(f"reference={trace.reference_hash}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace(text: str) -> ScheduleTrace:
+    """Parse :func:`format_trace` output (tolerates comments/blank lines)."""
+    fields: dict[str, str] = {}
+    params: dict[str, str] = {}
+    failure_lines: list[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            comment = line.lstrip("#").strip()
+            if comment.startswith("failure:"):
+                failure_lines.append(comment[len("failure:") :].strip())
+            continue
+        match = _TRACE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed schedule trace line: {raw!r}")
+        key, value = match.group("key"), match.group("value")
+        if key.startswith("param."):
+            params[key[len("param.") :]] = value
+        else:
+            fields[key] = value
+    missing = {"scenario", "strategy", "seed"} - fields.keys()
+    if missing:
+        raise ValueError(f"schedule trace missing fields: {sorted(missing)}")
+    return ScheduleTrace(
+        scenario=fields["scenario"],
+        strategy=fields["strategy"],
+        seed=int(fields["seed"]),
+        decisions=int(fields["decisions"]) if "decisions" in fields else None,
+        checksum=fields.get("checksum"),
+        params=params,
+        failure="\n".join(failure_lines) if failure_lines else None,
+        result_hash=fields.get("result"),
+        reference_hash=fields.get("reference"),
+    )

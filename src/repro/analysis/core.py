@@ -75,6 +75,10 @@ class ProjectContext:
     async_names: set[str] = field(default_factory=set)
     sync_names: set[str] = field(default_factory=set)
     private_defs: dict[str, set[str]] = field(default_factory=dict)
+    #: Every module scanned this run, in order.  Whole-project rules
+    #: (the PROTO pack cross-checks sender/handler state machines
+    #: against the codec registry) derive their facts from these.
+    modules: list[ModuleInfo] = field(default_factory=list)
 
     @property
     def async_only_names(self) -> set[str]:
@@ -87,6 +91,7 @@ class ProjectContext:
 
     def scan(self, module: ModuleInfo) -> None:
         """Accumulate project facts from one parsed module."""
+        self.modules.append(module)
         privates = self.private_defs.setdefault(module.path, set())
         for node in ast.walk(module.tree):
             if isinstance(node, ast.AsyncFunctionDef):
@@ -180,7 +185,12 @@ def all_rules() -> list[Rule]:
     """Instantiate every registered rule, importing the rule packs."""
     # Imported here so the registry is populated on first use without
     # circular imports at module load time.
-    from repro.analysis import rules_asy, rules_det, rules_inv  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_asy,
+        rules_det,
+        rules_inv,
+        rules_proto,
+    )
 
     return [cls() for __, cls in sorted(_REGISTRY.items())]
 

@@ -1,0 +1,479 @@
+"""PROTO rule pack: wire-protocol conformance lint.
+
+The distributed runtime's protocol lives in three places that must
+agree: the codec's frame registry (``repro/distributed/codec.py``), the
+coordinator's handler state machine, and the worker's handler state
+machines (control loop + peer loop).  These rules extract all three by
+AST and cross-check them against the declared ``FRAME_DIRECTIONS``
+table, so protocol drift — a frame added without a handler, an encode
+path disagreeing with its decode path, an undeclared sender — is a
+lint finding instead of a hang or a crash on a live socket.
+
+Rules:
+
+* **PROTO001** — a declared frame type has no handler (``frame_type ==
+  codec.X`` comparison) in any module of its declared receiver role.
+* **PROTO002** — the encode path and the decode path of a frame
+  disagree on the payload family (JSON / tuple-batch / credit).
+* **PROTO003** — a module sends a frame whose declared sender role does
+  not match the module's protocol role (or the module has none).
+* **PROTO004** — the codec registry itself is inconsistent: a frame
+  constant missing from ``FRAME_TYPE_NAMES`` or ``FRAME_DIRECTIONS``,
+  a name mismatch, a duplicate wire id, or an unknown role.
+
+The pack is self-contained over the sources in the lint run: the
+registry is read from the scanned codec module's AST, so the rules are
+inert when the codec is not part of the run (e.g. linting a single
+unrelated file) and fully testable with in-memory fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleInfo,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: Protocol role of each module, by basename.  The link layer
+#: (``links.py``) runs inside worker processes, so its sends count as
+#: worker sends.
+ROLE_OF_MODULE: dict[str, str] = {
+    "coordinator.py": "coordinator",
+    "worker.py": "worker",
+    "links.py": "worker",
+}
+
+#: The modules hosting each role's frame-dispatch state machine.  A
+#: role's handlers are only audited (PROTO001) when its handler module
+#: is part of the lint run, so linting a lone file stays quiet.
+HANDLER_MODULES: dict[str, str] = {
+    "coordinator.py": "coordinator",
+    "worker.py": "worker",
+}
+
+KNOWN_ROLES = frozenset({"coordinator", "worker"})
+
+#: Payload families by codec helper name, for both directions.
+_DECODER_FAMILY = {
+    "decode_json": "json",
+    "decode_batch": "batch",
+    "decode_credit": "credit",
+}
+_ENCODER_FAMILY = {
+    "encode_json": "json",
+    "encode_batch": "batch",
+    "encode_credit": "credit",
+}
+
+
+@dataclass
+class SendSite:
+    """One place a module encodes/sends a protocol frame."""
+
+    module: ModuleInfo
+    frame: str
+    family: str | None  # json | batch | credit | empty | None (unknown)
+    node: ast.AST
+
+
+@dataclass
+class HandlerSite:
+    """One ``frame_type == codec.X`` dispatch arm and its decoders."""
+
+    module: ModuleInfo
+    frame: str
+    families: frozenset[str]
+    node: ast.AST
+
+
+@dataclass
+class ProtocolFacts:
+    """Everything the PROTO rules know about one lint run."""
+
+    codec: ModuleInfo | None = None
+    #: frame constant name -> (wire id, line)
+    constants: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: names registered in FRAME_TYPE_NAMES -> (registered string, line)
+    type_names: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: FRAME_DIRECTIONS: frame name -> (sender, receiver, line)
+    directions: dict[str, tuple[str, str, int]] = field(default_factory=dict)
+    sends: list[SendSite] = field(default_factory=list)
+    handlers: list[HandlerSite] = field(default_factory=list)
+    #: Roles whose handler module (:data:`HANDLER_MODULES`) is in the run.
+    present_roles: set[str] = field(default_factory=set)
+
+    @property
+    def frames(self) -> set[str]:
+        return set(self.constants) | set(self.directions)
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    """``codec.decode_json`` / ``decode_json`` -> ``decode_json``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _frame_ref(expr: ast.expr, frames: set[str]) -> str | None:
+    """Resolve ``codec.HELLO`` or a bare ``HELLO`` to a frame name."""
+    name: str | None = None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    if name is not None and name in frames:
+        return name
+    return None
+
+
+def _scan_codec(module: ModuleInfo, facts: ProtocolFacts) -> None:
+    """Extract the registry tables from the codec module's top level."""
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            continue
+        name = targets[0].id
+        if (
+            name.isupper()
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+            and not isinstance(value.value, bool)
+            and name not in ("HEADER_SIZE", "MAX_FRAME")
+        ):
+            facts.constants[name] = (value.value, stmt.lineno)
+        elif name == "FRAME_TYPE_NAMES" and isinstance(value, ast.Dict):
+            for key, item in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Name)
+                    and isinstance(item, ast.Constant)
+                    and isinstance(item.value, str)
+                ):
+                    facts.type_names[key.id] = (item.value, key.lineno)
+        elif name == "FRAME_DIRECTIONS" and isinstance(value, ast.Dict):
+            for key, item in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(item, ast.Tuple)
+                    and len(item.elts) == 2
+                    and all(
+                        isinstance(role, ast.Constant)
+                        and isinstance(role.value, str)
+                        for role in item.elts
+                    )
+                ):
+                    continue
+                sender = item.elts[0].value  # type: ignore[attr-defined]
+                receiver = item.elts[1].value  # type: ignore[attr-defined]
+                facts.directions[key.value] = (sender, receiver, key.lineno)
+
+
+def _send_family(call: ast.Call) -> str | None:
+    """Payload family of an ``encode_frame``/``send_json`` call."""
+    callee = _callee_name(call.func)
+    if callee in ("send_json", "encode_json"):
+        return "json"
+    if callee != "encode_frame":
+        return None
+    if len(call.args) < 2:
+        return "empty"
+    payload = call.args[1]
+    if isinstance(payload, ast.Call):
+        family = _ENCODER_FAMILY.get(_callee_name(payload.func) or "")
+        if family is not None:
+            return family
+    if isinstance(payload, ast.Constant) and payload.value in (b"", ""):
+        return "empty"
+    return None  # unknown payload expression: no family claim
+
+
+def _scan_module(module: ModuleInfo, facts: ProtocolFacts) -> None:
+    """Collect send sites and handler arms from one module."""
+    frames = facts.frames
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            callee = _callee_name(node.func)
+            if callee in ("send_json", "encode_json", "encode_frame") and node.args:
+                frame = _frame_ref(node.args[0], frames)
+                if frame is not None:
+                    facts.sends.append(
+                        SendSite(
+                            module=module,
+                            frame=frame,
+                            family=_send_family(node),
+                            node=node,
+                        )
+                    )
+        elif isinstance(node, ast.If):
+            frame = _handler_frame(node.test, frames)
+            if frame is not None:
+                families = frozenset(
+                    family
+                    for family in (
+                        _DECODER_FAMILY.get(_callee_name(call.func) or "")
+                        for stmt in node.body
+                        for call in ast.walk(stmt)
+                        if isinstance(call, ast.Call)
+                    )
+                    if family is not None
+                )
+                facts.handlers.append(
+                    HandlerSite(
+                        module=module, frame=frame, families=families, node=node
+                    )
+                )
+
+
+def _handler_frame(test: ast.expr, frames: set[str]) -> str | None:
+    """``frame_type == codec.X`` (either operand order) -> ``X``."""
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Eq)
+    ):
+        return None
+    left, right = test.left, test.comparators[0]
+    return _frame_ref(left, frames) or _frame_ref(right, frames)
+
+
+def protocol_facts(project: ProjectContext) -> ProtocolFacts:
+    """Build (and cache) the run's protocol facts from scanned modules."""
+    cached = getattr(project, "_proto_facts", None)
+    if isinstance(cached, ProtocolFacts):
+        return cached
+    facts = ProtocolFacts()
+    for module in project.modules:
+        if module.is_test_code:
+            continue
+        if facts.codec is None and _defines_registry(module):
+            facts.codec = module
+            _scan_codec(module, facts)
+    if facts.codec is not None:
+        for module in project.modules:
+            if module.is_test_code or module is facts.codec:
+                continue
+            role = HANDLER_MODULES.get(module.basename)
+            if role is not None:
+                facts.present_roles.add(role)
+            _scan_module(module, facts)
+    project._proto_facts = facts  # type: ignore[attr-defined]  # repro: allow[INV001] own cache slot
+    return facts
+
+
+def _defines_registry(module: ModuleInfo) -> bool:
+    """True for the module assigning ``FRAME_DIRECTIONS`` at top level."""
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "FRAME_DIRECTIONS":
+                return True
+    return False
+
+
+@register
+class MissingHandlerRule(Rule):
+    """PROTO001: a declared frame has no handler in its receiver role.
+
+    Checked only when the receiver role's handler state machine is part
+    of the lint run (so linting a lone file never false-positives), and
+    reported on the codec module at the frame constant's line.
+    """
+
+    id = "PROTO001"
+    summary = "frame type lacking a handler in the declared receiver role"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        facts = protocol_facts(project)
+        if facts.codec is not module:
+            return
+        present_roles = facts.present_roles
+        handled = {
+            (ROLE_OF_MODULE.get(site.module.basename), site.frame)
+            for site in facts.handlers
+        }
+        for frame, (_, receiver, line) in sorted(facts.directions.items()):
+            if receiver not in present_roles:
+                continue
+            if (receiver, frame) in handled:
+                continue
+            yield Finding(
+                path=module.path,
+                line=facts.constants.get(frame, (0, line))[1],
+                col=1,
+                rule=self.id,
+                message=(
+                    f"frame {frame} is declared {receiver}-bound but no "
+                    f"{receiver} module handles it (no `frame_type == "
+                    f"codec.{frame}` dispatch arm)"
+                ),
+            )
+
+
+@register
+class PayloadFamilyRule(Rule):
+    """PROTO002: encode path and decode path disagree on the payload.
+
+    A handler that decodes frame X as family *f* while every sender of
+    X encodes family *g* will raise (or silently misparse) on the first
+    live frame; the divergence is reported at the decode site.
+    """
+
+    id = "PROTO002"
+    summary = "frame encode/decode payload-family divergence"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        facts = protocol_facts(project)
+        if facts.codec is None:
+            return
+        send_families: dict[str, set[str]] = {}
+        for site in facts.sends:
+            if site.family is not None:
+                send_families.setdefault(site.frame, set()).add(site.family)
+        for site in facts.handlers:
+            if site.module is not module:
+                continue
+            sent = send_families.get(site.frame, set()) - {"empty"}
+            for family in sorted(site.families):
+                if sent and family not in sent:
+                    yield self.finding(
+                        module,
+                        site.node,
+                        f"handler decodes {site.frame} as {family} but its "
+                        f"sender(s) encode {'/'.join(sorted(sent))}",
+                    )
+
+
+@register
+class UndeclaredSenderRule(Rule):
+    """PROTO003: a module sends a frame outside its declared sender role.
+
+    Each protocol module has one role (:data:`ROLE_OF_MODULE`); sending
+    a frame whose registry entry names a different sender — or sending
+    protocol frames from a module with no role at all — is drift
+    between the registry and the implementation.
+    """
+
+    id = "PROTO003"
+    summary = "send site outside the frame's declared sender role"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        facts = protocol_facts(project)
+        if facts.codec is None:
+            return
+        role = ROLE_OF_MODULE.get(module.basename)
+        for site in facts.sends:
+            if site.module is not module:
+                continue
+            direction = facts.directions.get(site.frame)
+            if direction is None:
+                continue  # PROTO004's problem, reported once at the codec
+            sender = direction[0]
+            if role is None:
+                yield self.finding(
+                    module,
+                    site.node,
+                    f"sends {site.frame} but declares no protocol role "
+                    "(add the module to ROLE_OF_MODULE or move the send)",
+                )
+            elif sender != role:
+                yield self.finding(
+                    module,
+                    site.node,
+                    f"sends {site.frame}, declared a {sender}-sent frame, "
+                    f"from a {role} module",
+                )
+
+
+@register
+class RegistryConsistencyRule(Rule):
+    """PROTO004: the codec's own frame registry is inconsistent.
+
+    Every frame constant must appear in ``FRAME_TYPE_NAMES`` (with its
+    own name) and in ``FRAME_DIRECTIONS`` (with known roles), wire ids
+    must be unique, and neither table may name unknown frames.
+    """
+
+    id = "PROTO004"
+    summary = "frame registry inconsistency in the codec module"
+
+    def check(
+        self, module: ModuleInfo, project: ProjectContext
+    ) -> Iterator[Finding]:
+        facts = protocol_facts(project)
+        if facts.codec is not module:
+            return
+        by_value: dict[int, str] = {}
+        for name, (value, line) in sorted(facts.constants.items()):
+            if value in by_value:
+                yield self._at(
+                    module,
+                    line,
+                    f"frame constants {by_value[value]} and {name} share "
+                    f"wire id {value}",
+                )
+            else:
+                by_value[value] = name
+            if name not in facts.type_names:
+                yield self._at(
+                    module, line, f"frame constant {name} missing from FRAME_TYPE_NAMES"
+                )
+            if name not in facts.directions:
+                yield self._at(
+                    module, line, f"frame constant {name} missing from FRAME_DIRECTIONS"
+                )
+        for name, (registered, line) in sorted(facts.type_names.items()):
+            if registered != name:
+                yield self._at(
+                    module,
+                    line,
+                    f"FRAME_TYPE_NAMES registers {name} as {registered!r}",
+                )
+            if name not in facts.constants:
+                yield self._at(
+                    module,
+                    line,
+                    f"FRAME_TYPE_NAMES names {name}, which is not a frame constant",
+                )
+        for name, (sender, receiver, line) in sorted(facts.directions.items()):
+            if name not in facts.constants:
+                yield self._at(
+                    module,
+                    line,
+                    f"FRAME_DIRECTIONS names {name}, which is not a frame constant",
+                )
+            for role in (sender, receiver):
+                if role not in KNOWN_ROLES:
+                    yield self._at(
+                        module,
+                        line,
+                        f"FRAME_DIRECTIONS gives {name} unknown role {role!r}",
+                    )
+
+    def _at(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(
+            path=module.path, line=line, col=1, rule=self.id, message=message
+        )

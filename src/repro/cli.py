@@ -24,6 +24,13 @@ Commands:
 * ``profile`` — run a scenario under cProfile and print the hottest
   functions (see docs/performance.md);
 * ``experiments`` — list the paper-reproduction experiment index;
+* ``lint`` — run the project's AST linter (DET/ASY/INV/PROTO packs)
+  with ``--select``/``--ignore`` rule filtering;
+* ``race`` — explore seeded task interleavings of the migration /
+  rebalance / admission / credit scenarios under the happens-before
+  race detector, writing a replayable trace for any failure
+  (``--replay`` re-runs one bit-identically);
+* ``check`` — audit the paper's structural invariants dynamically;
 * ``info``  — package and configuration summary.
 """
 
@@ -515,16 +522,134 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the project linter; exit 1 when any finding survives."""
-    from repro.analysis import analyze_paths, render_json, render_text
+def _parse_rule_prefixes(spec: str | None, known: list[str]) -> list[str] | None:
+    """Validate a comma-separated rule/prefix list against known rules.
 
-    findings = analyze_paths(args.paths)
+    Returns the cleaned prefix list, or raises ``ValueError`` naming the
+    first prefix that matches no registered rule id.
+    """
+    if spec is None:
+        return None
+    prefixes = [part.strip() for part in spec.split(",") if part.strip()]
+    for prefix in prefixes:
+        if not any(rule_id.startswith(prefix) for rule_id in known):
+            raise ValueError(
+                f"unknown rule or prefix {prefix!r} "
+                f"(known rules: {', '.join(known)})"
+            )
+    return prefixes
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project linter.
+
+    Exit codes: 0 = clean, 1 = findings survived, 2 = usage error
+    (unknown rule in ``--select``/``--ignore``) or unreadable input.
+    """
+    from repro.analysis import all_rules, analyze_paths, render_json, render_text
+
+    known = sorted(rule.id for rule in all_rules()) + ["E999"]
+    try:
+        select = _parse_rule_prefixes(args.select, known)
+        ignore = _parse_rule_prefixes(args.ignore, known)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = analyze_paths(args.paths)
+    except OSError as exc:
+        print(f"lint: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    if select is not None:
+        findings = [
+            finding
+            for finding in findings
+            if any(finding.rule.startswith(prefix) for prefix in select)
+        ]
+    if ignore is not None:
+        findings = [
+            finding
+            for finding in findings
+            if not any(finding.rule.startswith(prefix) for prefix in ignore)
+        ]
     if args.json:
         print(render_json(findings))
     else:
         print(render_text(findings))
     return 1 if findings else 0
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    """Explore seeded interleavings; replay recorded failure traces.
+
+    Exit codes: 0 = every explored schedule validated, 1 = at least one
+    failure (a replayable trace was written), 2 = usage error
+    (unknown scenario, unreadable/malformed trace file).
+    """
+    from repro.analysis.concurrency import RaceExplorer, parse_trace
+
+    scenarios = args.scenario or None
+    schedules = args.schedules
+    if args.smoke:
+        # The CI fast path: a bounded budget over the two scenarios
+        # exercising migration and admission control machinery.
+        scenarios = scenarios or ["migration", "admission"]
+        schedules = min(schedules, 25) if schedules else 25
+    try:
+        explorer = RaceExplorer(
+            scenarios=scenarios,
+            schedules=schedules or 560,
+            seed=args.seed,
+            trace_dir=args.trace_dir,
+            progress=print,
+        )
+    except ValueError as exc:
+        print(f"race: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        try:
+            with open(args.replay, encoding="utf-8") as handle:
+                trace = parse_trace(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"race: cannot load trace: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = explorer.replay(trace)
+        except ValueError as exc:
+            print(f"race: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"replayed {result.scenario} seed={result.seed} "
+            f"strategy={result.strategy}: {result.decisions} schedule "
+            f"decisions, fingerprint {result.checksum}"
+        )
+        if trace.checksum is not None and trace.checksum != result.checksum:
+            print(
+                f"warning: schedule fingerprint drifted from recorded "
+                f"{trace.checksum} (code under the trace has changed)"
+            )
+        if result.ok:
+            print("replay validated: no failure reproduced")
+            return 0
+        print(result.failure.render())
+        return 1
+
+    sweep = explorer.run()
+    for note in sweep.notes:
+        print(f"note: {note}")
+    failures = sweep.failures
+    print(
+        f"explored {sweep.explored} schedules across "
+        f"{len(explorer.names)} scenario(s): "
+        f"{len(failures)} failure(s)"
+    )
+    if failures:
+        for run in failures:
+            print(f"  {run.scenario} seed={run.seed}: {run.trace_path}")
+        print("replay with: python -m repro race --replay <trace>")
+        return 1
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -823,7 +948,55 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json", action="store_true", help="emit the repro-lint/1 JSON report"
     )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="only report rules matching these comma-separated ids/prefixes "
+        "(e.g. ASY,PROTO001)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="drop rules matching these comma-separated ids/prefixes",
+    )
     lint.set_defaults(handler=_cmd_lint)
+
+    race = sub.add_parser(
+        "race",
+        help="explore seeded task interleavings with the race detector on",
+    )
+    race.add_argument(
+        "--schedules",
+        type=int,
+        default=None,
+        help="total schedules to explore across scenarios (default 560)",
+    )
+    race.add_argument("--seed", type=int, default=0)
+    race.add_argument(
+        "--scenario",
+        action="append",
+        choices=("migration", "rebalance", "admission", "credit"),
+        help="restrict to these scenarios (repeatable; default: all)",
+    )
+    race.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI fast path: 25 schedules over migration + admission",
+    )
+    race.add_argument(
+        "--replay",
+        default=None,
+        metavar="TRACE",
+        help="re-run one recorded failure trace instead of sweeping",
+    )
+    race.add_argument(
+        "--trace-dir",
+        default="race-traces",
+        help="directory for failure trace files (default: race-traces)",
+    )
+    race.set_defaults(handler=_cmd_race)
 
     check = sub.add_parser(
         "check",

@@ -83,6 +83,29 @@ FRAME_TYPE_NAMES = {
     RETIRE: "RETIRE",
 }
 
+#: Declared protocol directions: frame name -> (sender role, receiver
+#: role).  ``python -m repro lint`` (the PROTO rule pack) cross-checks
+#: this registry against the coordinator/worker handler state machines,
+#: so a frame added here without a handler — or a handler/send added
+#: without declaring it here — is a lint finding, not a silent drift.
+FRAME_DIRECTIONS: dict[str, tuple[str, str]] = {
+    "HELLO": ("worker", "coordinator"),
+    "ASSIGN": ("coordinator", "worker"),
+    "READY": ("worker", "coordinator"),
+    "START": ("coordinator", "worker"),
+    "BATCH": ("worker", "worker"),
+    "RESULT": ("worker", "coordinator"),
+    "CREDIT": ("worker", "worker"),
+    "PROBE": ("coordinator", "worker"),
+    "STATUS": ("worker", "coordinator"),
+    "SHUTDOWN": ("coordinator", "worker"),
+    "METRICS": ("worker", "coordinator"),
+    "BYE": ("worker", "coordinator"),
+    "PEER_HELLO": ("worker", "worker"),
+    "ADMIT": ("coordinator", "worker"),
+    "RETIRE": ("coordinator", "worker"),
+}
+
 # Frame header: u32 payload length + u8 frame type, little endian.
 _HEADER = struct.Struct("<IB")
 HEADER_SIZE = _HEADER.size
@@ -132,8 +155,15 @@ def encode_json(frame_type: int, obj: object) -> bytes:
 
 
 def decode_json(payload: "bytes | memoryview") -> object:
-    """Parse a control frame's JSON payload."""
-    return json.loads(bytes(payload).decode("utf-8"))
+    """Parse a control frame's JSON payload.
+
+    Malformed bytes raise :class:`FrameError` so peers feeding garbage
+    surface as protocol errors, not stray codec internals.
+    """
+    try:
+        return json.loads(bytes(payload).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed JSON control payload: {exc}") from exc
 
 
 class FrameDecoder:
@@ -269,7 +299,12 @@ def encode_batch(items: list[tuple[str, StreamTuple]]) -> bytes:
 def decode_batch(
     payload: "bytes | memoryview",
 ) -> list[tuple[str, StreamTuple]]:
-    """Decode a tuple-batch payload back into ``(tag, tuple)`` pairs."""
+    """Decode a tuple-batch payload back into ``(tag, tuple)`` pairs.
+
+    Truncated, oversized, or bit-flipped payloads raise
+    :class:`FrameError`; a corrupt peer can never surface a raw
+    :class:`struct.error` or :class:`UnicodeDecodeError` to callers.
+    """
     view = memoryview(payload)
     offset = 0
 
@@ -277,37 +312,52 @@ def decode_batch(
         nonlocal offset
         (n,) = _U16.unpack_from(view, offset)
         offset += _U16.size
+        if offset + n > len(view):
+            raise FrameError(
+                f"string of {n} bytes at offset {offset} overruns the "
+                f"{len(view)}-byte batch payload"
+            )
         text = bytes(view[offset : offset + n]).decode("utf-8")
         offset += n
         return text
 
-    (run_count,) = _U16.unpack_from(view, offset)
-    offset += _U16.size
     items: list[tuple[str, StreamTuple]] = []
-    for _ in range(run_count):
-        tag = take_str()
-        stream_id = take_str()
-        (attr_count,) = _U16.unpack_from(view, offset)
+    try:
+        (run_count,) = _U16.unpack_from(view, offset)
         offset += _U16.size
-        names = [take_str() for _ in range(attr_count)]
-        (tuple_count,) = _U32.unpack_from(view, offset)
-        offset += _U32.size
-        unpacker = _tuple_struct(attr_count)
-        for _ in range(tuple_count):
-            fields = unpacker.unpack_from(view, offset)
-            offset += unpacker.size
-            items.append(
-                (
-                    tag,
-                    StreamTuple(
-                        stream_id=stream_id,
-                        seq=fields[0],
-                        created_at=fields[1],
-                        values=dict(zip(names, fields[3:])),
-                        size=fields[2],
-                    ),
+        for _ in range(run_count):
+            tag = take_str()
+            stream_id = take_str()
+            (attr_count,) = _U16.unpack_from(view, offset)
+            offset += _U16.size
+            names = [take_str() for _ in range(attr_count)]
+            (tuple_count,) = _U32.unpack_from(view, offset)
+            offset += _U32.size
+            unpacker = _tuple_struct(attr_count)
+            if offset + tuple_count * unpacker.size > len(view):
+                raise FrameError(
+                    f"run of {tuple_count} tuples x {unpacker.size} bytes "
+                    f"overruns the {len(view)}-byte batch payload"
                 )
-            )
+            for _ in range(tuple_count):
+                fields = unpacker.unpack_from(view, offset)
+                offset += unpacker.size
+                items.append(
+                    (
+                        tag,
+                        StreamTuple(
+                            stream_id=stream_id,
+                            seq=fields[0],
+                            created_at=fields[1],
+                            values=dict(zip(names, fields[3:])),
+                            size=fields[2],
+                        ),
+                    )
+                )
+    except struct.error as exc:
+        raise FrameError(f"truncated batch payload: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"malformed string in batch payload: {exc}") from exc
     if offset != len(view):
         raise FrameError(
             f"{len(view) - offset} trailing bytes after batch payload"
@@ -322,9 +372,27 @@ def encode_credit(tag: str, count: int) -> bytes:
 
 
 def decode_credit(payload: "bytes | memoryview") -> tuple[str, int]:
-    """Decode a CREDIT payload into ``(tag, count)``."""
+    """Decode a CREDIT payload into ``(tag, count)``.
+
+    Raises :class:`FrameError` on truncation or malformed tag bytes.
+    """
     view = memoryview(payload)
-    (n,) = _U16.unpack_from(view, 0)
-    tag = bytes(view[_U16.size : _U16.size + n]).decode("utf-8")
-    (count,) = _CREDIT.unpack_from(view, _U16.size + n)
+    try:
+        (n,) = _U16.unpack_from(view, 0)
+        if _U16.size + n > len(view):
+            raise FrameError(
+                f"credit tag of {n} bytes overruns the "
+                f"{len(view)}-byte payload"
+            )
+        tag = bytes(view[_U16.size : _U16.size + n]).decode("utf-8")
+        (count,) = _CREDIT.unpack_from(view, _U16.size + n)
+    except struct.error as exc:
+        raise FrameError(f"truncated credit payload: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"malformed credit tag: {exc}") from exc
+    if _U16.size + n + _CREDIT.size != len(view):
+        raise FrameError(
+            f"{len(view) - _U16.size - n - _CREDIT.size} trailing bytes "
+            "after credit payload"
+        )
     return tag, count

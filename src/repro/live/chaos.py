@@ -93,7 +93,17 @@ class VirtualClockLoop(asyncio.SelectorEventLoop):
             when = self._scheduled[0]._when
             if when > self._virtual_now:
                 self._virtual_now = when
+        self._reorder_ready()
         super()._run_once()
+
+    def _reorder_ready(self) -> None:
+        """Hook before each pass runs the ready callbacks.
+
+        The base loop keeps FIFO order.  The concurrency sanitizer's
+        :class:`~repro.analysis.concurrency.schedule.ScheduledLoop`
+        overrides this to permute the ready queue from a seeded
+        schedule, turning task interleaving into a searchable input.
+        """
 
 
 # ----------------------------------------------------------------------
@@ -443,7 +453,7 @@ class ChaosRuntime(LiveRuntime):
 
     # ------------------------------------------------------------------
     def _drive(self, coro):
-        with asyncio.Runner(loop_factory=VirtualClockLoop) as runner:
+        with asyncio.Runner(loop_factory=self.loop_factory or VirtualClockLoop) as runner:
             return runner.run(coro)
 
     async def _start_extras(self, flow: LiveDataflow) -> list[asyncio.Task]:

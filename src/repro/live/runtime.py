@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.system import FederatedSystem, SystemConfig
@@ -241,6 +242,7 @@ class LiveRuntime:
         self.metrics = LiveMetrics()
         self.report: LiveReport | None = None
         self.dataflow: LiveDataflow | None = None
+        self.loop_factory: Callable[[], asyncio.AbstractEventLoop] | None = None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -271,8 +273,16 @@ class LiveRuntime:
         return self.report
 
     def _drive(self, coro) -> LiveReport:
-        """Run the execution coroutine to completion (subclasses swap in
-        a different event loop, e.g. the chaos harness's virtual one)."""
+        """Run the execution coroutine to completion.
+
+        When :attr:`loop_factory` is set (the chaos harness's virtual
+        clock, the concurrency sanitizer's scheduled loop) the coroutine
+        is driven on a loop built by that factory instead of the default
+        selector loop.
+        """
+        if self.loop_factory is not None:
+            with asyncio.Runner(loop_factory=self.loop_factory) as runner:
+                return runner.run(coro)
         return asyncio.run(coro)
 
     # ------------------------------------------------------------------

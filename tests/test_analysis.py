@@ -49,6 +49,10 @@ def test_rule_registry_has_all_packs():
         "ASY005",
         "ASY006",
         "INV001",
+        "PROTO001",
+        "PROTO002",
+        "PROTO003",
+        "PROTO004",
     } <= ids
     assert len(ids) >= 8
 
@@ -465,3 +469,132 @@ def test_coordinator_checker_wraps_tree_invariants():
 
 def test_selfcheck_demo_federation_is_clean():
     assert selfcheck(seed=3, entity_count=4, query_count=24) == []
+
+
+# ----------------------------------------------------------------------
+# PROTO pack (wire-protocol conformance)
+# ----------------------------------------------------------------------
+_PROTO_CODEC = """
+HELLO = 1
+PING = 2
+
+FRAME_TYPE_NAMES = {HELLO: "HELLO", PING: "PING"}
+
+FRAME_DIRECTIONS = {
+    "HELLO": ("worker", "coordinator"),
+    "PING": ("coordinator", "worker"),
+}
+"""
+
+_PROTO_COORDINATOR = """
+import codec
+
+def serve(conn, frame_type, payload):
+    if frame_type == codec.HELLO:
+        hello = codec.decode_json(payload)
+    conn.send_json(codec.PING, {"round": 1})
+"""
+
+_PROTO_WORKER = """
+import codec
+
+def serve(conn, frame_type, payload):
+    if frame_type == codec.PING:
+        ping = codec.decode_json(payload)
+    conn.send_json(codec.HELLO, {"port": 1})
+"""
+
+
+def proto_fired(**overrides: str) -> set[str]:
+    sources = {
+        "proto/codec.py": _PROTO_CODEC,
+        "proto/coordinator.py": _PROTO_COORDINATOR,
+        "proto/worker.py": _PROTO_WORKER,
+    }
+    for key, source in overrides.items():
+        sources[f"proto/{key}.py"] = source
+    return {
+        f.rule
+        for f in analyze_sources(sources)
+        if f.rule.startswith("PROTO")
+    }
+
+
+def test_proto_clean_fixture_has_no_findings():
+    assert proto_fired() == set()
+
+
+def test_proto001_missing_handler():
+    worker = _PROTO_WORKER.replace(
+        "if frame_type == codec.PING:", "if frame_type == 99:"
+    )
+    assert "PROTO001" in proto_fired(worker=worker)
+
+
+def test_proto001_inert_when_role_module_absent():
+    """Linting without the worker module must not claim missing handlers."""
+    sources = {
+        "proto/codec.py": _PROTO_CODEC,
+        "proto/coordinator.py": _PROTO_COORDINATOR,
+    }
+    fired = {
+        f.rule
+        for f in analyze_sources(sources)
+        if f.rule.startswith("PROTO")
+    }
+    assert "PROTO001" not in fired
+
+
+def test_proto002_payload_family_divergence():
+    worker = _PROTO_WORKER.replace(
+        "ping = codec.decode_json(payload)",
+        "ping = codec.decode_batch(payload)",
+    )
+    assert "PROTO002" in proto_fired(worker=worker)
+
+
+def test_proto003_sender_outside_declared_role():
+    worker = _PROTO_WORKER.replace(
+        'conn.send_json(codec.HELLO, {"port": 1})',
+        'conn.send_json(codec.PING, {"round": 2})',
+    )
+    assert "PROTO003" in proto_fired(worker=worker)
+
+
+def test_proto003_unmapped_module_sending_frames():
+    rogue = 'import codec\n\ndef f(conn):\n    conn.send_json(codec.HELLO, {})\n'
+    assert "PROTO003" in proto_fired(rogue=rogue)
+
+
+def test_proto004_registry_inconsistencies():
+    missing_direction = _PROTO_CODEC.replace(
+        '    "PING": ("coordinator", "worker"),\n', ""
+    )
+    assert "PROTO004" in proto_fired(codec=missing_direction)
+
+    missing_name = _PROTO_CODEC.replace('PING: "PING"', 'PING: "PONG"')
+    assert "PROTO004" in proto_fired(codec=missing_name)
+
+    duplicate_id = _PROTO_CODEC.replace("PING = 2", "PING = 1")
+    assert "PROTO004" in proto_fired(codec=duplicate_id)
+
+    unknown_role = _PROTO_CODEC.replace(
+        '"PING": ("coordinator", "worker")', '"PING": ("coordinator", "gateway")'
+    )
+    assert "PROTO004" in proto_fired(codec=unknown_role)
+
+
+def test_proto_rules_clean_on_real_distributed_package():
+    """The shipped coordinator/worker/codec agree with the registry."""
+    from pathlib import Path
+
+    sources = {
+        str(path): path.read_text(encoding="utf-8")
+        for path in Path("src/repro/distributed").glob("*.py")
+    }
+    fired = {
+        f.rule
+        for f in analyze_sources(sources)
+        if f.rule.startswith("PROTO")
+    }
+    assert fired == set()

@@ -122,6 +122,85 @@ def test_lint_repository_tree_is_clean(capsys):
     assert main(["lint", "src", "tests", "benchmarks"]) == 0
 
 
+def test_lint_select_filters_to_prefix(capsys, tmp_path):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "import random\nimport time\nX = random.random()\nT = time.time()\n"
+    )
+    assert main(["lint", "--json", "--select", "DET001", str(dirty)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["counts"] == {"DET001": 1}
+
+
+def test_lint_ignore_suppresses_family(capsys, tmp_path):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nT = time.time()\n")
+    assert main(["lint", "--ignore", "DET", str(dirty)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_unknown_rule_exits_two(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    assert main(["lint", "--select", "NOPE999", str(clean)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+
+
+def test_race_smoke_bounded_budget(capsys, tmp_path):
+    code = main(
+        [
+            "race",
+            "--smoke",
+            "--schedules",
+            "4",
+            "--scenario",
+            "credit",
+            "--trace-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "explored 4 schedules" in out
+    assert "0 failure(s)" in out
+
+
+def test_race_replay_missing_trace_exits_two(capsys, tmp_path):
+    code = main(["race", "--replay", str(tmp_path / "missing.trace")])
+    assert code == 2
+    assert "cannot load trace" in capsys.readouterr().err
+
+
+def test_race_replay_malformed_trace_exits_two(capsys, tmp_path):
+    bad = tmp_path / "bad.trace"
+    bad.write_text("not a trace\n")
+    code = main(["race", "--replay", str(bad)])
+    assert code == 2
+    assert "cannot load trace" in capsys.readouterr().err
+
+
+def test_race_replay_clean_trace_exits_zero(capsys, tmp_path):
+    from repro.analysis.concurrency.schedule import (
+        ScheduleTrace,
+        format_trace,
+    )
+
+    trace = tmp_path / "credit.trace"
+    trace.write_text(
+        format_trace(
+            ScheduleTrace(scenario="credit", strategy="random-walk", seed=23)
+        )
+    )
+    code = main(
+        ["race", "--replay", str(trace), "--trace-dir", str(tmp_path)]
+    )
+    assert code == 0
+    assert "replay validated" in capsys.readouterr().out
+
+
 def test_check_reports_invariants_hold(capsys):
     code = main(
         ["check", "--seed", "1", "--entities", "4", "--queries", "20"]

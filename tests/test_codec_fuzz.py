@@ -1,0 +1,190 @@
+"""Hypothesis fuzzing of the wire codec's decode paths.
+
+A peer on the wire can send anything; the decoder contract is that
+every malformed input — truncated, oversized, garbage, or bit-flipped
+frames and payloads — raises :class:`FrameError` (never a raw
+``struct.error`` or ``UnicodeDecodeError``), and that well-formed
+inputs round-trip exactly through arbitrary chunk splits.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import codec
+from repro.distributed.codec import (
+    FrameDecoder,
+    FrameError,
+    decode_batch,
+    decode_credit,
+    decode_json,
+    encode_batch,
+    encode_credit,
+    encode_frame,
+    encode_json,
+)
+from repro.streams.tuples import StreamTuple
+
+_IDS = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=12,
+)
+
+_TUPLES = st.builds(
+    StreamTuple,
+    stream_id=_IDS,
+    seq=st.integers(min_value=0, max_value=2**53),
+    created_at=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    values=st.dictionaries(
+        _IDS,
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        max_size=4,
+    ),
+    size=st.floats(
+        min_value=0.0, allow_nan=False, allow_infinity=False, width=32
+    ),
+)
+
+_BATCHES = st.lists(st.tuples(_IDS, _TUPLES), max_size=8)
+
+
+# ----------------------------------------------------------------------
+# Round trips under arbitrary chunking
+# ----------------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(items=_BATCHES, cut=st.data())
+def test_batch_round_trip_through_split_frames(items, cut):
+    wire = encode_frame(codec.BATCH, encode_batch(items))
+    splits = sorted(
+        cut.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(wire)), max_size=6
+            )
+        )
+    )
+    decoder = FrameDecoder()
+    frames = []
+    last = 0
+    for split in [*splits, len(wire)]:
+        frames.extend(decoder.feed(wire[last:split]))
+        last = split
+    assert len(frames) == 1
+    frame_type, payload = frames[0]
+    assert frame_type == codec.BATCH
+    assert decode_batch(payload) == items
+    assert decoder.buffered == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(tag=_IDS, count=st.integers(min_value=0, max_value=2**32 - 1))
+def test_credit_round_trip(tag, count):
+    assert decode_credit(encode_credit(tag, count)) == (tag, count)
+
+
+# ----------------------------------------------------------------------
+# Malformed inputs -> FrameError, never stray codec internals
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(payload=st.binary(max_size=200))
+def test_garbage_batch_payload_raises_frame_error(payload):
+    try:
+        decode_batch(payload)
+    except FrameError:
+        pass  # the typed contract
+    except (struct.error, UnicodeDecodeError) as exc:  # pragma: no cover
+        pytest.fail(f"raw codec internal leaked: {exc!r}")
+
+
+@settings(max_examples=200, deadline=None)
+@given(payload=st.binary(max_size=64))
+def test_garbage_credit_payload_raises_frame_error(payload):
+    try:
+        decode_credit(payload)
+    except FrameError:
+        pass
+    except (struct.error, UnicodeDecodeError) as exc:  # pragma: no cover
+        pytest.fail(f"raw codec internal leaked: {exc!r}")
+
+
+@settings(max_examples=100, deadline=None)
+@given(payload=st.binary(max_size=64))
+def test_garbage_json_payload_raises_frame_error(payload):
+    try:
+        decode_json(payload)
+    except FrameError:
+        pass
+
+
+@settings(max_examples=120, deadline=None)
+@given(items=_BATCHES, data=st.data())
+def test_bit_flipped_batch_never_leaks_internals(items, data):
+    """Flipping any one bit must yield FrameError or a decoded batch."""
+    payload = bytearray(encode_batch(items))
+    if not payload:
+        return
+    index = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    payload[index] ^= 1 << bit
+    try:
+        decode_batch(bytes(payload))
+    except FrameError:
+        pass
+    except (struct.error, UnicodeDecodeError) as exc:  # pragma: no cover
+        pytest.fail(f"raw codec internal leaked: {exc!r}")
+
+
+@settings(max_examples=120, deadline=None)
+@given(items=_BATCHES, drop=st.integers(min_value=1, max_value=16))
+def test_truncated_batch_raises_frame_error(items, drop):
+    payload = encode_batch(items)
+    if drop > len(payload):
+        return
+    with pytest.raises(FrameError):
+        decode_batch(payload[:-drop])
+
+
+@settings(max_examples=100, deadline=None)
+@given(chunks=st.lists(st.binary(max_size=40), max_size=8))
+def test_decoder_survives_garbage_streams(chunks):
+    """Arbitrary byte streams either parse as frames or raise FrameError."""
+    decoder = FrameDecoder(max_frame=1 << 16)
+    try:
+        for chunk in chunks:
+            for frame_type, payload in decoder.feed(chunk):
+                assert 0 <= frame_type <= 255
+                assert len(payload) <= 1 << 16
+    except FrameError:
+        pass
+
+
+def test_oversized_frame_refused_without_allocation():
+    header = struct.pack("<IB", (1 << 24) + 1, codec.BATCH)
+    decoder = FrameDecoder()
+    with pytest.raises(FrameError, match="exceeds"):
+        list(decoder.feed(header))
+
+
+def test_oversized_payload_refused_on_encode():
+    with pytest.raises(FrameError, match="MAX_FRAME"):
+        encode_frame(codec.BATCH, b"x" * ((1 << 24) + 1))
+
+
+def test_trailing_bytes_rejected():
+    payload = encode_batch([])
+    with pytest.raises(FrameError, match="trailing"):
+        decode_batch(payload + b"\x00")
+    credit = encode_credit("entity-0", 3)
+    with pytest.raises(FrameError, match="trailing"):
+        decode_credit(credit + b"\x00")
+
+
+def test_json_control_frames_round_trip():
+    obj = {"round": 3, "worker_id": 1}
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(encode_json(codec.PROBE, obj)))
+    assert len(frames) == 1
+    assert decode_json(frames[0][1]) == obj

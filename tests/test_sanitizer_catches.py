@@ -1,0 +1,124 @@
+"""Mutation harness: the sanitizer must catch reintroduced bugs.
+
+Each test monkeypatches one historical bug back into the runtime and
+asserts the concurrency sanitizer detects it within a bounded schedule
+budget.  This is the proof that ``python -m repro race`` is a real
+detector, not a rubber stamp: remove the mutation and the same sweep
+passes (the clean-tree property is covered by test_race_explorer.py).
+
+The three bugs:
+
+* **uncapped credit release** — ``CreditGate.release`` once added
+  returned credits without clamping at the initial grant, so duplicate
+  CREDIT frames widened the flow-control window past the receiver's
+  inbox capacity (caught by DRD004);
+* **migration without quiescence** — a migration round that skips the
+  drain mutates head routes / hosted tables while tuples are in flight
+  (caught by DRD003 write-under-traffic and DRD002 write/read races);
+* **negative-latency corruption** — computing a result's latency
+  against a skewed clock without the negative-sample clamp poisons the
+  latency aggregates (caught by the sanity validator).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.concurrency.explorer import SCENARIOS, RaceRunResult
+from repro.analysis.concurrency.hb import HBMonitor
+from repro.analysis.concurrency.schedule import (
+    PreemptionBounded,
+    RandomWalk,
+    ScheduleController,
+)
+
+#: Upper bound on schedules explored before a mutation must be caught.
+SCHEDULE_BUDGET = 8
+
+
+def explore_until_failure(scenario_name: str) -> RaceRunResult | None:
+    """Run schedules of one scenario until a failure or budget end."""
+    scenario = SCENARIOS[scenario_name]()
+    for index in range(SCHEDULE_BUDGET):
+        strategy = (
+            PreemptionBounded(index) if index % 2 == 0 else RandomWalk(index)
+        )
+        result = scenario.run(ScheduleController(strategy), HBMonitor())
+        if not result.ok:
+            return result
+    return None
+
+
+def test_uncapped_credit_release_is_caught(monkeypatch):
+    """Removing the credit-window clamp must trip DRD004."""
+    from repro.distributed.links import CreditGate
+
+    async def buggy_release(self: CreditGate, n: int = 1) -> None:
+        # The historical bug: credits returned without clamping at the
+        # initial grant, so stray duplicate CREDIT frames widen the
+        # window beyond the receiver's inbox capacity.
+        async with self._cond:
+            self._credits += n
+            self._cond.notify_all()
+
+    monkeypatch.setattr(CreditGate, "release", buggy_release)
+    result = explore_until_failure("credit")
+    assert result is not None, "sanitizer missed the uncapped credit release"
+    assert result.failure is not None
+    assert result.failure.kind == "race"
+    assert any("DRD004" in line for line in result.failure.details)
+
+
+def test_migration_without_quiescence_is_caught(monkeypatch):
+    """Skipping the drain must trip the write-under-traffic detector."""
+    from repro.live.adaptation import QueryMigrator
+
+    async def no_drain(self: QueryMigrator) -> None:
+        # The historical bug: a migration round that proceeds to
+        # transfer chains without waiting for the dataflow to quiesce,
+        # re-homing live chains under in-flight tuples.
+        return None
+
+    monkeypatch.setattr(QueryMigrator, "_drain", no_drain)
+    result = explore_until_failure("migration")
+    assert result is not None, "sanitizer missed the skipped drain"
+    assert result.failure is not None
+    assert result.failure.kind == "race"
+    assert any(
+        "DRD003" in line or "DRD002" in line for line in result.failure.details
+    )
+
+
+def test_negative_latency_corruption_is_caught(monkeypatch):
+    """An unclamped skewed-clock latency must trip the sanity check."""
+    from repro.live.metrics import LiveMetrics
+    from repro.streams.tuples import StreamTuple
+
+    def buggy_record_result(
+        self: LiveMetrics, query_id: str, tup: StreamTuple, virtual_now: float
+    ) -> None:
+        # The historical bug: latency computed against a skewed clock,
+        # with the negative-sample clamp gone, so bogus negatives
+        # deflate the reported mean and p95 aggregates.
+        self.results_by_query.setdefault(query_id, []).append(tup)
+        self.result_count += 1
+        latency = virtual_now - tup.created_at - 1e-3
+        self.result_latency_sum += latency
+        self.result_latencies.append(latency)
+
+    monkeypatch.setattr(LiveMetrics, "record_result", buggy_record_result)
+    result = explore_until_failure("migration")
+    assert result is not None, "sanitizer missed the negative latencies"
+    assert result.failure is not None
+    assert result.failure.kind == "sanity"
+    assert any("negative" in line for line in result.failure.details)
+
+
+def test_clean_tree_mutations_absent():
+    """Sanity: without a mutation, the same budget finds nothing.
+
+    Guards the harness itself — if the clean tree started failing,
+    every mutation test above would pass vacuously.
+    """
+    result = explore_until_failure("credit")
+    assert result is None, result.failure.render() if result else None
